@@ -1,0 +1,87 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Simulation
+runs are cached per (scenario, scale, scheduler) within a pytest
+session so that Table III can reuse the Fig. 4-7 runs, and every report
+is both printed (visible with ``pytest -s`` / in the benchmark summary)
+and written to ``benchmarks/results/<name>.txt``.
+
+Scales default to values that keep a full ``pytest benchmarks/
+--benchmark-only`` run in the ~10-minute range; set the environment
+variable ``REPRO_BENCH_SCALE=1.0`` to run every scenario at the paper's
+full duration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.analysis import SchedulerSummary
+from repro.sim.simulator import SimulationResult, run_simulation
+from repro.workload.scenarios import Scenario, make_scenario
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper's figure order for scheduler comparisons.
+from repro.core.registry import PAPER_SCHEDULERS as ALL_SCHEDULERS  # noqa: E402
+#: The Table III column subset.
+TABLE3_SCHEDULERS = ["FS", "FCFSU", "FCFSL", "OURS"]
+
+
+def bench_scale(default: float) -> float:
+    """Scenario scale for benches, overridable via REPRO_BENCH_SCALE."""
+    env = os.environ.get("REPRO_BENCH_SCALE")
+    return float(env) if env else default
+
+
+#: Default scales per scenario (full paper durations are 60/120/300/600 s).
+SCENARIO_SCALES: Dict[int, float] = {
+    1: bench_scale(1.0),
+    2: bench_scale(1.0),
+    3: bench_scale(0.4),
+    4: bench_scale(0.2),
+}
+
+_CACHE: Dict[Tuple[int, float, str], SimulationResult] = {}
+_SCENARIOS: Dict[Tuple[int, float], Scenario] = {}
+
+
+def get_scenario(number: int, scale: Optional[float] = None) -> Scenario:
+    """Build (and cache) Table II scenario ``number`` at bench scale."""
+    if scale is None:
+        scale = SCENARIO_SCALES[number]
+    key = (number, scale)
+    if key not in _SCENARIOS:
+        _SCENARIOS[key] = make_scenario(number, scale=scale)
+    return _SCENARIOS[key]
+
+
+def run_cached(number: int, scheduler: str, scale: Optional[float] = None) -> SimulationResult:
+    """Run (or reuse) one scenario x scheduler simulation."""
+    if scale is None:
+        scale = SCENARIO_SCALES[number]
+    key = (number, scale, scheduler)
+    if key not in _CACHE:
+        _CACHE[key] = run_simulation(get_scenario(number, scale), scheduler)
+    return _CACHE[key]
+
+
+def summaries_for(
+    number: int, schedulers: List[str]
+) -> List[SchedulerSummary]:
+    """Summary rows for a set of schedulers on one scenario."""
+    return [run_cached(number, s).summary() for s in schedulers]
+
+
+def emit_report(name: str, text: str) -> Path:
+    """Print a report and persist it under ``benchmarks/results``."""
+    print()
+    print("=" * 78)
+    print(text)
+    print("=" * 78)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,77 @@
+"""Ablation — one vs two rendering pipelines (GPUs) per node.
+
+The ANL Eureka nodes carry two Quadro FX5600s (paper §VI-A); the
+calibrated presets model one rendering pipeline per node because the
+paper's numbers are per-node.  This ablation asks what the second GPU
+buys: Scenario 4's interactive demand (~647 jobs/s) slightly exceeds
+the single-pipeline capacity (~615 jobs/s), so with one GPU per node
+latency soars (the published behaviour); with two, capacity doubles and
+the same workload runs at the target framerate with interactive
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks._shared import bench_scale, emit_report
+from repro.metrics.report import sweep_table
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import scenario_4
+
+SCALE = bench_scale(0.1)
+GPU_COUNTS = [1, 2]
+
+_RESULTS: dict = {}
+
+
+def _run(gpus: int):
+    if gpus not in _RESULTS:
+        sc = scenario_4(scale=SCALE)
+        if gpus != 1:
+            sc = replace(sc, system=sc.system.with_overrides(gpus_per_node=gpus))
+        _RESULTS[gpus] = run_simulation(sc, "OURS")
+    return _RESULTS[gpus]
+
+
+@pytest.mark.parametrize("gpus", GPU_COUNTS)
+def test_multigpu_point(benchmark, gpus):
+    result = benchmark.pedantic(_run, args=(gpus,), rounds=1, iterations=1)
+    assert result.jobs_submitted > 0
+
+
+def test_multigpu_report(benchmark):
+    def build():
+        return {
+            "fps": [_run(g).interactive_fps for g in GPU_COUNTS],
+            "latency (s)": [
+                _run(g).interactive_latency.mean for g in GPU_COUNTS
+            ],
+            "utilization %": [
+                100 * _run(g).mean_node_utilization for g in GPU_COUNTS
+            ],
+        }
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = sweep_table(
+        "GPUs per node",
+        GPU_COUNTS,
+        series,
+        title=(
+            "Ablation — rendering pipelines per node, Scenario 4 under "
+            "OURS (Eureka nodes physically carry two FX5600s)"
+        ),
+        fmt="{:>12.2f}",
+    )
+    text += (
+        "\nshape: Scenario 4's demand slightly exceeds single-pipeline "
+        "capacity (the paper's soaring-latency regime); a second GPU per "
+        "node absorbs it — framerate reaches the target and latency "
+        "drops by orders of magnitude."
+    )
+    emit_report("ablation_multigpu", text)
+
+    assert series["fps"][1] > 1.2 * series["fps"][0]
+    assert series["latency (s)"][1] < 0.5 * series["latency (s)"][0]

@@ -1,0 +1,88 @@
+"""Ablation — explicit video-memory modeling (the paper's future work).
+
+The paper's cost model folds the host→VRAM upload into the I/O term and
+ignores it on main-memory hits; its conclusion lists "minimize the data
+transfer between main memory and video memory" as future work.  This
+ablation runs Scenario 1 with the explicit VRAM model enabled
+(:class:`repro.cluster.gpu.GpuMemoryModel`): each node's GTX 285 holds
+1 GiB (two 512 MiB chunks), while OURS concentrates three chunks per
+node — so every third task re-uploads, and the achievable framerate
+drops measurably below the VRAM-blind model's.  This quantifies how
+much headroom the future-work optimization is worth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from benchmarks._shared import bench_scale, emit_report
+from repro.metrics.report import sweep_table
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import scenario_1
+
+SCALE = bench_scale(0.5)
+
+_RESULTS: dict = {}
+
+
+def _run(model_vram: bool):
+    if model_vram not in _RESULTS:
+        sc = scenario_1(scale=SCALE)
+        if model_vram:
+            sc = replace(sc, system=sc.system.with_overrides(model_vram=True))
+        _RESULTS[model_vram] = run_simulation(sc, "OURS")
+    return _RESULTS[model_vram]
+
+
+def test_ablation_vram_off(benchmark):
+    result = benchmark.pedantic(_run, args=(False,), rounds=1, iterations=1)
+    assert result.jobs_completed > 0
+
+
+def test_ablation_vram_on(benchmark):
+    result = benchmark.pedantic(_run, args=(True,), rounds=1, iterations=1)
+    assert result.jobs_completed > 0
+
+
+def test_ablation_vram_report(benchmark):
+    def build():
+        off = _run(False)
+        on = _run(True)
+        return {
+            "paper model (VRAM folded)": [
+                off.interactive_fps,
+                off.interactive_latency.mean,
+                off.hit_rate * 100,
+            ],
+            "explicit VRAM (future work)": [
+                on.interactive_fps,
+                on.interactive_latency.mean,
+                on.hit_rate * 100,
+            ],
+        }
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = sweep_table(
+        "metric",
+        [0, 1, 2],
+        series,
+        title=(
+            "Ablation — Scenario 1 under OURS, with and without explicit "
+            "VRAM modeling\nrows: 0 = fps, 1 = mean interactive latency "
+            "(s), 2 = main-memory hit rate (%)"
+        ),
+        fmt="{:>12.3f}",
+    )
+    on = _run(True)
+    text += (
+        "\ninterpretation: with 1 GiB VRAM per GTX 285 and ~3 chunks "
+        "concentrated per node by OURS, host->VRAM re-uploads throttle "
+        "the framerate the paper's cost model predicts — quantifying the "
+        "benefit of the paper's stated future-work optimization."
+    )
+    emit_report("ablation_vram", text)
+
+    off = _run(False)
+    assert on.interactive_fps < off.interactive_fps
+    # Main-memory behaviour itself is unchanged.
+    assert abs(on.hit_rate - off.hit_rate) < 0.01

@@ -1,0 +1,83 @@
+"""Fig. 2 — visualization pipeline stage breakdown.
+
+The paper's Fig. 2 shows that before rendering can start, data must be
+fetched from I/O (seconds) while ray casting and image compositing take
+milliseconds each.  This bench reproduces the breakdown twice:
+
+* from the **cost model** — the stage times a 512 MiB chunk pays on the
+  8-node system (cold vs. warm), and
+* from the **real software renderer** — wall-clock ray casting and
+  compositing of a brick, confirming the model's render/composite
+  ratio is grounded in an actual implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._shared import emit_report
+from repro.cluster.costs import cost_preset_linux8
+from repro.cluster.storage import StorageModel, StorageSpec
+from repro.metrics.report import pipeline_breakdown
+from repro.render.camera import default_camera_for
+from repro.render.compositing import two_three_swap
+from repro.render.datasets import supernova
+from repro.render.raycast import integrate_brick, brick_depth
+from repro.render.transfer_function import cool_warm
+from repro.util.units import MiB
+
+
+def test_fig2_cost_model_breakdown(benchmark):
+    """Stage times of one 512 MiB task under the calibrated cost model."""
+    cost = cost_preset_linux8()
+    storage = StorageModel(StorageSpec(bandwidth=100 * MiB, latency=0.010))
+
+    def compute():
+        io = storage.estimate_load_time(512 * MiB)
+        render = cost.render_time(512 * MiB, 4)
+        composite = cost.composite_time(4)
+        return io, render, composite
+
+    io, render, composite = benchmark(compute)
+    text = "\n".join(
+        [
+            "Fig. 2 (cost model): pipeline stages of one 512 MiB chunk task",
+            "",
+            "cold task (chunk not in node memory):",
+            pipeline_breakdown(io, render, composite, title=""),
+            "",
+            "warm task (chunk cached in main memory — I/O omitted, Def. 1):",
+            pipeline_breakdown(0.0, render, composite, title=""),
+            "",
+            f"paper shape: I/O is 'of the order of tens of seconds' per "
+            f"dataset ({4 * io:.1f} s for all 4 chunks here), rendering and "
+            f"compositing 'a few milliseconds' "
+            f"({render * 1e3:.1f} / {composite * 1e3:.1f} ms).",
+        ]
+    )
+    emit_report("fig2_pipeline_model", text)
+    assert io > 100 * render  # I/O dominates by orders of magnitude
+
+
+def test_fig2_real_renderer_raycast(benchmark):
+    """Wall-clock ray casting of one brick with the NumPy renderer."""
+    vol = supernova((48, 48, 48))
+    cam = default_camera_for(vol.shape, width=128, height=128)
+    tf = cool_warm()
+    bricks = vol.split_for_ranks(4)
+
+    image = benchmark(integrate_brick, bricks[0], cam, tf, step=0.7)
+    assert image.shape == (128, 128, 4)
+
+
+def test_fig2_real_renderer_composite(benchmark):
+    """Wall-clock 2-3-swap compositing of four brick images."""
+    vol = supernova((48, 48, 48))
+    cam = default_camera_for(vol.shape, width=128, height=128)
+    tf = cool_warm()
+    bricks = vol.split_for_ranks(4)
+    order = np.argsort([brick_depth(b, cam) for b in bricks])
+    images = [integrate_brick(bricks[i], cam, tf, step=0.7) for i in order]
+
+    result = benchmark(two_three_swap, images)
+    assert result.image.shape == (128, 128, 4)

@@ -1,0 +1,48 @@
+"""Fig. 4 — Scenario 1: pure workload balancing on the 8-node cluster.
+
+Six persistent user actions over six fully cacheable 2 GB datasets.
+Paper result: FS/SF/FCFS < 1 fps with long latencies; FCFSU achieves
+~half the 33.33 fps target (it spends twice the computing resources per
+job); OURS and FCFSL hit the target with near-zero latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import ALL_SCHEDULERS, emit_report, run_cached, summaries_for
+from repro.metrics.report import comparison_table
+
+SCENARIO = 1
+
+
+@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+def test_fig4_run(benchmark, scheduler):
+    result = benchmark.pedantic(
+        run_cached, args=(SCENARIO, scheduler), rounds=1, iterations=1
+    )
+    assert result.jobs_completed > 0
+
+
+def test_fig4_report(benchmark):
+    summaries = benchmark.pedantic(
+        summaries_for, args=(SCENARIO, ALL_SCHEDULERS), rounds=1, iterations=1
+    )
+    by_name = {s.scheduler: s for s in summaries}
+    text = comparison_table(
+        summaries,
+        title="Fig. 4 — Scenario 1 (8 nodes, 6x2GB datasets, no batch)",
+        target_fps=100.0 / 3.0,
+    )
+    text += (
+        "\npaper shape: FS/SF/FCFS < 1 fps; FCFSU ~ half target; "
+        "OURS ~= FCFSL ~= target with lowest latencies."
+    )
+    emit_report("fig4_scenario1", text)
+
+    target = 100.0 / 3.0
+    assert by_name["OURS"].interactive_fps > 0.95 * target
+    assert by_name["FCFSL"].interactive_fps > 0.95 * target
+    assert 0.35 * target < by_name["FCFSU"].interactive_fps < 0.62 * target
+    for name in ("FS", "SF", "FCFS"):
+        assert by_name[name].interactive_fps < 0.1 * target

@@ -1,0 +1,61 @@
+"""Fig. 6 — Scenario 3: light-load hybrid on 64 ANL nodes.
+
+32 x 8 GB datasets (256 GB, fully cacheable in the 512 GB aggregate).
+Paper result: OURS reaches an almost-optimum 32.80 fps with < 1 s
+interactive latency by deferring batch jobs; FCFSL is close on
+framerate but has notably better batch behaviour (it schedules batch
+immediately); FCFSU collapses to 11.25 fps because every job occupies
+all 64 nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import ALL_SCHEDULERS, emit_report, run_cached, summaries_for
+from repro.metrics.report import comparison_table
+
+SCENARIO = 3
+
+
+@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+def test_fig6_run(benchmark, scheduler):
+    result = benchmark.pedantic(
+        run_cached, args=(SCENARIO, scheduler), rounds=1, iterations=1
+    )
+    assert result.jobs_completed > 0
+
+
+def test_fig6_report(benchmark):
+    summaries = benchmark.pedantic(
+        summaries_for, args=(SCENARIO, ALL_SCHEDULERS), rounds=1, iterations=1
+    )
+    by_name = {s.scheduler: s for s in summaries}
+    text = comparison_table(
+        summaries,
+        title=(
+            "Fig. 6 — Scenario 3 (64 ANL nodes, 32x8GB datasets, light "
+            "hybrid load)"
+        ),
+        target_fps=100.0 / 3.0,
+    )
+    text += (
+        "\npaper shape: OURS ~32.8 fps (near target) with the lowest "
+        "interactive latency; FCFSU ~11.25 fps; FCFSL better on batch."
+    )
+    emit_report("fig6_scenario3", text)
+
+    target = 100.0 / 3.0
+    assert by_name["OURS"].interactive_fps > 0.8 * target
+    assert by_name["OURS"].interactive_fps >= by_name["FCFSL"].interactive_fps
+    assert 0.25 * target < by_name["FCFSU"].interactive_fps < 0.45 * target
+    assert (
+        by_name["OURS"].interactive_latency
+        <= by_name["FCFSL"].interactive_latency + 1e-9
+    )
+    # Batch completes under both locality-aware schemes.  (The paper's
+    # "FCFSL notably better on batch" ordering is seed-sensitive in the
+    # reproduction and is therefore reported, not asserted — see
+    # EXPERIMENTS.md.)
+    assert by_name["FCFSL"].batch_completed > 0
+    assert by_name["OURS"].batch_completed > 0

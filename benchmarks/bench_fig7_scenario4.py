@@ -1,0 +1,58 @@
+"""Fig. 7 — Scenario 4: heavy-load hybrid, 1 TB of data on 64 nodes.
+
+128 x 8 GB datasets (twice the aggregate memory); interactive demand
+slightly above sustainable capacity, so latencies soar for everyone
+(the paper notes OURS reaches 27.767 s because jobs are pushed
+unceasingly).  Paper result: OURS still delivers 22.98 fps — a 167.2 %
+gain over FCFSL and 190.9 % over FCFSU — while maintaining reasonable
+batch throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import ALL_SCHEDULERS, emit_report, run_cached, summaries_for
+from repro.metrics.report import comparison_table
+
+SCENARIO = 4
+
+
+@pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+def test_fig7_run(benchmark, scheduler):
+    result = benchmark.pedantic(
+        run_cached, args=(SCENARIO, scheduler), rounds=1, iterations=1
+    )
+    assert result.jobs_completed > 0
+
+
+def test_fig7_report(benchmark):
+    summaries = benchmark.pedantic(
+        summaries_for, args=(SCENARIO, ALL_SCHEDULERS), rounds=1, iterations=1
+    )
+    by_name = {s.scheduler: s for s in summaries}
+    ours = by_name["OURS"]
+    fcfsl = by_name["FCFSL"]
+    fcfsu = by_name["FCFSU"]
+    text = comparison_table(
+        summaries,
+        title=(
+            "Fig. 7 — Scenario 4 (64 ANL nodes, 128x8GB = 1TB, heavy "
+            "hybrid load)"
+        ),
+        target_fps=100.0 / 3.0,
+    )
+    gain_l = 100.0 * ours.interactive_fps / max(fcfsl.interactive_fps, 1e-9)
+    gain_u = 100.0 * ours.interactive_fps / max(fcfsu.interactive_fps, 1e-9)
+    text += (
+        f"\nOURS vs FCFSL: {gain_l:.1f} % (paper: 167.2 %); "
+        f"OURS vs FCFSU: {gain_u:.1f} % (paper: 190.9 %).\n"
+        "paper shape: latencies soar under unceasing load (OURS 27.8 s "
+        "in the paper) but OURS keeps a high interactive framerate."
+    )
+    emit_report("fig7_scenario4", text)
+
+    assert ours.interactive_fps > 1.4 * fcfsl.interactive_fps
+    assert ours.interactive_fps > 1.5 * fcfsu.interactive_fps
+    assert ours.interactive_fps > 15.0
+    assert ours.interactive_latency > 1.0  # overload is visible

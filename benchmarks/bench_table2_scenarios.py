@@ -1,0 +1,60 @@
+"""Table II — the four experiment scenarios.
+
+Regenerates the configuration table: nodes, total memory, dataset
+count/size, simulated length, and the batch/interactive job totals of
+each generated workload (at the bench scale; job *rates* match the
+paper at any scale, absolute counts match at ``REPRO_BENCH_SCALE=1``).
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import SCENARIO_SCALES, emit_report, get_scenario
+from repro.core.chunks import total_size
+from repro.util.units import GiB
+
+PAPER_ROWS = {
+    1: (8, 16, 6, 12, 60, 0, 12006),
+    2: (8, 16, 12, 24, 120, 2251, 21011),
+    3: (64, 512, 32, 256, 300, 9844, 160633),
+    4: (64, 512, 128, 1024, 600, 35176, 388481),
+}
+
+
+def test_table2_scenarios(benchmark):
+    scenarios = benchmark(
+        lambda: [get_scenario(n) for n in (1, 2, 3, 4)]
+    )
+    header = (
+        f"{'#':<3}{'nodes':>6}{'mem(GB)':>9}{'#ds':>5}{'size(GB)':>10}"
+        f"{'len(s)':>8}{'batch':>9}{'interactive':>13}{'tgt fps':>9}"
+    )
+    lines = [
+        "Table II: four scenarios (generated at bench scale; "
+        "paper counts in parentheses)",
+        header,
+        "-" * len(header),
+    ]
+    for n, sc in zip((1, 2, 3, 4), scenarios):
+        p_nodes, p_mem, p_ds, p_size, p_len, p_b, p_i = PAPER_ROWS[n]
+        scale = SCENARIO_SCALES[n]
+        lines.append(
+            f"{n:<3}{sc.system.node_count:>6}"
+            f"{sc.system.total_memory // GiB:>9}"
+            f"{len(sc.datasets):>5}"
+            f"{total_size(sc.datasets) // GiB:>10}"
+            f"{sc.trace.duration:>8.0f}"
+            f"{sc.trace.batch_count:>9}"
+            f"{sc.trace.interactive_count:>13}"
+            f"{sc.target_framerate:>9.2f}"
+        )
+        lines.append(
+            f"{'':<3}{p_nodes:>6}{p_mem:>9}{p_ds:>5}{p_size:>10}"
+            f"{p_len:>8}{int(p_b * scale):>9}{int(p_i * scale):>13}"
+            f"{33.33:>9.2f}   (paper x scale {scale:g})"
+        )
+        # Structural fields must match the paper exactly.
+        assert sc.system.node_count == p_nodes
+        assert sc.system.total_memory == p_mem * GiB
+        assert len(sc.datasets) == p_ds
+        assert total_size(sc.datasets) == p_size * GiB
+    emit_report("table2_scenarios", "\n".join(lines))

@@ -1,0 +1,75 @@
+"""Table III — data reuse hit rates and average scheduling costs.
+
+For each of the four scenarios and the FS / FCFSU / FCFSL / OURS
+schemes, reports the executed-task cache hit rate and the measured
+wall-clock scheduling cost per job in microseconds.  Reuses the
+Fig. 4-7 simulation runs when they are in the session cache.
+
+Paper shape: OURS and FCFSU ~99.8-100 % hit rates in every scenario,
+FCFSL slightly lower (interactive/batch swapping), FS 8-29 %; OURS
+costs less per job than FCFSU, and cycle-based schemes (FS, OURS)
+amortize scheduling across the jobs of a cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._shared import TABLE3_SCHEDULERS, emit_report, run_cached
+from repro.metrics.report import hit_rate_table
+
+PAPER_HIT_RATES = {
+    1: {"FS": 8.01, "FCFSU": 99.95, "FCFSL": 99.94, "OURS": 99.94},
+    2: {"FS": 28.63, "FCFSU": 99.86, "FCFSL": 99.72, "OURS": 99.91},
+    3: {"FS": 12.19, "FCFSU": 99.97, "FCFSL": 99.74, "OURS": 99.91},
+    4: {"FS": 10.67, "FCFSU": 99.86, "FCFSL": 99.51, "OURS": 99.76},
+}
+PAPER_COSTS = {
+    1: {"FS": 32, "FCFSU": 60, "FCFSL": 65, "OURS": 33},
+    2: {"FS": 36, "FCFSU": 72, "FCFSL": 74, "OURS": 53},
+    3: {"FS": 677, "FCFSU": 2019, "FCFSL": 1002, "OURS": 1446},
+    4: {"FS": 680, "FCFSU": 3459, "FCFSL": 1078, "OURS": 1392},
+}
+
+
+@pytest.mark.parametrize("scenario", [1, 2, 3, 4])
+def test_table3_scenario(benchmark, scenario):
+    def run_all():
+        return {s: run_cached(scenario, s) for s in TABLE3_SCHEDULERS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # Locality-aware schemes keep near-perfect reuse in every scenario.
+    for name in ("FCFSU", "FCFSL", "OURS"):
+        assert results[name].hit_rate > 0.985, (scenario, name)
+    # FS is far below the locality-aware schemes.
+    assert results["FS"].hit_rate < results["OURS"].hit_rate - 0.05
+
+
+def test_table3_report(benchmark):
+    def build():
+        return {
+            f"scenario{n}": {
+                s: run_cached(n, s).summary() for s in TABLE3_SCHEDULERS
+            }
+            for n in (1, 2, 3, 4)
+        }
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = hit_rate_table(rows, TABLE3_SCHEDULERS)
+    paper_lines = ["", "paper values for comparison:"]
+    for n in (1, 2, 3, 4):
+        hits = "  ".join(
+            f"{s}={PAPER_HIT_RATES[n][s]:.2f}%" for s in TABLE3_SCHEDULERS
+        )
+        costs = "  ".join(
+            f"{s}={PAPER_COSTS[n][s]}us" for s in TABLE3_SCHEDULERS
+        )
+        paper_lines.append(f"  scenario{n}: hit {hits}")
+        paper_lines.append(f"  {'':>10} cost {costs}")
+    paper_lines.append(
+        "note: absolute scheduling costs depend on the host; the paper "
+        "ran C++ on 2008-era Xeons, this harness measures the Python "
+        "implementation. The orderings (FCFSU most expensive at scale, "
+        "cycle-based FS/OURS amortized) are the reproduced shape."
+    )
+    emit_report("table3_hitrates", text + "\n" + "\n".join(paper_lines))

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""What a batch submission actually renders: an orbit animation.
+
+The scheduling scenarios model batch submissions abstractly (N frame
+jobs over one dataset).  This example executes one such submission with
+the real renderer: a camera orbit over the supernova dataset, each
+frame ray-cast across simulated rendering ranks and composited with 2-3
+swap, with Blinn-Phong shading.  Frames are written as PPM files; the
+per-frame compositing traffic is the communication the interconnect
+model charges for.
+
+Run:
+    python examples/batch_animation.py [--frames 12] [--ranks 6] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.render import (
+    Lighting,
+    OrbitPath,
+    cool_warm,
+    make_volume,
+    render_animation,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=12)
+    parser.add_argument("--size", type=int, default=40)
+    parser.add_argument("--image", type=int, default=128)
+    parser.add_argument("--ranks", type=int, default=6)
+    parser.add_argument("--dataset", default="supernova")
+    parser.add_argument("--out", type=Path, default=Path("animation"))
+    args = parser.parse_args()
+
+    volume = make_volume(args.dataset, (args.size, args.size, args.size))
+    path = OrbitPath(
+        frames=args.frames,
+        azimuth_start=0.0,
+        azimuth_end=360.0,
+        elevation=18.0,
+        elevation_swing=10.0,
+    )
+    print(
+        f"Rendering a {args.frames}-frame orbit of '{args.dataset}' "
+        f"({volume.shape} voxels) across {args.ranks} ranks..."
+    )
+    t0 = time.perf_counter()
+    result = render_animation(
+        volume,
+        path,
+        cool_warm(),
+        ranks=args.ranks,
+        width=args.image,
+        height=args.image,
+        lighting=Lighting(ambient=0.35, diffuse=0.6, specular=0.25),
+        output_dir=args.out,
+    )
+    elapsed = time.perf_counter() - t0
+
+    print(f"\n{result.frames} frames -> {args.out}/frame_*.ppm")
+    print(
+        f"ray casting: {result.total_samples:,} samples total "
+        f"({result.total_samples // result.frames:,} per frame)"
+    )
+    print(
+        f"compositing: {result.total_messages} messages, "
+        f"{result.total_bytes / 2**20:.1f} MiB across all frames "
+        f"({result.algorithm})"
+    )
+    print(f"wall time {elapsed:.1f} s ({elapsed / result.frames * 1e3:.0f} ms/frame)")
+    print(
+        "\nIn the scheduling model, this submission is one BatchSubmission "
+        f"of {result.frames} jobs over dataset '{args.dataset}' — the unit "
+        "the paper's scheduler defers behind interactive work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Fig. 3 illustrated: the cost model on a concrete job timeline.
+
+Reproduces the paper's cost-model walkthrough (Definitions 1-4, Fig. 3):
+two interactive user actions and one batch job on a 4-node cluster.
+Jobs within a scheduling cycle are processed together; the example
+prints each task's ``TS``/``TF`` per node (a text Gantt chart), each
+job's ``JI``/``JS``/``JF``, latency, and the resulting per-action
+framerates.
+
+Run:
+    python examples/cost_model_timeline.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.costs import CostParameters
+from repro.core.chunks import Dataset
+from repro.core.cost_model import (
+    framerate,
+    job_execution_time,
+    job_latency,
+    task_execution_time,
+)
+from repro.core.job import JobType, RenderJob
+from repro.core.ours import OursScheduler
+from repro.sim.service import VisualizationService
+from repro.util.units import GiB, MiB
+
+
+def timeline_bar(start: float, end: float, horizon: float, width: int = 60) -> str:
+    """Render one task as a text bar on a [0, horizon] axis."""
+    a = int(width * start / horizon)
+    b = max(a + 1, int(width * end / horizon))
+    return " " * a + "#" * (b - a) + " " * (width - b)
+
+
+def main() -> None:
+    cost = CostParameters(render_jitter=0.0)
+    cluster = Cluster(4, 1 * GiB, cost)
+    scheduler = OursScheduler(cycle=0.015)
+    service = VisualizationService(cluster, scheduler, chunk_max=256 * MiB)
+
+    ds_a = Dataset("dataset-A", 1 * GiB)  # 4 chunks
+    ds_b = Dataset("dataset-B", 512 * MiB)  # 2 chunks
+    service.prewarm([ds_a, ds_b])
+
+    # Two interactive actions at 33.33 fps plus one batch job.
+    jobs = []
+    events = cluster.events
+    for i in range(3):  # user action 0 on dataset A
+        events.schedule(
+            0.03 * i,
+            lambda t=0.03 * i, s=i: jobs.append(
+                submit(service, ds_a, JobType.INTERACTIVE, action=0, seq=s)
+            ),
+        )
+    for i in range(3):  # user action 1 on dataset B
+        events.schedule(
+            0.005 + 0.03 * i,
+            lambda t=i, s=i: jobs.append(
+                submit(service, ds_b, JobType.INTERACTIVE, action=1, seq=s)
+            ),
+        )
+    events.schedule(
+        0.002,
+        lambda: jobs.append(
+            submit(service, ds_b, JobType.BATCH, action=99, seq=0)
+        ),
+    )
+    service.start()
+    events.run()
+
+    horizon = max(j.finish_time for j in jobs) * 1.05
+    print("Task timeline (one row per task; '#' spans TS..TF):")
+    print(f"{'':>26}0{'':{56}}{horizon * 1e3:.0f} ms")
+    for job in sorted(jobs, key=lambda j: j.job_id):
+        for task in job.tasks:
+            label = (
+                f"J{job.job_id}/{job.job_type.value[:5]:<5} "
+                f"{task.chunk.dataset[-1]}[{task.chunk.index}] n{task.node}"
+            )
+            print(
+                f"{label:>24} |"
+                + timeline_bar(task.start_time, task.finish_time, horizon)
+                + "|"
+            )
+
+    print("\nPer-job cost model quantities (Definitions 1-3):")
+    header = (
+        f"{'job':>5} {'type':<12} {'JI(s)':>8} {'JS(s)':>8} {'JF(s)':>8} "
+        f"{'JExec(s)':>9} {'Latency(s)':>11} {'max TExec':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for job in sorted(jobs, key=lambda j: j.job_id):
+        texec = max(task_execution_time(t) for t in job.tasks)
+        print(
+            f"{job.job_id:>5} {job.job_type.value:<12} "
+            f"{job.arrival_time:>8.4f} {job.start_time():>8.4f} "
+            f"{job.finish_time:>8.4f} {job_execution_time(job):>9.4f} "
+            f"{job_latency(job):>11.4f} {texec:>10.4f}"
+        )
+
+    print("\nPer-action framerates (Definition 4):")
+    for action in (0, 1):
+        finishes = sorted(
+            j.finish_time for j in jobs if j.action == action
+        )
+        print(f"  action {action}: {framerate(finishes):.2f} fps "
+              f"(target 33.33)")
+
+
+def submit(service, dataset, job_type, *, action, seq):
+    job = RenderJob(
+        job_type,
+        dataset,
+        service.cluster.now,
+        user=action,
+        action=action,
+        sequence=seq,
+    )
+    service.submit(job)
+    return job
+
+
+if __name__ == "__main__":
+    main()

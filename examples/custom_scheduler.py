@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Extending the library: plug in your own scheduling policy.
+
+The harness that benchmarks the paper's six policies accepts any
+:class:`repro.core.scheduler_base.Scheduler`.  This example implements
+**delay scheduling** (Zaharia et al., EuroSys 2010 — reference [26] of
+the paper): a task that would miss the cache *waits* up to a small
+delay for a node holding its data to free up, instead of running
+remotely immediately.  We register it and race it against the paper's
+schedulers on Scenario 1.
+
+Run:
+    python examples/custom_scheduler.py [--scale 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import deque
+from typing import Deque, Sequence
+
+from repro import comparison_table, run_simulation, scenario_1
+from repro.core.job import RenderJob, RenderTask
+from repro.core.registry import register_scheduler
+from repro.core.scheduler_base import (
+    Scheduler,
+    SchedulerContext,
+    Trigger,
+    greedy_min_available,
+)
+
+
+class DelayScheduler(Scheduler):
+    """Cycle-based delay scheduling.
+
+    Every cycle, each pending task is placed on a node that caches its
+    chunk if that node's backlog is acceptable; otherwise the task waits
+    — but no longer than ``max_delay`` seconds, after which it runs on
+    the least-loaded node regardless of locality (paying the I/O).
+    """
+
+    name = "DELAY"
+    trigger = Trigger.CYCLE
+
+    def __init__(self, cycle: float = 0.015, max_delay: float = 0.09) -> None:
+        self.cycle = cycle
+        self.max_delay = max_delay
+        self._waiting: Deque[RenderTask] = deque()
+        self._deadline: dict = {}
+
+    def reset(self) -> None:
+        self._waiting.clear()
+        self._deadline.clear()
+
+    def pending_task_count(self) -> int:
+        return len(self._waiting)
+
+    def schedule(
+        self, jobs: Sequence[RenderJob], ctx: SchedulerContext
+    ) -> None:
+        now = ctx.now
+        for job in jobs:
+            for task in ctx.decompose(job):
+                self._waiting.append(task)
+                self._deadline[task] = now + self.max_delay
+        still_waiting: Deque[RenderTask] = deque()
+        tables = ctx.tables
+        while self._waiting:
+            task = self._waiting.popleft()
+            chunk = task.chunk
+            group = task.job.composite_group_size
+            render = ctx.cost.render_time(chunk.size, group)
+            cached = tables.cached_nodes(chunk)
+            best_cached = None
+            best_free = None
+            for k in cached:
+                avail = tables.predicted_available(k, now)
+                if best_free is None or avail < best_free:
+                    best_free, best_cached = avail, k
+            # Accept the cached node if it frees up within one cycle.
+            if best_cached is not None and best_free <= now + self.cycle:
+                ctx.assign(task, best_cached)
+            elif now >= self._deadline[task] or not cached:
+                ctx.assign(task, greedy_min_available(task, ctx))
+            else:
+                still_waiting.append(task)
+                continue
+            del self._deadline[task]
+        self._waiting = still_waiting
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    args = parser.parse_args()
+
+    try:
+        register_scheduler("DELAY", DelayScheduler)
+    except ValueError:
+        pass  # already registered (re-run in the same session)
+
+    scenario = scenario_1(scale=args.scale)
+    print(scenario.summary())
+    print()
+
+    names = ["OURS", "FCFSL", "DELAY", "FCFS"]
+    summaries = [run_simulation(scenario, n).summary() for n in names]
+    print(
+        comparison_table(
+            summaries,
+            title="Custom policy (DELAY) vs the paper's schedulers",
+            target_fps=scenario.target_framerate,
+        )
+    )
+    print()
+    print(
+        "Delay scheduling recovers most of the locality benefit by "
+        "waiting briefly for the caching node — the idea the paper cites "
+        "from Hadoop's fair scheduler [26] and specializes for "
+        "interactive rendering with its cycle + ε heuristics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fault tolerance in action: crash rendering nodes mid-service.
+
+The paper (§VI-D): "Our scheduling method has a certain degree of fault
+tolerance when some of the nodes crash … the rendering can still carry
+on as long as the system has copies of the required data chunks on
+other rendering nodes."  This example runs Scenario 1 under OURS and
+crashes two of the eight nodes mid-run; the timeline sparklines show
+the busy-node count stepping down, the brief miss burst while lost
+chunks reload on survivors, and the service continuing at the reduced
+capacity — no job is ever lost.
+
+Run:
+    python examples/fault_tolerance.py [--scale 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import run_simulation, scenario_1
+from repro.metrics import sparkline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    scenario = scenario_1(scale=args.scale)
+    duration = scenario.trace.duration
+    crashes = [(duration / 3, 3), (2 * duration / 3, 6)]
+    print(scenario.summary())
+    print(
+        f"crashing node 3 at t={crashes[0][0]:.1f}s and node 6 at "
+        f"t={crashes[1][0]:.1f}s\n"
+    )
+
+    healthy = run_simulation(scenario, "OURS", timeline_interval=0.25)
+    failed = run_simulation(
+        scenario, "OURS", timeline_interval=0.25, node_failures=crashes
+    )
+
+    for label, result in (("healthy", healthy), ("with crashes", failed)):
+        tl = result.timeline
+        print(f"--- {label} ---")
+        print(
+            f"fps {result.interactive_fps:6.2f} | mean latency "
+            f"{result.interactive_latency.mean:7.3f} s | completed "
+            f"{result.jobs_completed}/{result.jobs_submitted} | hit "
+            f"{result.hit_rate:.2%}"
+        )
+        print(f"  busy nodes       {sparkline(tl.series('busy_nodes'))}")
+        print(f"  backlog (tasks)  {sparkline(tl.series('backlog_tasks'))}")
+        misses = [
+            b.tasks_missed - a.tasks_missed
+            for a, b in zip(tl.samples, tl.samples[1:])
+        ]
+        print(f"  misses / tick    {sparkline(misses)}")
+        print()
+
+    print(
+        "Each crash shows as a step down in busy nodes, a short burst of "
+        "cache misses (the dead node's chunks reloading on survivors — "
+        "chunks with live replicas need no reload), and a backlog bump "
+        "that drains at the surviving capacity.  The service never stops."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: run one scenario under two schedulers and compare.
+
+This is the 60-second tour of the library: build the paper's Scenario 1
+(six users interactively exploring six 2 GB datasets on an 8-node GPU
+cluster), run it under the paper's locality-aware scheduler (OURS) and
+under plain FCFS, and print the comparison — the locality-blind
+scheduler collapses to under 1 fps while OURS holds the 33.33 fps
+target.
+
+Run:
+    python examples/quickstart.py [--scale 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import compare_schedulers, comparison_table, scenario_1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="fraction of the paper's 60 s run to simulate (default 0.5)",
+    )
+    args = parser.parse_args()
+
+    scenario = scenario_1(scale=args.scale)
+    print(scenario.summary())
+    print()
+
+    results = compare_schedulers(scenario, ["OURS", "FCFS"])
+    print(
+        comparison_table(
+            [r.summary() for r in results],
+            title="Scenario 1: locality-aware vs locality-blind scheduling",
+            target_fps=scenario.target_framerate,
+        )
+    )
+    print()
+
+    ours, fcfs = results
+    speedup = ours.interactive_fps / max(fcfs.interactive_fps, 1e-9)
+    print(
+        f"OURS delivers {ours.interactive_fps:.1f} fps at "
+        f"{ours.interactive_latency.mean * 1e3:.0f} ms mean latency; "
+        f"FCFS delivers {fcfs.interactive_fps:.2f} fps "
+        f"({speedup:.0f}x difference) because without data locality every "
+        f"task re-reads ~512 MiB from disk."
+    )
+    print(
+        f"Cache hit rates: OURS {ours.hit_rate:.1%} vs FCFS "
+        f"{fcfs.hit_rate:.1%}."
+    )
+
+
+if __name__ == "__main__":
+    main()

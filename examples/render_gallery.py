@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fig. 10 gallery: sort-last parallel rendering of the three datasets.
+
+The paper's Fig. 10 shows volume renderings of a plume simulation
+(252x252x1024), a combustion simulation (2025x1600x400), and a
+supernova simulation (864^3) produced by its parallel visualization
+system.  This example renders the synthetic stand-ins with the real
+NumPy ray caster, distributed across simulated rendering ranks with 2-3
+swap compositing, verifies the parallel image matches a monolithic
+render, and writes PPM images.
+
+Run:
+    python examples/render_gallery.py [--size 64] [--ranks 6] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.render import (
+    cool_warm,
+    default_camera_for,
+    fire,
+    make_volume,
+    max_channel_difference,
+    render_sort_last,
+    render_volume,
+    write_ppm,
+)
+
+GALLERY = [
+    # (name, aspect mimicking the paper's dataset, transfer function)
+    ("plume", (1.0, 1.0, 2.0), "fire"),  # 252x252x1024 is tall
+    ("combustion", (2.0, 1.6, 0.8), "fire"),  # 2025x1600x400 is flat
+    ("supernova", (1.0, 1.0, 1.0), "cool_warm"),  # 864^3 is cubic
+]
+TFS = {"fire": fire, "cool_warm": cool_warm}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=64, help="base voxels/axis")
+    parser.add_argument("--image", type=int, default=192, help="image pixels")
+    parser.add_argument("--ranks", type=int, default=6)
+    parser.add_argument("--out", type=Path, default=Path("gallery"))
+    args = parser.parse_args()
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name, aspect, tf_name in GALLERY:
+        shape = tuple(max(16, int(args.size * a)) for a in aspect)
+        volume = make_volume(name, shape)
+        camera = default_camera_for(
+            volume.shape,
+            width=args.image,
+            height=args.image,
+            azimuth=35.0,
+            elevation=18.0,
+        )
+        tf = TFS[tf_name]()
+
+        result = render_sort_last(
+            volume, camera, tf, ranks=args.ranks, algorithm="2-3-swap", step=0.6
+        )
+        reference = render_volume(volume, camera, tf, step=0.6)
+        diff = max_channel_difference(reference, result.image)
+
+        path = write_ppm(args.out / f"{name}.ppm", result.image, background=0.08)
+        comp = result.compositing
+        print(
+            f"{name:<11} {shape!s:<15} -> {path}  "
+            f"({result.render_stats.samples:,} samples, "
+            f"{comp.messages} messages / {comp.bytes_sent / 2**20:.1f} MiB "
+            f"composited over {comp.stages} stages; "
+            f"parallel-vs-monolithic max diff {diff:.1e})"
+        )
+        assert diff < 1e-4, "sort-last render must match the monolithic one"
+
+    print(f"\nWrote {len(GALLERY)} images to {args.out}/ (PPM, viewable with "
+          "any image viewer or convertible via e.g. ImageMagick).")
+
+
+if __name__ == "__main__":
+    main()

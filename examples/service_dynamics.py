@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Watch the service's dynamics: backlog, utilization, completion rate.
+
+Aggregate numbers hide the story; this example samples the cluster
+every 250 ms of simulated time during a Scenario 2 run (memory
+pressure, mixed interactive+batch) and prints text sparklines of the
+dynamics under OURS versus FCFSL:
+
+* OURS: backlog stays bounded, the scheduler's deferred-batch queue
+  absorbs pressure, completion rate tracks the request rate;
+* FCFSL: batch-induced cold loads stall nodes, the node backlog spikes
+  and the completion rate craters during every swap episode.
+
+Run:
+    python examples/service_dynamics.py [--scale 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import run_simulation, scenario_2
+from repro.metrics import sparkline
+
+
+def describe(result) -> None:
+    tl = result.timeline
+    print(f"--- {result.scheduler_name} ---")
+    print(
+        f"fps {result.interactive_fps:6.2f} | mean latency "
+        f"{result.interactive_latency.mean:7.3f} s | hit rate "
+        f"{result.hit_rate:.2%} | {len(tl.samples)} samples"
+    )
+    print(f"  node backlog (tasks) {sparkline(tl.series('backlog_tasks'))}")
+    print(f"  busy nodes           {sparkline(tl.series('busy_nodes'))}")
+    print(f"  deferred batch tasks {sparkline(tl.series('scheduler_pending'))}")
+    print(f"  completions / s      {sparkline(tl.completion_rate())}")
+    misses = [
+        b.tasks_missed - a.tasks_missed
+        for a, b in zip(tl.samples, tl.samples[1:])
+    ]
+    print(f"  cache misses / tick  {sparkline(misses)}")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--interval", type=float, default=0.25)
+    args = parser.parse_args()
+
+    scenario = scenario_2(scale=args.scale)
+    print(scenario.summary())
+    print()
+    for name in ("OURS", "FCFSL"):
+        result = run_simulation(
+            scenario, name, timeline_interval=args.interval
+        )
+        describe(result)
+
+    print(
+        "Reading the sparklines: under FCFSL every batch submission on a "
+        "cold dataset triggers 512 MiB loads on nodes that also serve "
+        "interactive streams — visible as miss bursts followed by backlog "
+        "spikes and completion-rate dips.  OURS holds those loads in its "
+        "deferred queue until nodes go interactively idle."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim for editable installs without the ``wheel`` package.
+
+The environment has no network and no ``wheel`` distribution, so PEP 517
+editable builds (which need ``bdist_wheel``) fail; ``pip install -e .
+--no-use-pep517 --no-build-isolation`` with this shim works everywhere.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro — reproduction of "A Job Scheduling Design for Visualization
+Services using GPU Clusters" (Hsu, Wang, Ma, Yu, Chen — IEEE CLUSTER 2012).
+
+A locality-aware job scheduler for multi-user parallel volume rendering
+services, with:
+
+* the paper's cycle-based heuristic scheduler (``OURS``, Algorithm 1)
+  and the five baselines it is evaluated against (FS, SF, FCFS, FCFSU,
+  FCFSL),
+* the cost model of §IV (task/job execution time, latency, framerate),
+* a discrete-event GPU-cluster simulator (LRU memory quotas, disk I/O,
+  interconnect, optional explicit VRAM model),
+* a real software volume-rendering substrate (NumPy ray caster, sort-
+  last compositing via binary swap / 2-3 swap over a simulated
+  communicator),
+* workload generators reproducing the four Table II scenarios, and
+* analysis/reporting for every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import run_simulation, scenario_1
+
+    result = run_simulation(scenario_1(scale=0.2), "OURS")
+    print(result.summary().row())
+"""
+
+from repro.cluster import (
+    Cluster,
+    CostParameters,
+    EventQueue,
+    GpuSpec,
+    LinkSpec,
+    LRUChunkCache,
+    StorageSpec,
+)
+from repro.core import (
+    Chunk,
+    ChunkedDecomposition,
+    Dataset,
+    JobType,
+    RenderJob,
+    RenderTask,
+    SCHEDULER_NAMES,
+    Scheduler,
+    SchedulerTables,
+    UniformDecomposition,
+    action_framerate,
+    framerate,
+    job_latency,
+    make_scheduler,
+    register_scheduler,
+)
+from repro.metrics import SchedulerSummary, SimulationCollector, comparison_table
+from repro.sim import (
+    SimulationResult,
+    SystemConfig,
+    VisualizationService,
+    compare_schedulers,
+    run_simulation,
+    system_anl,
+    system_linux8,
+)
+from repro.workload import (
+    Scenario,
+    WorkloadTrace,
+    make_scenario,
+    persistent_actions,
+    poisson_action_stream,
+    poisson_batch_stream,
+    scenario_1,
+    scenario_2,
+    scenario_3,
+    scenario_4,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "CostParameters",
+    "EventQueue",
+    "GpuSpec",
+    "LinkSpec",
+    "LRUChunkCache",
+    "StorageSpec",
+    "Chunk",
+    "ChunkedDecomposition",
+    "Dataset",
+    "JobType",
+    "RenderJob",
+    "RenderTask",
+    "SCHEDULER_NAMES",
+    "Scheduler",
+    "SchedulerTables",
+    "UniformDecomposition",
+    "action_framerate",
+    "framerate",
+    "job_latency",
+    "make_scheduler",
+    "register_scheduler",
+    "SchedulerSummary",
+    "SimulationCollector",
+    "comparison_table",
+    "SimulationResult",
+    "SystemConfig",
+    "VisualizationService",
+    "compare_schedulers",
+    "run_simulation",
+    "system_anl",
+    "system_linux8",
+    "Scenario",
+    "WorkloadTrace",
+    "make_scenario",
+    "persistent_actions",
+    "poisson_action_stream",
+    "poisson_batch_stream",
+    "scenario_1",
+    "scenario_2",
+    "scenario_3",
+    "scenario_4",
+    "__version__",
+]

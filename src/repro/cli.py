@@ -1,0 +1,231 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands:
+
+* ``simulate`` — run a Table II scenario under one or more schedulers
+  and print the Fig. 4-7 style comparison row(s).
+* ``render`` — sort-last render a synthetic dataset to a PPM image with
+  the real ray caster.
+* ``animate`` — render an orbit animation of a dataset (PPM frames).
+* ``schedulers`` — list the registered scheduling policies.
+* ``scenarios`` — print the Table II scenario descriptions.
+
+Examples::
+
+    repro simulate --scenario 1 --schedulers OURS,FCFS --scale 0.5
+    repro render --dataset supernova --ranks 6 --out supernova.ppm
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.registry import SCHEDULER_NAMES
+from repro.metrics.report import comparison_table
+from repro.render import (
+    DATASET_NAMES,
+    cool_warm,
+    default_camera_for,
+    fire,
+    grayscale_ramp,
+    make_volume,
+    render_sort_last,
+    write_ppm,
+)
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import SCENARIO_FACTORIES, make_scenario
+
+_TFS = {"fire": fire, "cool_warm": cool_warm, "gray": grayscale_ramp}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Job Scheduling Design for Visualization "
+            "Services using GPU Clusters' (CLUSTER 2012)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a scenario under schedulers")
+    sim.add_argument(
+        "--scenario", type=int, choices=sorted(SCENARIO_FACTORIES), default=1
+    )
+    sim.add_argument(
+        "--schedulers",
+        default="OURS",
+        help="comma-separated registry names (or 'all')",
+    )
+    sim.add_argument("--scale", type=float, default=1.0)
+    sim.add_argument("--seed", type=int, default=None)
+    sim.add_argument(
+        "--drain",
+        action="store_true",
+        help="simulate past the horizon until every job completes",
+    )
+    sim.add_argument(
+        "--per-action",
+        action="store_true",
+        help="also print per-action delivered framerates",
+    )
+
+    ren = sub.add_parser("render", help="sort-last render a dataset to PPM")
+    ren.add_argument("--dataset", choices=DATASET_NAMES, default="supernova")
+    ren.add_argument("--size", type=int, default=48)
+    ren.add_argument("--image", type=int, default=160)
+    ren.add_argument("--ranks", type=int, default=4)
+    ren.add_argument(
+        "--algorithm",
+        choices=["serial-gather", "direct-send", "binary-swap", "2-3-swap"],
+        default="2-3-swap",
+    )
+    ren.add_argument("--tf", choices=sorted(_TFS), default="cool_warm")
+    ren.add_argument("--step", type=float, default=0.6)
+    ren.add_argument("--shaded", action="store_true", help="Blinn-Phong shading")
+    ren.add_argument("--out", default=None, help="output PPM path")
+
+    ani = sub.add_parser("animate", help="render an orbit animation to PPMs")
+    ani.add_argument("--dataset", choices=DATASET_NAMES, default="supernova")
+    ani.add_argument("--frames", type=int, default=8)
+    ani.add_argument("--size", type=int, default=32)
+    ani.add_argument("--image", type=int, default=96)
+    ani.add_argument("--ranks", type=int, default=4)
+    ani.add_argument("--out", default="animation", help="output directory")
+
+    sub.add_parser("schedulers", help="list scheduling policies")
+    sub.add_parser("scenarios", help="describe the Table II scenarios")
+    return parser
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run a scenario under the requested schedulers; print comparison."""
+    names: List[str]
+    if args.schedulers.strip().lower() == "all":
+        names = list(SCHEDULER_NAMES)
+    else:
+        names = [n.strip().upper() for n in args.schedulers.split(",") if n.strip()]
+    unknown = [n for n in names if n not in SCHEDULER_NAMES]
+    if unknown:
+        print(
+            f"unknown scheduler(s): {', '.join(unknown)}; "
+            f"valid: {', '.join(SCHEDULER_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = make_scenario(args.scenario, scale=args.scale, seed=args.seed)
+    print(scenario.summary())
+    results = [run_simulation(scenario, n, drain=args.drain) for n in names]
+    print(
+        comparison_table(
+            [r.summary() for r in results],
+            target_fps=scenario.target_framerate,
+        )
+    )
+    for result in results:
+        print(
+            f"{result.scheduler_name}: completed "
+            f"{result.jobs_completed}/{result.jobs_submitted} jobs, "
+            f"utilization {result.mean_node_utilization:.1%}"
+        )
+        if args.per_action:
+            for action, fps in sorted(result.delivered_framerates().items()):
+                print(f"    action {action:>6}: {fps:7.2f} fps")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    """Sort-last render a synthetic dataset to a PPM image."""
+    volume = make_volume(args.dataset, (args.size, args.size, args.size))
+    camera = default_camera_for(
+        volume.shape, width=args.image, height=args.image
+    )
+    tf = _TFS[args.tf]()
+    lighting = None
+    if args.shaded:
+        from repro.render.shading import Lighting
+
+        lighting = Lighting()
+    result = render_sort_last(
+        volume,
+        camera,
+        tf,
+        ranks=args.ranks,
+        algorithm=args.algorithm,
+        step=args.step,
+        lighting=lighting,
+    )
+    out = args.out or f"{args.dataset}.ppm"
+    path = write_ppm(out, result.image, background=0.08)
+    comp = result.compositing
+    print(
+        f"wrote {path} ({args.image}x{args.image}) — {result.ranks} ranks, "
+        f"{comp.algorithm}: {comp.messages} messages, "
+        f"{comp.bytes_sent / 2**20:.2f} MiB, {comp.stages} stages"
+    )
+    return 0
+
+
+def cmd_animate(args: argparse.Namespace) -> int:
+    """Render an orbit animation of a synthetic dataset to PPM frames."""
+    from repro.render.animation import OrbitPath, render_animation
+    from repro.render.shading import Lighting
+
+    volume = make_volume(args.dataset, (args.size, args.size, args.size))
+    result = render_animation(
+        volume,
+        OrbitPath(frames=args.frames, elevation_swing=8.0),
+        _TFS["cool_warm"]() if args.dataset == "supernova" else _TFS["fire"](),
+        ranks=args.ranks,
+        width=args.image,
+        height=args.image,
+        lighting=Lighting(),
+        output_dir=args.out,
+    )
+    print(
+        f"wrote {result.frames} frames to {args.out}/ "
+        f"({result.total_samples:,} samples, "
+        f"{result.total_bytes / 2**20:.1f} MiB composited)"
+    )
+    return 0
+
+
+def cmd_schedulers(_args: argparse.Namespace) -> int:
+    """List the registered scheduling policies."""
+    from repro.core.registry import make_scheduler
+
+    for name in SCHEDULER_NAMES:
+        sched = make_scheduler(name)
+        print(f"{name:<8} trigger={sched.trigger.value:<10} {type(sched).__doc__.strip().splitlines()[0]}")
+    return 0
+
+
+def cmd_scenarios(_args: argparse.Namespace) -> int:
+    """Describe the Table II scenarios."""
+    for number in sorted(SCENARIO_FACTORIES):
+        scenario = make_scenario(number, scale=0.01)
+        print(f"[{number}] {scenario.system.name} x{scenario.system.node_count}: "
+              f"{scenario.description}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": cmd_simulate,
+    "render": cmd_render,
+    "animate": cmd_animate,
+    "schedulers": cmd_schedulers,
+    "scenarios": cmd_scenarios,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,275 @@
+"""A rendering node: FIFO task queue, memory cache, render thread.
+
+Per the paper's system design (§III-A, §V-C), a rendering node processes
+incoming tasks on a First-In-First-Out basis on its rendering thread; a
+separate compositing thread handles image compositing (so compositing
+does not block the next render), and a communication thread talks to the
+head node (modeled as free).
+
+Task execution (Definition 1):
+
+``TExec(i,j,k) = t_io + t_render (+ t_upload)``
+
+* ``t_io`` — paid only when the chunk is absent from the node's main
+  memory; the node then loads it through the shared
+  :class:`~repro.cluster.storage.StorageModel` and inserts it into its
+  LRU cache (evicting as needed).
+* ``t_upload`` — host→VRAM copy, charged only when the explicit
+  :class:`~repro.cluster.gpu.GpuMemoryModel` is enabled (off by default,
+  matching the paper's cost model).
+* ``t_render`` — from :class:`~repro.cluster.costs.CostParameters`.
+
+``t_composite`` is charged at the *job* level by the service, since it
+runs on the compositing thread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Optional
+
+from repro.cluster.costs import CostParameters
+from repro.cluster.event_queue import PRIORITY_COMPLETION, EventQueue
+from repro.cluster.gpu import GpuMemoryModel, GpuSpec
+from repro.cluster.memory import LRUChunkCache
+from repro.cluster.storage import StorageModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (keeps cluster<-core one-way)
+    from repro.core.job import RenderTask
+
+TaskFinishCallback = Callable[["RenderNode", "RenderTask"], None]
+
+
+class RenderNode:
+    """One rendering node of the cluster.
+
+    Attributes:
+        node_id: Index of this node, ``0 <= node_id < p``.
+        cache: The node's main-memory LRU chunk cache (its "memory
+            quota", Table II).
+        queue: Tasks assigned by the head node, processed FIFO.
+        executors: Concurrent rendering pipelines (GPUs) on the node.
+            The paper's systems have 1 (GTX 285) or 2 (dual FX5600)
+            GPUs per node; the calibrated presets model one pipeline
+            per node (matching the paper's per-node accounting), and
+            the multi-GPU ablation sets 2.
+    """
+
+    __slots__ = (
+        "node_id",
+        "cache",
+        "queue",
+        "executors",
+        "_cost",
+        "_storage",
+        "_events",
+        "_vram",
+        "_on_task_finish",
+        "_rng",
+        "_running",
+        "_alive",
+        "busy_time",
+        "tasks_executed",
+        "cache_hits",
+        "cache_misses",
+        "io_seconds",
+        "last_finish_time",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        memory_quota: int,
+        cost: CostParameters,
+        storage: StorageModel,
+        events: EventQueue,
+        *,
+        gpu: Optional[GpuSpec] = None,
+        model_vram: bool = False,
+        on_task_finish: Optional[TaskFinishCallback] = None,
+        rng: Optional["object"] = None,
+        executors: int = 1,
+    ) -> None:
+        if executors < 1:
+            raise ValueError(f"executors must be >= 1, got {executors}")
+        self.executors = executors
+        self.node_id = node_id
+        self.cache = LRUChunkCache(memory_quota)
+        self.queue: Deque[RenderTask] = deque()
+        self._cost = cost
+        self._storage = storage
+        self._events = events
+        self._vram: Optional[GpuMemoryModel] = (
+            GpuMemoryModel(gpu) if (model_vram and gpu is not None) else None
+        )
+        self._on_task_finish = on_task_finish
+        self._rng = rng
+        self._running: list = []
+        self._alive = True
+        # statistics
+        self.busy_time = 0.0
+        self.tasks_executed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.io_seconds = 0.0
+        self.last_finish_time = 0.0
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while at least one rendering pipeline is executing."""
+        return bool(self._running)
+
+    @property
+    def saturated(self) -> bool:
+        """True when every rendering pipeline is occupied."""
+        return len(self._running) >= self.executors
+
+    @property
+    def alive(self) -> bool:
+        """False once the node has crashed (see :meth:`fail`)."""
+        return self._alive
+
+    @property
+    def current_task(self) -> Optional["RenderTask"]:
+        """The earliest-started task currently executing, if any."""
+        return self._running[0] if self._running else None
+
+    @property
+    def running_tasks(self) -> list:
+        """All tasks currently executing (<= ``executors``)."""
+        return list(self._running)
+
+    @property
+    def backlog(self) -> int:
+        """Queued tasks not yet started (excludes the running one)."""
+        return len(self.queue)
+
+    @property
+    def vram(self) -> Optional[GpuMemoryModel]:
+        """The explicit VRAM model, when enabled."""
+        return self._vram
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction of the node's pipeline-seconds over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * self.executors))
+
+    # -- execution ---------------------------------------------------------
+
+    def enqueue(self, task: RenderTask) -> None:
+        """Accept a task from the head node; start it if idle."""
+        if not self._alive:
+            raise RuntimeError(f"node {self.node_id} has failed")
+        if task.node is not None and task.node != self.node_id:
+            raise ValueError(
+                f"task {task!r} already assigned to node {task.node}, "
+                f"cannot enqueue on node {self.node_id}"
+            )
+        task.node = self.node_id
+        self.queue.append(task)
+        while self.queue and not self.saturated:
+            self._begin_next()
+
+    def _begin_next(self) -> None:
+        """Pop the next task and schedule its completion event."""
+        task = self.queue.popleft()
+        now = self._events.now
+        self._running.append(task)
+        task.start_time = now
+
+        chunk = task.chunk
+        hit = self.cache.touch(chunk)
+        io_time = 0.0
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            io_time = self._storage.begin_load(chunk.size)
+            evicted = self.cache.insert(chunk)
+            if self._vram is not None:
+                for victim in evicted:
+                    self._vram.invalidate(victim)
+        upload_time = self._vram.access(chunk) if self._vram is not None else 0.0
+        render_time = self._cost.render_time(
+            chunk.size, task.job.composite_group_size
+        )
+        jitter = self._cost.render_jitter
+        if jitter and self._rng is not None:
+            # Actual frame cost varies with the view; the head node's
+            # estimates use the mean (prediction error is corrected at
+            # completion, §V-B).
+            render_time *= 1.0 + jitter * float(self._rng.uniform(-1.0, 1.0))
+
+        task.cache_hit = hit
+        task.io_time = io_time
+        self.io_seconds += io_time
+        exec_time = io_time + upload_time + render_time
+        self._events.schedule(
+            now + exec_time, self._finish, task, priority=PRIORITY_COMPLETION
+        )
+
+    def _finish(self, task: RenderTask) -> None:
+        """Completion event: record times, notify, start the next task."""
+        if not self._alive:
+            # The node crashed while this task was in flight; the stale
+            # completion event is void (the task was re-dispatched).
+            return
+        now = self._events.now
+        task.finish_time = now
+        self.last_finish_time = now
+        self.busy_time += now - task.start_time  # type: ignore[operator]
+        self.tasks_executed += 1
+        if not task.cache_hit:
+            self._storage.end_load()
+        self._running.remove(task)
+        if self._on_task_finish is not None:
+            self._on_task_finish(self, task)
+        while self.queue and not self.saturated and self._alive:
+            self._begin_next()
+
+    def fail(self) -> "list":
+        """Crash the node (paper §VI-D fault-tolerance discussion).
+
+        The node stops accepting and executing work and its memory
+        contents are lost.  Returns the orphaned tasks — the one in
+        flight plus the queued backlog — with their per-run state reset
+        so the head node can re-dispatch them to surviving nodes.
+        """
+        if not self._alive:
+            return []
+        self._alive = False
+        orphans = []
+        for task in self._running:
+            if task.cache_hit is False:
+                # Balance the in-flight load's storage accounting.
+                self._storage.end_load()
+            orphans.append(task)
+        self._running = []
+        orphans.extend(self.queue)
+        self.queue.clear()
+        for task in orphans:
+            task.node = None
+            task.start_time = None
+            task.finish_time = None
+            task.io_time = 0.0
+            task.cache_hit = None
+        self.cache.clear()
+        if self._vram is not None:
+            # VRAM contents die with the node; a fresh model would only
+            # matter if the node rejoined, which we do not support.
+            pass
+        return orphans
+
+    def drain_check(self) -> None:
+        """Assert the node is quiescent (test helper)."""
+        if self._running or self.queue:
+            raise AssertionError(
+                f"node {self.node_id} not drained: "
+                f"running={len(self._running)}, backlog={len(self.queue)}"
+            )
+
+
+__all__ = ["RenderNode", "TaskFinishCallback"]

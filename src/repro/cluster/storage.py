@@ -1,0 +1,137 @@
+"""Disk / file-server I/O model (paper §III-B, Fig. 2).
+
+Data I/O is the dominant cost in the visualization pipeline: loading a
+chunk from the file system takes seconds, versus milliseconds for
+rendering and compositing.  This module models that cost.
+
+Two regimes are supported:
+
+* **Local-disk** (default): each rendering node streams from its own disk
+  at ``bandwidth`` bytes/s after a fixed ``latency`` (seek/open).
+* **Shared file server**: an optional aggregate ``shared_bandwidth`` cap
+  across the cluster.  When more streams are active than the server can
+  serve at full rate, each stream's bandwidth degrades proportionally.
+  Contention is approximated at load-start time (the effective rate seen
+  by a load is fixed when it begins), which keeps the simulation at one
+  event per task while still penalizing I/O storms — exactly the failure
+  mode locality-blind schedulers trigger.
+
+Optional multiplicative jitter models real-world I/O variance; it is off
+by default so that unit tests and benchmarks are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.util.rng import SeedLike, make_rng
+from repro.util.units import MiB
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Static description of the storage subsystem.
+
+    Attributes:
+        bandwidth: Per-stream streaming bandwidth in bytes/s.
+        latency: Fixed per-load latency in seconds (seek, open, metadata).
+        shared_bandwidth: Optional aggregate byte/s cap across all nodes
+            (models a shared file server).  ``None`` means local disks.
+        jitter: Multiplicative jitter half-width; a load's duration is
+            scaled by ``U(1 - jitter, 1 + jitter)``.  0 disables jitter.
+    """
+
+    bandwidth: float = 100 * MiB
+    latency: float = 0.010
+    shared_bandwidth: Optional[float] = None
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("StorageSpec.bandwidth", self.bandwidth)
+        check_non_negative("StorageSpec.latency", self.latency)
+        if self.shared_bandwidth is not None:
+            check_positive("StorageSpec.shared_bandwidth", self.shared_bandwidth)
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+
+class StorageModel:
+    """Runtime I/O cost model with stream-count contention tracking.
+
+    One instance is shared by all rendering nodes of a cluster so that the
+    shared-file-server regime can observe cluster-wide concurrency.
+    """
+
+    def __init__(self, spec: StorageSpec, *, seed: SeedLike = 0) -> None:
+        self.spec = spec
+        self._active_loads = 0
+        self._total_loads = 0
+        self._total_bytes = 0
+        self._rng: np.random.Generator = make_rng(seed)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def active_loads(self) -> int:
+        """Number of loads currently in flight."""
+        return self._active_loads
+
+    @property
+    def total_loads(self) -> int:
+        """Loads started since construction."""
+        return self._total_loads
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes requested since construction."""
+        return self._total_bytes
+
+    # -- cost --------------------------------------------------------------
+
+    def estimate_load_time(self, nbytes: int) -> float:
+        """Contention-free load duration: ``latency + nbytes / bandwidth``.
+
+        This is what the head node's ``Estimate`` table is seeded with (the
+        paper's "test run").
+        """
+        check_non_negative("nbytes", nbytes)
+        return self.spec.latency + nbytes / self.spec.bandwidth
+
+    def effective_bandwidth(self, concurrent: int) -> float:
+        """Per-stream bandwidth when ``concurrent`` loads are in flight."""
+        bw = self.spec.bandwidth
+        shared = self.spec.shared_bandwidth
+        if shared is not None and concurrent > 0:
+            bw = min(bw, shared / concurrent)
+        return bw
+
+    def begin_load(self, nbytes: int) -> float:
+        """Start a load of ``nbytes`` and return its duration in seconds.
+
+        The caller must pair this with :meth:`end_load` when the load's
+        completion event fires.
+        """
+        check_non_negative("nbytes", nbytes)
+        self._active_loads += 1
+        self._total_loads += 1
+        self._total_bytes += nbytes
+        bw = self.effective_bandwidth(self._active_loads)
+        duration = self.spec.latency + nbytes / bw
+        if self.spec.jitter:
+            duration *= float(
+                self._rng.uniform(1.0 - self.spec.jitter, 1.0 + self.spec.jitter)
+            )
+        return duration
+
+    def end_load(self) -> None:
+        """Mark one in-flight load as finished."""
+        if self._active_loads <= 0:
+            raise RuntimeError("end_load without matching begin_load")
+        self._active_loads -= 1
+
+
+__all__ = ["StorageSpec", "StorageModel"]

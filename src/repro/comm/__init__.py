@@ -1,0 +1,9 @@
+"""Deterministic in-process message passing (the MPI stand-in)."""
+
+from repro.comm.communicator import (
+    CommunicatorError,
+    SimCommunicator,
+    payload_nbytes,
+)
+
+__all__ = ["CommunicatorError", "SimCommunicator", "payload_nbytes"]

@@ -1,0 +1,170 @@
+"""A deterministic in-process message-passing communicator.
+
+The paper's renderer uses MPI (§V-C); this module provides the
+equivalent substrate for the software renderer: rank-addressed mailboxes
+with the familiar ``send`` / ``recv`` / ``sendrecv`` / ``bcast`` /
+``gather`` verbs, plus traffic accounting against an
+:class:`~repro.cluster.interconnect.Interconnect` so compositing
+algorithms report realistic message/byte/time totals.
+
+Algorithms are written in *round* style rather than SPMD threads: each
+communication stage first posts all sends, then performs all receives
+(see :mod:`repro.render.compositing`).  That keeps execution single-
+threaded and bit-deterministic while exercising the same communication
+schedules as the MPI implementation.
+
+Per-stage elapsed time is modeled as the maximum over ranks of each
+rank's receive cost in the stage (links are parallel across disjoint
+pairs); ``elapsed`` accumulates stage maxima when algorithms bracket
+stages with :meth:`begin_stage` / :meth:`end_stage`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.interconnect import Interconnect, LinkSpec
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Approximate wire size of a message payload in bytes."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(p) for p in payload)
+    if payload is None:
+        return 0
+    return 64  # envelope-sized scalar/object
+
+
+class CommunicatorError(RuntimeError):
+    """Protocol misuse: bad ranks, missing messages, unfinished stages."""
+
+
+class SimCommunicator:
+    """Mailbox-based message passing between ``size`` simulated ranks."""
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        interconnect: Optional[Interconnect] = None,
+    ) -> None:
+        if size < 1:
+            raise CommunicatorError(f"size must be >= 1, got {size}")
+        self.size = size
+        self.interconnect = (
+            interconnect if interconnect is not None else Interconnect(LinkSpec())
+        )
+        self._mail: Dict[Tuple[int, int, int], Deque[Any]] = {}
+        self._stage_recv_cost: Optional[List[float]] = None
+        self.elapsed = 0.0
+        self.stages = 0
+
+    # -- validation ---------------------------------------------------------
+
+    def _check_rank(self, name: str, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(
+                f"{name}={rank} out of range for {self.size} ranks"
+            )
+
+    # -- stage timing ---------------------------------------------------------
+
+    def begin_stage(self) -> None:
+        """Open a communication stage (for elapsed-time accounting)."""
+        if self._stage_recv_cost is not None:
+            raise CommunicatorError("begin_stage inside an open stage")
+        self._stage_recv_cost = [0.0] * self.size
+
+    def end_stage(self) -> None:
+        """Close the stage; elapsed advances by the slowest rank."""
+        if self._stage_recv_cost is None:
+            raise CommunicatorError("end_stage without begin_stage")
+        self.elapsed += max(self._stage_recv_cost)
+        self.stages += 1
+        self._stage_recv_cost = None
+
+    # -- point to point ----------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: Any, *, tag: int = 0) -> None:
+        """Deliver ``payload`` from ``src`` to ``dst``'s mailbox."""
+        self._check_rank("src", src)
+        self._check_rank("dst", dst)
+        if src == dst:
+            raise CommunicatorError("self-sends are not modeled; keep data local")
+        cost = self.interconnect.send(payload_nbytes(payload))
+        if self._stage_recv_cost is not None:
+            self._stage_recv_cost[dst] += cost
+        self._mail.setdefault((src, dst, tag), deque()).append(payload)
+
+    def recv(self, dst: int, src: int, *, tag: int = 0) -> Any:
+        """Take the next message from ``src`` out of ``dst``'s mailbox."""
+        self._check_rank("src", src)
+        self._check_rank("dst", dst)
+        queue = self._mail.get((src, dst, tag))
+        if not queue:
+            raise CommunicatorError(
+                f"rank {dst} has no message from {src} with tag {tag}"
+            )
+        return queue.popleft()
+
+    def sendrecv(
+        self,
+        rank: int,
+        partner: int,
+        payload: Any,
+        *,
+        tag: int = 0,
+    ) -> Any:
+        """Exchange with ``partner``; requires the partner's symmetric call.
+
+        In round style: call ``sendrecv`` for both ranks of the pair; the
+        second call completes both receives.  For clarity, compositing
+        code uses explicit send-all-then-recv-all loops instead.
+        """
+        self.send(rank, partner, payload, tag=tag)
+        return self.recv(rank, partner, tag=tag)
+
+    # -- collectives -----------------------------------------------------------
+
+    def bcast(self, root: int, payload: Any, *, tag: int = 0) -> None:
+        """Send ``payload`` from ``root`` to every other rank."""
+        self._check_rank("root", root)
+        for dst in range(self.size):
+            if dst != root:
+                self.send(root, dst, payload, tag=tag)
+
+    def gather(self, root: int, *, tag: int = 0) -> List[Any]:
+        """Receive one pending message from every non-root rank, in rank order.
+
+        Callers must have ``send`` from each rank to ``root`` first; the
+        root's own contribution is represented by ``None`` in the result.
+        """
+        self._check_rank("root", root)
+        out: List[Any] = []
+        for src in range(self.size):
+            out.append(None if src == root else self.recv(root, src, tag=tag))
+        return out
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def pending_messages(self) -> int:
+        """Messages delivered but not yet received."""
+        return sum(len(q) for q in self._mail.values())
+
+    def assert_drained(self) -> None:
+        """Raise if any mailbox still holds messages (protocol leak)."""
+        if self.pending_messages():
+            leftovers = {
+                key: len(q) for key, q in self._mail.items() if q
+            }
+            raise CommunicatorError(f"undrained mailboxes: {leftovers}")
+
+
+__all__ = ["SimCommunicator", "CommunicatorError", "payload_nbytes"]

@@ -1,0 +1,74 @@
+"""The paper's primary contribution: cost model, tables, and schedulers."""
+
+from repro.core.chunks import (
+    Chunk,
+    ChunkedDecomposition,
+    Dataset,
+    DecompositionPolicy,
+    UniformDecomposition,
+    dataset_suite,
+    total_size,
+)
+from repro.core.cost_model import (
+    action_framerate,
+    framerate,
+    job_execution_time,
+    job_finish_time,
+    job_latency,
+    job_start_time,
+    mean_execution_time,
+    mean_latency,
+    task_alpha,
+    task_execution_time,
+)
+from repro.core.fcfs import FCFSLScheduler, FCFSScheduler, FCFSUScheduler
+from repro.core.fs import FSScheduler
+from repro.core.job import JobType, RenderJob, RenderTask, reset_job_ids
+from repro.core.ours import OursScheduler
+from repro.core.registry import SCHEDULER_NAMES, make_scheduler, register_scheduler
+from repro.core.scheduler_base import (
+    Assignment,
+    Scheduler,
+    SchedulerContext,
+    Trigger,
+)
+from repro.core.sf import SFScheduler
+from repro.core.tables import SchedulerTables
+
+__all__ = [
+    "Chunk",
+    "ChunkedDecomposition",
+    "Dataset",
+    "DecompositionPolicy",
+    "UniformDecomposition",
+    "dataset_suite",
+    "total_size",
+    "action_framerate",
+    "framerate",
+    "job_execution_time",
+    "job_finish_time",
+    "job_latency",
+    "job_start_time",
+    "mean_execution_time",
+    "mean_latency",
+    "task_alpha",
+    "task_execution_time",
+    "FCFSLScheduler",
+    "FCFSScheduler",
+    "FCFSUScheduler",
+    "FSScheduler",
+    "JobType",
+    "RenderJob",
+    "RenderTask",
+    "reset_job_ids",
+    "OursScheduler",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
+    "register_scheduler",
+    "Assignment",
+    "Scheduler",
+    "SchedulerContext",
+    "Trigger",
+    "SFScheduler",
+    "SchedulerTables",
+]

@@ -1,0 +1,190 @@
+"""Datasets, data chunks, and decomposition policies (paper §III-C).
+
+A *dataset* is a named volumetric array of a given byte size stored on the
+cluster file system.  Before rendering, a dataset is partitioned into
+*chunks*; a rendering job over the dataset decomposes into one task per
+chunk.  The paper discusses two decomposition strategies:
+
+* **Uniform decomposition** — the conventional approach: every dataset is
+  split into exactly ``p`` equal chunks (``p`` = number of rendering
+  nodes), and chunk ``j`` is always processed by node ``j``.  This is the
+  decomposition used by the FCFSU baseline.
+
+* **Chunked decomposition** — the paper's approach: a dataset of size
+  ``Dsize`` is split into ``m = ceil(Dsize / Chkmax)`` chunks, where
+  ``Chkmax`` is the maximal chunk size (bounded by GPU memory).  More than
+  one chunk may live on a node, so the system supports datasets larger
+  than the aggregate GPU memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.util.units import fmt_bytes
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One piece of a dataset, the unit of caching and task assignment.
+
+    Chunks are identified by ``(dataset, index)`` and are hashable so they
+    can key the head node's ``Cache`` and ``Estimate`` tables directly.
+
+    Attributes:
+        dataset: Name of the owning dataset.
+        index: Chunk index within the dataset, ``0 <= index < m``.
+        size: Chunk size in bytes.
+    """
+
+    dataset: str
+    index: int
+    size: int
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """The ``(dataset, index)`` identity tuple."""
+        return (self.dataset, self.index)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.dataset}[{self.index}]({fmt_bytes(self.size)})"
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named dataset of ``size`` bytes resident on the file system.
+
+    Attributes:
+        name: Unique dataset name (e.g. ``"plume"`` or ``"ds03"``).
+        size: Total dataset size in bytes.
+    """
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        check_positive("Dataset.size", self.size)
+        if not self.name:
+            raise ValueError("Dataset.name must be non-empty")
+
+
+class DecompositionPolicy:
+    """Base class for data decomposition policies.
+
+    A policy maps a :class:`Dataset` to its list of :class:`Chunk` pieces.
+    Decompositions are deterministic and cached per dataset so that the
+    same ``Chunk`` objects (and hence the same cache keys) are produced
+    for every job over the same data.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[str, int], List[Chunk]] = {}
+
+    def chunk_count(self, dataset: Dataset) -> int:
+        """Number of chunks this policy produces for ``dataset``."""
+        return len(self.decompose(dataset))
+
+    def decompose(self, dataset: Dataset) -> List[Chunk]:
+        """Return the chunk list for ``dataset`` (memoized by name+size)."""
+        key = (dataset.name, dataset.size)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._decompose(dataset)
+            if not cached:
+                raise ValueError(f"decomposition of {dataset} produced no chunks")
+            total = sum(c.size for c in cached)
+            if total != dataset.size:
+                raise AssertionError(
+                    f"decomposition of {dataset.name} loses bytes: "
+                    f"{total} != {dataset.size}"
+                )
+            self._cache[key] = cached
+        return cached
+
+    def _decompose(self, dataset: Dataset) -> List[Chunk]:
+        raise NotImplementedError
+
+
+def _split_even(name: str, size: int, m: int) -> List[Chunk]:
+    """Split ``size`` bytes into ``m`` chunks differing by at most one byte."""
+    base, extra = divmod(size, m)
+    return [
+        Chunk(dataset=name, index=j, size=base + (1 if j < extra else 0))
+        for j in range(m)
+    ]
+
+
+class ChunkedDecomposition(DecompositionPolicy):
+    """The paper's decomposition: ``m = ceil(Dsize / Chkmax)`` equal chunks.
+
+    ``chunk_max`` should not exceed a rendering node's graphics memory and
+    should not be much smaller either (more chunks means more per-task
+    overheads); the paper reports that a moderate size slightly below the
+    graphics-memory limit works well.
+    """
+
+    def __init__(self, chunk_max: int) -> None:
+        super().__init__()
+        self.chunk_max = int(check_positive("chunk_max", chunk_max))
+
+    def _decompose(self, dataset: Dataset) -> List[Chunk]:
+        m = max(1, math.ceil(dataset.size / self.chunk_max))
+        return _split_even(dataset.name, dataset.size, m)
+
+    def __repr__(self) -> str:
+        return f"ChunkedDecomposition(chunk_max={fmt_bytes(self.chunk_max)})"
+
+
+class UniformDecomposition(DecompositionPolicy):
+    """The conventional decomposition: always ``p`` chunks (one per node).
+
+    Used by the FCFSU baseline.  Chunk ``j`` is conventionally pinned to
+    rendering node ``j``; that pinning is implemented by the FCFSU
+    scheduler, not here.
+    """
+
+    def __init__(self, node_count: int) -> None:
+        super().__init__()
+        self.node_count = int(check_positive("node_count", node_count))
+
+    def _decompose(self, dataset: Dataset) -> List[Chunk]:
+        return _split_even(dataset.name, dataset.size, self.node_count)
+
+    def __repr__(self) -> str:
+        return f"UniformDecomposition(node_count={self.node_count})"
+
+
+def dataset_suite(
+    count: int,
+    size: int,
+    *,
+    prefix: str = "ds",
+) -> List[Dataset]:
+    """Create ``count`` equally sized datasets named ``ds00, ds01, ...``.
+
+    Mirrors the experiment setup of Table II (e.g. "12 datasets, 2 GB
+    each").
+    """
+    check_positive("count", count)
+    check_positive("size", size)
+    width = max(2, len(str(count - 1)))
+    return [Dataset(name=f"{prefix}{i:0{width}d}", size=size) for i in range(count)]
+
+
+def total_size(datasets: Sequence[Dataset]) -> int:
+    """Sum of dataset sizes in bytes."""
+    return sum(d.size for d in datasets)
+
+
+__all__ = [
+    "Chunk",
+    "Dataset",
+    "DecompositionPolicy",
+    "ChunkedDecomposition",
+    "UniformDecomposition",
+    "dataset_suite",
+    "total_size",
+]

@@ -1,0 +1,171 @@
+"""The paper's cost model (§IV, Definitions 1-4).
+
+Pure functions that evaluate the performance quantities the paper
+defines, given jobs whose task timings were filled in by the simulator
+(or by any other execution substrate):
+
+* **Definition 1** — task execution time
+  ``TExec(i,j,k) = t_io + t_render + t_composite ≈ t_io + α``;
+  ``t_io`` vanishes when the chunk is already in the node's main memory.
+* **Definition 2** — job start/finish: ``JS(i) = min TS``,
+  ``JF(i) = max TF`` (+ compositing, which the simulator folds into the
+  job's ``finish_time``), and ``JExec(i) = JF(i) - JS(i)``.
+* **Definition 3** — job latency ``Latency(i) = JF(i) - JI(i)``: the
+  delay noticeable at the user's end.
+* **Definition 4** — framerate of a series of interactive jobs:
+  ``(n - 1) / Σ (JF(i+1) - JF(i))``, i.e. the reciprocal mean spacing of
+  successive job completions of one user action.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.job import RenderJob, RenderTask
+
+
+# ---------------------------------------------------------------------------
+# Definition 1 — task level
+# ---------------------------------------------------------------------------
+
+
+def task_execution_time(task: RenderTask) -> float:
+    """``TExec`` of a completed task (start to finish on its node)."""
+    if task.start_time is None or task.finish_time is None:
+        raise ValueError(f"task {task!r} has not completed")
+    return task.finish_time - task.start_time
+
+
+def task_alpha(task: RenderTask) -> float:
+    """The non-I/O component α of a completed task's execution time.
+
+    By Definition 1, ``TExec ≈ t_io + α`` with α the (small) rendering
+    and compositing remainder.
+    """
+    return task_execution_time(task) - task.io_time
+
+
+# ---------------------------------------------------------------------------
+# Definitions 2-3 — job level
+# ---------------------------------------------------------------------------
+
+
+def job_start_time(job: RenderJob) -> float:
+    """``JS(i)`` — the minimal task start time."""
+    return job.start_time()
+
+
+def job_finish_time(job: RenderJob) -> float:
+    """``JF(i)`` — job completion including compositing."""
+    if job.finish_time is None:
+        raise ValueError(f"job {job!r} has not completed")
+    return job.finish_time
+
+
+def job_execution_time(job: RenderJob) -> float:
+    """``JExec(i) = JF(i) - JS(i)``."""
+    return job_finish_time(job) - job_start_time(job)
+
+
+def job_latency(job: RenderJob) -> float:
+    """``Latency(i) = JF(i) - JI(i)`` — the user-visible delay."""
+    return job_finish_time(job) - job.arrival_time
+
+
+# ---------------------------------------------------------------------------
+# Definition 4 — framerate of an interactive job series
+# ---------------------------------------------------------------------------
+
+
+def framerate(finish_times: Sequence[float]) -> float:
+    """Framerate of a job series from its completion instants.
+
+    ``Framerate = (n-1) / Σ_{i=1}^{n-1} (JF(i+1) - JF(i))`` — the paper's
+    Definition 4.  The sum telescopes to ``JF(n) - JF(1)``, but we keep
+    the definition explicit for clarity.  Requires the series to be in
+    completion order; returns 0.0 for fewer than two completions (no
+    frame interval exists).
+    """
+    n = len(finish_times)
+    if n < 2:
+        return 0.0
+    total = 0.0
+    for i in range(n - 1):
+        dt = finish_times[i + 1] - finish_times[i]
+        if dt < 0:
+            raise ValueError("finish_times must be non-decreasing")
+        total += dt
+    if total <= 0:
+        return math.inf
+    return (n - 1) / total
+
+
+def action_framerate(jobs: Iterable[RenderJob]) -> float:
+    """Framerate over the completed jobs of one user action.
+
+    Jobs are ordered by finish time (completion order, as a user would
+    perceive frames); incomplete jobs are ignored.
+    """
+    finishes = sorted(j.finish_time for j in jobs if j.finish_time is not None)
+    return framerate(finishes)
+
+
+# ---------------------------------------------------------------------------
+# Aggregates used throughout the evaluation
+# ---------------------------------------------------------------------------
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100]; 0.0 if empty."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def mean_latency(jobs: Iterable[RenderJob]) -> float:
+    """Mean Definition-3 latency over completed jobs."""
+    lats = [job_latency(j) for j in jobs if j.finish_time is not None]
+    return mean(lats)
+
+
+def mean_execution_time(jobs: Iterable[RenderJob]) -> float:
+    """Mean ``JExec`` ("working time") over completed jobs.
+
+    The paper's batch "working time" bars (Figs. 5-7): shorter working
+    time indicates higher batch throughput.
+    """
+    execs = [job_execution_time(j) for j in jobs if j.finish_time is not None]
+    return mean(execs)
+
+
+__all__ = [
+    "task_execution_time",
+    "task_alpha",
+    "job_start_time",
+    "job_finish_time",
+    "job_execution_time",
+    "job_latency",
+    "framerate",
+    "action_framerate",
+    "mean",
+    "percentile",
+    "mean_latency",
+    "mean_execution_time",
+]

@@ -1,0 +1,206 @@
+"""Rendering jobs and tasks (paper §III-A, §IV).
+
+A *rendering job* ``J_i`` corresponds to one rendering request — either a
+single frame of an interactive user action, or one frame of a batch
+submission (animation / time-varying data).  Based on the data
+decomposition policy, a job is split into ``t_i`` independent *tasks*
+``T_{i,j}``, each responsible for one data chunk.  Tasks of the same job
+join at a compositing barrier: the job finishes when its last task
+finishes plus the image-compositing time of the render group.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import List, Optional
+
+from repro.core.chunks import Chunk, Dataset, DecompositionPolicy  # noqa: F401 (Chunk re-exported for typing)
+
+
+class JobType(enum.Enum):
+    """Job classes with different scheduling treatment (paper §V-A).
+
+    Interactive jobs come from live user actions and must be scheduled in
+    the same cycle they arrive; batch jobs may be deferred until rendering
+    nodes become available.
+    """
+
+    INTERACTIVE = "interactive"
+    BATCH = "batch"
+
+
+_job_ids = itertools.count()
+
+
+def _next_job_id() -> int:
+    return next(_job_ids)
+
+
+class RenderTask:
+    """A task ``T_{i,j}``: render one data chunk for one job.
+
+    Mutable timing fields are filled in by the simulator as the task moves
+    through the system (cf. Definition 1 of the paper):
+
+    * ``node`` — rendering node the task was assigned to,
+    * ``start_time`` — ``TS(i,j,k)``, when the node began executing it,
+    * ``finish_time`` — ``TF(i,j,k) = TS + TExec``,
+    * ``io_time`` — the ``t_io`` component actually paid (0 on cache hit),
+    * ``cache_hit`` — whether the chunk was already in the node's memory.
+    """
+
+    __slots__ = (
+        "job",
+        "index",
+        "chunk",
+        "node",
+        "start_time",
+        "finish_time",
+        "io_time",
+        "cache_hit",
+    )
+
+    def __init__(self, job: "RenderJob", index: int, chunk: Chunk) -> None:
+        self.job = job
+        self.index = index
+        self.chunk = chunk
+        self.node = None
+        self.start_time = None
+        self.finish_time = None
+        self.io_time = 0.0
+        self.cache_hit = None
+
+    @property
+    def job_type(self) -> JobType:
+        """The owning job's type (interactive or batch)."""
+        return self.job.job_type
+
+    @property
+    def done(self) -> bool:
+        """True once the task has a finish time."""
+        return self.finish_time is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RenderTask(job={self.job.job_id}, index={self.index}, "
+            f"chunk={self.chunk.key}, node={self.node})"
+        )
+
+
+class RenderJob:
+    """A rendering job ``J_i`` over one dataset.
+
+    Attributes:
+        job_id: Globally unique, monotonically increasing id.
+        job_type: Interactive or batch.
+        dataset: The dataset to render.
+        arrival_time: ``JI(i)`` — the job initial time, when the request
+            was issued and queued at the head node.
+        user: Identifier of the submitting user (used by Fair Sharing).
+        action: Identifier of the user action / batch submission this job
+            belongs to.  Framerate (Definition 4) is computed per action
+            over the series of its jobs.
+        sequence: Index of the job within its action's frame series.
+        tasks: The decomposed tasks; populated by :meth:`decompose`.
+    """
+
+    __slots__ = (
+        "job_id",
+        "job_type",
+        "dataset",
+        "arrival_time",
+        "user",
+        "action",
+        "sequence",
+        "tasks",
+        "composite_group_size",
+        "finish_time",
+    )
+
+    def __init__(
+        self,
+        job_type: JobType,
+        dataset: Dataset,
+        arrival_time: float,
+        *,
+        user: int = 0,
+        action: int = 0,
+        sequence: int = 0,
+    ) -> None:
+        self.job_id = _next_job_id()
+        self.job_type = job_type
+        self.dataset = dataset
+        self.arrival_time = float(arrival_time)
+        self.user = user
+        self.action = action
+        self.sequence = sequence
+        self.tasks: List[RenderTask] = []
+        # Number of distinct participants assumed for compositing-cost
+        # purposes; set at decomposition (== task count upper bound).
+        self.composite_group_size: int = 0
+        self.finish_time: Optional[float] = None
+
+    # -- decomposition ----------------------------------------------------
+
+    def decompose(self, policy: DecompositionPolicy) -> List[RenderTask]:
+        """Split the job into one task per chunk of its dataset.
+
+        Idempotent: repeated calls return the existing task list (the
+        paper decomposes each job exactly once, at scheduling time).
+        """
+        if not self.tasks:
+            chunks = policy.decompose(self.dataset)
+            self.tasks = [RenderTask(self, j, c) for j, c in enumerate(chunks)]
+            self.composite_group_size = len(self.tasks)
+        return self.tasks
+
+    @property
+    def task_count(self) -> int:
+        """``t_i`` — number of tasks (0 before decomposition)."""
+        return len(self.tasks)
+
+    # -- timing (Definitions 2-3) -----------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every task has finished."""
+        return bool(self.tasks) and all(t.done for t in self.tasks)
+
+    def start_time(self) -> float:
+        """``JS(i)`` — minimal task start time.  Requires all tasks started."""
+        starts = [t.start_time for t in self.tasks]
+        if not starts or any(s is None for s in starts):
+            raise ValueError(f"job {self.job_id} has unstarted tasks")
+        return min(starts)  # type: ignore[type-var]
+
+    def last_task_finish(self) -> float:
+        """Maximal task finish time (before image compositing)."""
+        ends = [t.finish_time for t in self.tasks]
+        if not ends or any(e is None for e in ends):
+            raise ValueError(f"job {self.job_id} has unfinished tasks")
+        return max(ends)  # type: ignore[type-var]
+
+    def group_nodes(self) -> List[int]:
+        """Distinct rendering nodes participating in this job."""
+        seen = []
+        for t in self.tasks:
+            if t.node is not None and t.node not in seen:
+                seen.append(t.node)
+        return seen
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RenderJob(id={self.job_id}, {self.job_type.value}, "
+            f"dataset={self.dataset.name}, t={self.arrival_time:.4f}, "
+            f"action={self.action})"
+        )
+
+
+def reset_job_ids() -> None:
+    """Reset the global job-id counter (test isolation helper)."""
+    global _job_ids
+    _job_ids = itertools.count()
+
+
+__all__ = ["JobType", "RenderTask", "RenderJob", "reset_job_ids"]

@@ -1,0 +1,68 @@
+"""Scheduler registry: build any of the paper's six policies by name.
+
+The evaluation (Figs. 4-9, Table III) compares ``OURS`` against the five
+modified-for-this-application baselines of §VI-B.  ``make_scheduler``
+constructs a fresh instance; ``SCHEDULER_NAMES`` lists them in the
+paper's figure order (FS, SF, FCFS, FCFSU, FCFSL, OURS).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.fcfs import FCFSLScheduler, FCFSScheduler, FCFSUScheduler
+from repro.core.fs import FSScheduler
+from repro.core.ours import OursScheduler
+from repro.core.rr import RRScheduler
+from repro.core.scheduler_base import Scheduler
+from repro.core.sf import SFScheduler
+
+_FACTORIES: Dict[str, Callable[..., Scheduler]] = {
+    "FS": FSScheduler,
+    "SF": SFScheduler,
+    "FCFS": FCFSScheduler,
+    "FCFSU": FCFSUScheduler,
+    "FCFSL": FCFSLScheduler,
+    "OURS": OursScheduler,
+    # Not in the paper's evaluation but named alongside FCFS/SF in its
+    # related-work survey (§II-B); provided for completeness.
+    "RR": RRScheduler,
+}
+
+#: The paper's six evaluated schedulers, in figure order, plus extras.
+SCHEDULER_NAMES: List[str] = list(_FACTORIES)
+#: Only the six the paper's figures compare (benches use this).
+PAPER_SCHEDULERS: List[str] = ["FS", "SF", "FCFS", "FCFSU", "FCFSL", "OURS"]
+
+
+def make_scheduler(name: str, **kwargs: object) -> Scheduler:
+    """Instantiate a scheduler by registry name (case-insensitive).
+
+    Keyword arguments are forwarded to the constructor (e.g.
+    ``make_scheduler("OURS", cycle=0.01)``).
+
+    Raises:
+        KeyError: For an unknown name, listing the valid ones.
+    """
+    factory = _FACTORIES.get(name.upper())
+    if factory is None:
+        raise KeyError(
+            f"unknown scheduler {name!r}; valid names: {', '.join(SCHEDULER_NAMES)}"
+        )
+    return factory(**kwargs)
+
+
+def register_scheduler(name: str, factory: Callable[..., Scheduler]) -> None:
+    """Register a custom scheduling policy under ``name``.
+
+    Allows downstream users to benchmark their own policies with the
+    same harness; refuses to silently replace a built-in.
+    """
+    key = name.upper()
+    if key in _FACTORIES:
+        raise ValueError(f"scheduler {key!r} is already registered")
+    _FACTORIES[key] = factory
+    SCHEDULER_NAMES.append(key)
+
+
+__all__ = ["SCHEDULER_NAMES", "PAPER_SCHEDULERS", "make_scheduler", "register_scheduler"]

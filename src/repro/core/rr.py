@@ -1,0 +1,52 @@
+"""Round-Robin — the third classic simple heuristic of §II-B.
+
+The paper's related-work survey names First-Come First-Served, Round
+Robin, and Shortest First as the simple dynamic heuristics that "can
+achieve good performance in practice" [25].  The evaluation benchmarks
+FCFS and SF; RR is provided here for completeness: tasks are dealt to
+rendering nodes cyclically, ignoring both load and locality.
+
+RR's load balance is perfect in *task counts* but blind to execution
+times (a node stuck on a 5-second cold load keeps receiving its turn),
+and its data reuse is poor-but-not-random: a dataset whose chunk count
+shares a factor with the node count revisits the same nodes
+periodically, so its hit rate sits between FCFS's and the
+locality-aware schedulers' depending on the workload arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.job import RenderJob
+from repro.core.scheduler_base import Scheduler, SchedulerContext, Trigger
+
+
+class RRScheduler(Scheduler):
+    """Deal tasks to nodes cyclically, skipping failed nodes."""
+
+    name = "RR"
+    trigger = Trigger.IMMEDIATE
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def schedule(self, jobs: Sequence[RenderJob], ctx: SchedulerContext) -> None:
+        p = ctx.node_count
+        alive = ctx.tables.alive
+        for job in jobs:
+            for task in ctx.decompose(job):
+                for _ in range(p):
+                    node = self._next
+                    self._next = (self._next + 1) % p
+                    if alive[node]:
+                        break
+                else:
+                    raise RuntimeError("no alive rendering nodes")
+                ctx.assign(task, node)
+
+
+__all__ = ["RRScheduler"]

@@ -1,0 +1,213 @@
+"""Scheduler interface and shared machinery.
+
+A *scheduler* maps queued rendering jobs to per-node task assignments.
+Schedulers differ along three axes, all visible in this interface:
+
+* **Trigger** — when scheduling runs:
+  ``IMMEDIATE`` (per job arrival: the FCFS family),
+  ``CYCLE`` (every ω seconds: OURS and FS),
+  ``WINDOW`` (when a batch window fills or times out: SF).
+* **Decomposition** — how jobs split into tasks: the paper's chunked
+  policy by default; FCFSU substitutes the uniform one-chunk-per-node
+  policy.
+* **Policy** — the placement decision itself, expressed against the
+  head-node tables in :class:`~repro.core.tables.SchedulerTables`.
+
+Schedulers may *defer* work by keeping an internal backlog (OURS holds
+batch tasks until nodes free up); ``pending_task_count`` exposes it so
+the service knows when the system has fully drained.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.costs import CostParameters
+from repro.core.chunks import ChunkedDecomposition, DecompositionPolicy
+from repro.core.job import RenderJob, RenderTask
+from repro.core.tables import SchedulerTables
+
+
+class Trigger(enum.Enum):
+    """When a scheduler's ``schedule`` method is invoked."""
+
+    IMMEDIATE = "immediate"
+    CYCLE = "cycle"
+    WINDOW = "window"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One placement decision: run ``task`` on node ``node``."""
+
+    task: RenderTask
+    node: int
+
+
+class SchedulerContext:
+    """Everything a policy may consult when placing tasks.
+
+    Wraps the cluster (read-only state: time, node count) and the head
+    node's tables.  Policies must route *all* placements through
+    :meth:`assign` so the tables stay consistent.
+    """
+
+    __slots__ = ("cluster", "tables", "decomposition", "_assignments")
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        tables: SchedulerTables,
+        decomposition: DecompositionPolicy,
+    ) -> None:
+        self.cluster = cluster
+        self.tables = tables
+        self.decomposition = decomposition
+        self._assignments: List[Assignment] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.cluster.now
+
+    @property
+    def node_count(self) -> int:
+        """Number of rendering nodes ``p``."""
+        return self.cluster.node_count
+
+    @property
+    def cost(self) -> CostParameters:
+        """Rendering cost constants."""
+        return self.cluster.cost
+
+    def decompose(self, job: RenderJob) -> List[RenderTask]:
+        """Decompose ``job`` under the active decomposition policy."""
+        return job.decompose(self.decomposition)
+
+    def assign(self, task: RenderTask, node: int) -> None:
+        """Place ``task`` on ``node``, updating the head-node tables."""
+        if not 0 <= node < self.cluster.node_count:
+            raise ValueError(f"node {node} out of range")
+        self.tables.record_assignment(task, node, self.now)
+        self._assignments.append(Assignment(task, node))
+
+    def take_assignments(self) -> List[Assignment]:
+        """Return and clear the assignments accumulated via :meth:`assign`."""
+        out = self._assignments
+        self._assignments = []
+        return out
+
+
+class Scheduler(ABC):
+    """Base class for scheduling policies.
+
+    Subclasses set the class attributes below and implement
+    :meth:`schedule`.
+
+    Attributes:
+        name: Registry name (e.g. ``"OURS"``, ``"FCFSL"``).
+        trigger: When :meth:`schedule` is invoked by the service.
+        cycle: Scheduling period ω for ``CYCLE`` triggers.
+        window_size: Batch-window length for ``WINDOW`` triggers.
+        window_timeout: Maximum wait before a partial window flushes.
+    """
+
+    name: str = "base"
+    trigger: Trigger = Trigger.IMMEDIATE
+    cycle: float = 0.015
+    window_size: int = 16
+    window_timeout: float = 0.1
+
+    def make_decomposition(
+        self, node_count: int, chunk_max: int
+    ) -> DecompositionPolicy:
+        """Decomposition policy this scheduler requires.
+
+        Default: the paper's chunked policy with maximal chunk size
+        ``Chkmax``.  FCFSU overrides this with the uniform policy.
+        """
+        return ChunkedDecomposition(chunk_max)
+
+    @abstractmethod
+    def schedule(self, jobs: Sequence[RenderJob], ctx: SchedulerContext) -> None:
+        """Place the queued ``jobs`` (possibly deferring some work).
+
+        Implementations decompose jobs via ``ctx.decompose`` and place
+        tasks via ``ctx.assign``.  Deferred work must be retained
+        internally and re-attempted on later invocations (the service
+        passes an empty ``jobs`` list on cycles with no new arrivals).
+        """
+
+    def pending_task_count(self) -> int:
+        """Tasks held back internally and not yet assigned (default 0)."""
+        return 0
+
+    def reschedule(
+        self, tasks: Sequence[RenderTask], ctx: SchedulerContext
+    ) -> None:
+        """Re-place tasks orphaned by a node failure (paper §VI-D).
+
+        Default: locality-aware greedy onto surviving nodes — tasks
+        whose chunks have live replicas go there, the rest reload from
+        the file system.  Policies may override (e.g. to fold orphans
+        back into their cycle queues).
+        """
+        for task in tasks:
+            ctx.assign(task, greedy_locality_aware(task, ctx))
+
+    def reset(self) -> None:
+        """Clear internal state between simulation runs (default no-op)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def greedy_min_available(
+    task: RenderTask,
+    ctx: SchedulerContext,
+) -> int:
+    """The locality-blind greedy step: the min-available-time node."""
+    return ctx.tables.min_available_node()
+
+
+def greedy_locality_aware(
+    task: RenderTask,
+    ctx: SchedulerContext,
+) -> int:
+    """Greedy step scoring ``Available[k] + exec_estimate(c, k)``.
+
+    Among non-cached nodes the I/O penalty is uniform, so only the
+    cached replicas of the chunk and the globally min-available node can
+    win; this evaluates just those candidates.
+    """
+    tables = ctx.tables
+    chunk = task.chunk
+    group = task.job.composite_group_size
+    now = ctx.now
+    render = ctx.cost.render_time(chunk.size, group)
+    best_node = tables.min_available_node()
+    best_score = tables.predicted_available(best_node, now) + tables.exec_estimate(
+        chunk, best_node, group
+    )
+    for k in tables.cached_nodes(chunk):
+        if k == best_node:
+            continue
+        score = tables.predicted_available(k, now) + render
+        if score < best_score:
+            best_score = score
+            best_node = k
+    return best_node
+
+
+__all__ = [
+    "Trigger",
+    "Assignment",
+    "SchedulerContext",
+    "Scheduler",
+    "greedy_min_available",
+    "greedy_locality_aware",
+]

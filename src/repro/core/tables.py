@@ -1,0 +1,307 @@
+"""The head node's three scheduling tables (paper §V-A, §V-B).
+
+To trace system status the head node maintains:
+
+* the **cached-data table** (``Cache``) — which data chunks are resident
+  in the main memory of each rendering node,
+* the **available-time table** (``Available``) — the predicted time at
+  which each rendering node finishes its current and scheduled workload,
+* the **estimated-I/O-cost table** (``Estimate``) — the latest measured
+  I/O time for each data chunk, initialized from a contention-free "test
+  run" estimate.
+
+All three are *predictions* updated at scheduling time and corrected when
+tasks actually complete (§V-B).  The cache mirror is exact by
+construction: a rendering node executes tasks in exactly the order the
+head node assigned them, and both apply identical LRU operations in that
+order, so the mirrored LRU state always equals the node's real cache
+state at the corresponding point of its task sequence.
+
+Implementation notes — schedulers make O(jobs x tasks) placement queries
+per second, so the table operations are designed to be cheap:
+
+* a lazy-deletion binary heap answers "node with minimal available time"
+  in amortized O(log p) (the greedy step of every scheduler here);
+* locality-aware scoring needs only the cached replica set of a chunk
+  (usually 0-2 nodes) plus that heap top, because among non-cached nodes
+  the I/O penalty is uniform and the min-available node dominates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.costs import CostParameters
+from repro.cluster.memory import LRUChunkCache
+from repro.cluster.storage import StorageModel
+from repro.core.chunks import Chunk
+from repro.core.job import JobType, RenderTask
+
+
+class NodeAvailabilityHeap:
+    """Lazy-deletion min-heap over (available_time, node).
+
+    ``update`` pushes a fresh entry; stale entries are skipped on pop.
+    """
+
+    __slots__ = ("_heap", "_current")
+
+    def __init__(self, available: List[float]) -> None:
+        self._current = available  # shared, owned by SchedulerTables
+        self._heap: List[Tuple[float, int]] = [
+            (t, k) for k, t in enumerate(available)
+        ]
+        heapq.heapify(self._heap)
+
+    def update(self, node: int) -> None:
+        """Record that ``node``'s available time changed."""
+        heapq.heappush(self._heap, (self._current[node], node))
+
+    def min_node(self) -> int:
+        """Node with the smallest available time (amortized O(log p))."""
+        heap = self._heap
+        while True:
+            t, k = heap[0]
+            if t == self._current[k]:
+                return k
+            heapq.heappop(heap)
+
+    def min_node_excluding(self, excluded: Set[int]) -> Optional[int]:
+        """Min-available node not in ``excluded`` (None if all excluded).
+
+        Pops through excluded/stale entries non-destructively by scanning
+        a temporary side list; O(|excluded| log p) amortized.
+        """
+        heap = self._heap
+        popped: List[Tuple[float, int]] = []
+        result: Optional[int] = None
+        while heap:
+            t, k = heap[0]
+            if t != self._current[k]:
+                heapq.heappop(heap)
+                continue
+            if k in excluded:
+                popped.append(heapq.heappop(heap))
+                continue
+            result = k
+            break
+        for entry in popped:
+            heapq.heappush(heap, entry)
+        return result
+
+
+class SchedulerTables:
+    """``Available`` + ``Cache`` + ``Estimate`` with prediction correction.
+
+    Args:
+        node_count: Number of rendering nodes ``p``.
+        memory_quota: Per-node main-memory budget (bytes) — sizes the
+            mirrored LRU caches.
+        cost: Rendering cost constants (for execution-time estimates).
+        storage: The cluster's storage model (seeds ``Estimate``).
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        memory_quota: int,
+        cost: CostParameters,
+        storage: StorageModel,
+        *,
+        executors_per_node: int = 1,
+    ) -> None:
+        self.node_count = node_count
+        self.cost = cost
+        self._storage = storage
+        #: Rendering pipelines per node: queued work drains this many
+        #: tasks at a time, so availability advances by est/executors.
+        self.executors_per_node = max(1, executors_per_node)
+        #: Available[R_k] — predicted available time of each node.
+        self.available: List[float] = [0.0] * node_count
+        self.heap = NodeAvailabilityHeap(self.available)
+        #: Mirrored per-node LRU caches (the Cache table, exact).
+        self.mirrors: List[LRUChunkCache] = [
+            LRUChunkCache(memory_quota) for _ in range(node_count)
+        ]
+        #: Reverse index: chunk -> set of node ids caching it.
+        self._replicas: Dict[Chunk, Set[int]] = {}
+        #: Estimate[c] — latest known I/O time per chunk.
+        self._io_estimate: Dict[Chunk, float] = {}
+        #: Last time an interactive task was assigned to each node.
+        self.last_interactive_assign: List[float] = [-float("inf")] * node_count
+        #: Predicted execution time of each in-flight task (for correction).
+        self._pending_est: Dict[RenderTask, float] = {}
+        self._pending_per_node: List[int] = [0] * node_count
+        #: Liveness mask (paper §VI-D: failed nodes become unavailable).
+        self.alive: List[bool] = [True] * node_count
+
+    # -- Cache table --------------------------------------------------------
+
+    def cached_nodes(self, chunk: Chunk) -> Set[int]:
+        """Cache[c]: the nodes predicted to hold ``chunk`` in memory."""
+        return self._replicas.get(chunk, _EMPTY_SET)
+
+    def is_cached(self, chunk: Chunk, node: int) -> bool:
+        """True if ``chunk`` is predicted resident on ``node``."""
+        return chunk in self.mirrors[node]
+
+    def replica_count(self, chunk: Chunk) -> int:
+        """Number of nodes predicted to cache ``chunk``."""
+        nodes = self._replicas.get(chunk)
+        return len(nodes) if nodes else 0
+
+    def _mirror_access(self, chunk: Chunk, node: int) -> bool:
+        """Apply the LRU access the node will perform; return hit flag."""
+        mirror = self.mirrors[node]
+        if mirror.touch(chunk):
+            return True
+        evicted = mirror.insert(chunk)
+        for victim in evicted:
+            nodes = self._replicas.get(victim)
+            if nodes is not None:
+                nodes.discard(node)
+                if not nodes:
+                    del self._replicas[victim]
+        self._replicas.setdefault(chunk, set()).add(node)
+        return False
+
+    # -- Estimate table -------------------------------------------------------
+
+    def io_estimate(self, chunk: Chunk) -> float:
+        """Estimated I/O time to load ``chunk`` from the file system.
+
+        Initialized from the contention-free storage estimate (the
+        paper's "test run"), then updated to the latest measured value.
+        """
+        est = self._io_estimate.get(chunk)
+        if est is None:
+            est = self._storage.estimate_load_time(chunk.size)
+            self._io_estimate[chunk] = est
+        return est
+
+    def estimate(self, chunk: Chunk, group_size: int) -> float:
+        """Estimate[c]: execution time of a task over ``chunk`` on a cold
+        node (I/O + render)."""
+        return self.io_estimate(chunk) + self.cost.render_time(
+            chunk.size, group_size
+        )
+
+    def exec_estimate(self, chunk: Chunk, node: int, group_size: int) -> float:
+        """Predicted execution time of a task on a specific node.
+
+        The I/O term is omitted when the chunk is predicted cached on the
+        node (Definition 1's "the I/O time can be omitted...").
+        """
+        render = self.cost.render_time(chunk.size, group_size)
+        if chunk in self.mirrors[node]:
+            return render
+        return self.io_estimate(chunk) + render
+
+    # -- Available table ------------------------------------------------------
+
+    def predicted_available(self, node: int, now: float) -> float:
+        """Available[R_k], floored at the current time."""
+        return max(self.available[node], now)
+
+    def min_available_node(self) -> int:
+        """Node with the smallest predicted available time."""
+        return self.heap.min_node()
+
+    # -- scheduling-time updates ----------------------------------------------
+
+    def record_assignment(self, task: RenderTask, node: int, now: float) -> float:
+        """Account an assignment of ``task`` to ``node``.
+
+        Updates all three tables plus the interactive-idle tracking, and
+        returns the predicted task execution time.
+        """
+        chunk = task.chunk
+        group = task.job.composite_group_size
+        hit = self._mirror_access(chunk, node)
+        render = self.cost.render_time(chunk.size, group)
+        est = render if hit else self.io_estimate(chunk) + render
+        self.available[node] = (
+            max(self.available[node], now) + est / self.executors_per_node
+        )
+        self.heap.update(node)
+        self._pending_est[task] = est
+        self._pending_per_node[node] += 1
+        if task.job.job_type is JobType.INTERACTIVE:
+            self.last_interactive_assign[node] = now
+        return est
+
+    def mark_node_failed(self, node: int) -> None:
+        """Remove a crashed node from scheduling consideration.
+
+        The paper's fault-tolerance note (§VI-D): by dynamically
+        updating the tables to identify unavailable nodes, rendering
+        carries on as long as copies of the required chunks exist on
+        other nodes.  The node's mirrored cache entries are dropped
+        (its memory is gone) and its available time becomes infinite so
+        no greedy step ever selects it.
+        """
+        self.alive[node] = False
+        mirror = self.mirrors[node]
+        for chunk in mirror.chunks():
+            nodes = self._replicas.get(chunk)
+            if nodes is not None:
+                nodes.discard(node)
+                if not nodes:
+                    del self._replicas[chunk]
+        mirror.clear()
+        self.available[node] = math.inf
+        self.heap.update(node)
+        self._pending_per_node[node] = 0
+
+    def warm(self, chunk: Chunk, node: int) -> None:
+        """Mark ``chunk`` resident on ``node`` (pre-run cache warm-up).
+
+        Used by the service's prewarm pass (the paper's "test run"),
+        which must keep the mirrors identical to the real node caches.
+        """
+        self._mirror_access(chunk, node)
+
+    # -- completion-time corrections (§V-B) -------------------------------------
+
+    def correct_completion(self, task: RenderTask, node: int, now: float) -> None:
+        """Reconcile predictions with a task's actual completion.
+
+        * ``Available`` absorbs the prediction error of this task and is
+          reset exactly to ``now`` when the node has nothing pending.
+        * ``Estimate`` is updated to the measured I/O time on a miss.
+        """
+        est = self._pending_est.pop(task, None)
+        self._pending_per_node[node] -= 1
+        if est is not None and task.start_time is not None:
+            actual = task.finish_time - task.start_time  # type: ignore[operator]
+            self.available[node] += actual - est
+        if self._pending_per_node[node] <= 0:
+            self._pending_per_node[node] = 0
+            self.available[node] = now
+        elif self.available[node] < now:
+            self.available[node] = now
+        self.heap.update(node)
+        if not task.cache_hit and task.io_time > 0:
+            self._io_estimate[task.chunk] = task.io_time
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert reverse-index/mirror consistency (test helper)."""
+        for k, mirror in enumerate(self.mirrors):
+            mirror.check_invariants()
+            for chunk in mirror:
+                if k not in self._replicas.get(chunk, _EMPTY_SET):
+                    raise AssertionError(f"replica index missing {chunk} @ {k}")
+        for chunk, nodes in self._replicas.items():
+            for k in nodes:
+                if chunk not in self.mirrors[k]:
+                    raise AssertionError(f"stale replica {chunk} @ {k}")
+
+
+_EMPTY_SET: Set[int] = frozenset()  # type: ignore[assignment]
+
+
+__all__ = ["SchedulerTables", "NodeAvailabilityHeap"]

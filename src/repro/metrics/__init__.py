@@ -1,0 +1,43 @@
+"""Measurement collection, analysis, and report rendering."""
+
+from repro.metrics.analysis import (
+    LatencyStats,
+    SchedulerSummary,
+    batch_working_time,
+    framerates_by_action,
+    latency_stats,
+    mean_interactive_framerate,
+    summarize,
+)
+from repro.metrics.collectors import (
+    JobRecord,
+    SchedulingCostStats,
+    SimulationCollector,
+)
+from repro.metrics.timeline import TimelineSample, TimelineSampler, sparkline
+from repro.metrics.report import (
+    comparison_table,
+    hit_rate_table,
+    pipeline_breakdown,
+    sweep_table,
+)
+
+__all__ = [
+    "LatencyStats",
+    "SchedulerSummary",
+    "batch_working_time",
+    "framerates_by_action",
+    "latency_stats",
+    "mean_interactive_framerate",
+    "summarize",
+    "JobRecord",
+    "SchedulingCostStats",
+    "SimulationCollector",
+    "TimelineSample",
+    "TimelineSampler",
+    "sparkline",
+    "comparison_table",
+    "hit_rate_table",
+    "pipeline_breakdown",
+    "sweep_table",
+]

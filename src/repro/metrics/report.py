@@ -1,0 +1,130 @@
+"""Text renderings of the paper's tables and figures.
+
+The benchmark harness prints these reports so each bench regenerates the
+same rows/series the paper shows.  Formatting is deliberately plain
+fixed-width text (no plotting dependencies) — the *numbers and ordering*
+are the reproduction artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.analysis import SchedulerSummary
+
+_HEADER = (
+    f"{'sched':<7} {'fps':>8} {'int-lat(s)':>12} {'bat-lat(s)':>12} "
+    f"{'bat-work(s)':>12} {'hit-rate':>9} {'cost(us)':>10}"
+)
+
+
+def comparison_table(
+    summaries: Sequence[SchedulerSummary],
+    *,
+    title: str = "",
+    target_fps: Optional[float] = None,
+) -> str:
+    """Fig. 4-7 style comparison: one row per scheduling scheme."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if target_fps is not None:
+        lines.append(f"target framerate: {target_fps:.2f} fps")
+    lines.append(_HEADER)
+    lines.append("-" * len(_HEADER))
+    for s in summaries:
+        lines.append(s.row())
+    return "\n".join(lines)
+
+
+def hit_rate_table(
+    rows: Dict[str, Dict[str, SchedulerSummary]],
+    schedulers: Sequence[str],
+    *,
+    title: str = "Table III: data reuse hit rates and average scheduling costs",
+) -> str:
+    """Table III layout: scenarios x schedulers, hit rate + cost rows.
+
+    Args:
+        rows: ``rows[scenario][scheduler]`` → summary.
+        schedulers: Column order (the paper uses FS, FCFSU, FCFSL, OURS).
+    """
+    lines = [title]
+    header = f"{'scenario':<12} {'metric':<14}" + "".join(
+        f"{s:>10}" for s in schedulers
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for scenario, by_sched in rows.items():
+        hit = f"{scenario:<12} {'hit rate':<14}"
+        cost = f"{'':<12} {'avg cost (us)':<14}"
+        for s in schedulers:
+            summary = by_sched.get(s)
+            if summary is None:
+                hit += f"{'-':>10}"
+                cost += f"{'-':>10}"
+            else:
+                hit += f"{summary.hit_rate * 100:>9.2f}%"
+                cost += f"{summary.sched_cost_us:>10.1f}"
+        lines.append(hit)
+        lines.append(cost)
+    return "\n".join(lines)
+
+
+def sweep_table(
+    x_label: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    fmt: str = "{:>12.2f}",
+) -> str:
+    """Fig. 8/9 style sweep: one x column, one column per series."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points for "
+                f"{len(xs)} x values"
+            )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{x_label:<16}" + "".join(f"{n:>14}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        row = f"{x:<16g}" + "".join(
+            fmt.format(series[n][i]).rjust(14) for n in names
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def pipeline_breakdown(
+    io_seconds: float,
+    render_seconds: float,
+    composite_seconds: float,
+    *,
+    title: str = "Fig. 2: visualization pipeline stage breakdown",
+) -> str:
+    """Fig. 2 style stage breakdown for a single task."""
+    total = io_seconds + render_seconds + composite_seconds
+    lines = [title]
+    for name, value in (
+        ("data I/O", io_seconds),
+        ("rendering", render_seconds),
+        ("compositing", composite_seconds),
+    ):
+        share = (value / total * 100.0) if total else 0.0
+        lines.append(f"  {name:<12} {value * 1e3:>12.3f} ms  ({share:5.1f} %)")
+    lines.append(f"  {'total':<12} {total * 1e3:>12.3f} ms")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "comparison_table",
+    "hit_rate_table",
+    "sweep_table",
+    "pipeline_breakdown",
+]

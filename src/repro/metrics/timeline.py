@@ -1,0 +1,126 @@
+"""Time-series sampling of cluster state during a simulation.
+
+The evaluation's aggregate numbers (mean framerate, mean latency) hide
+the *dynamics* — warm-up transients, batch-induced stalls, backlog
+growth under overload.  A :class:`TimelineSampler` rides the event
+queue at a fixed interval and records per-sample snapshots: node
+backlog, busy nodes, jobs completed, cache hit counts.  The text
+sparkline renderer makes the series readable in a terminal report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.util.validation import check_positive
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot of cluster/service state."""
+
+    time: float
+    backlog_tasks: int
+    busy_nodes: int
+    jobs_completed: int
+    tasks_hit: int
+    tasks_missed: int
+    scheduler_pending: int
+
+    @property
+    def total_tasks(self) -> int:
+        """Tasks started up to this sample."""
+        return self.tasks_hit + self.tasks_missed
+
+
+class TimelineSampler:
+    """Samples a running :class:`~repro.sim.service.VisualizationService`.
+
+    The sampler reschedules itself while the service has work (or until
+    ``horizon``), so it never keeps an otherwise-finished simulation
+    alive.
+    """
+
+    def __init__(self, interval: float, *, horizon: Optional[float] = None) -> None:
+        check_positive("interval", interval)
+        self.interval = interval
+        self.horizon = horizon
+        self.samples: List[TimelineSample] = []
+        self._service = None
+
+    def attach(self, service) -> "TimelineSampler":
+        """Start sampling ``service`` (call before running events)."""
+        self._service = service
+        service.cluster.events.schedule(0.0, self._tick)
+        return self
+
+    def _tick(self) -> None:
+        service = self._service
+        cluster = service.cluster
+        now = cluster.events.now
+        self.samples.append(
+            TimelineSample(
+                time=now,
+                backlog_tasks=cluster.total_backlog(),
+                busy_nodes=sum(1 for n in cluster.nodes if n.busy),
+                jobs_completed=service.jobs_completed,
+                tasks_hit=sum(n.cache_hits for n in cluster.nodes),
+                tasks_missed=sum(n.cache_misses for n in cluster.nodes),
+                scheduler_pending=service.scheduler.pending_task_count(),
+            )
+        )
+        past_horizon = self.horizon is not None and now >= self.horizon
+        # Keep ticking while the service has in-flight work OR future
+        # events (e.g. request arrivals) are still queued; stop at the
+        # horizon or at full quiescence so the sampler never keeps a
+        # finished simulation alive.
+        more_coming = service.has_work() or len(cluster.events) > 0
+        if more_coming and not past_horizon:
+            cluster.events.schedule_after(self.interval, self._tick)
+
+    # -- series accessors -----------------------------------------------------
+
+    def series(self, name: str) -> List[float]:
+        """Extract one attribute as a list (e.g. ``"backlog_tasks"``)."""
+        return [float(getattr(s, name)) for s in self.samples]
+
+    def completion_rate(self) -> List[float]:
+        """Jobs completed per second between consecutive samples."""
+        out: List[float] = []
+        for a, b in zip(self.samples, self.samples[1:]):
+            dt = b.time - a.time
+            out.append((b.jobs_completed - a.jobs_completed) / dt if dt > 0 else 0.0)
+        return out
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """Render a numeric series as a one-line text sparkline.
+
+    Values are bucketed to ``width`` columns (mean per bucket) and
+    mapped onto a 10-level character ramp; the line is annotated with
+    the series min/max.
+    """
+    if not values:
+        return "(empty)"
+    values = list(values)
+    n = len(values)
+    columns = min(width, n)
+    buckets: List[float] = []
+    for c in range(columns):
+        lo = c * n // columns
+        hi = max(lo + 1, (c + 1) * n // columns)
+        chunk = values[lo:hi]
+        buckets.append(sum(chunk) / len(chunk))
+    vmin, vmax = min(buckets), max(buckets)
+    span = vmax - vmin
+    chars = []
+    for v in buckets:
+        level = 0 if span == 0 else int((v - vmin) / span * (len(_SPARK_CHARS) - 1))
+        chars.append(_SPARK_CHARS[level])
+    return f"[{''.join(chars)}] min={vmin:g} max={vmax:g}"
+
+
+__all__ = ["TimelineSample", "TimelineSampler", "sparkline"]

@@ -1,0 +1,92 @@
+"""Software volume-rendering substrate: ray caster, compositing, data."""
+
+from repro.render.animation import AnimationResult, OrbitPath, render_animation
+from repro.render.camera import Camera, default_camera_for
+from repro.render.compositing import (
+    CompositeResult,
+    binary_swap,
+    composite,
+    direct_send,
+    serial_gather,
+    factorize_2_3,
+    largest_2_3_smooth_leq,
+    two_three_swap,
+)
+from repro.render.datasets import (
+    DATASET_NAMES,
+    combustion,
+    make_volume,
+    plume,
+    supernova,
+    value_noise,
+)
+from repro.render.image import (
+    composite_sequence,
+    max_channel_difference,
+    over,
+    to_display,
+    to_uint8,
+    write_ppm,
+)
+from repro.render.raycast import (
+    RenderStats,
+    brick_depth,
+    integrate_brick,
+    render_volume,
+    trilinear,
+)
+from repro.render.shading import Lighting, gradient, shade
+from repro.render.sortlast import SortLastResult, render_sort_last
+from repro.render.transfer_function import (
+    TransferFunction,
+    cool_warm,
+    fire,
+    grayscale_ramp,
+    isosurface_like,
+)
+from repro.render.volume import Brick, Volume
+
+__all__ = [
+    "AnimationResult",
+    "OrbitPath",
+    "render_animation",
+    "Camera",
+    "default_camera_for",
+    "CompositeResult",
+    "binary_swap",
+    "composite",
+    "direct_send",
+    "serial_gather",
+    "factorize_2_3",
+    "largest_2_3_smooth_leq",
+    "two_three_swap",
+    "DATASET_NAMES",
+    "combustion",
+    "make_volume",
+    "plume",
+    "supernova",
+    "value_noise",
+    "composite_sequence",
+    "max_channel_difference",
+    "over",
+    "to_display",
+    "to_uint8",
+    "write_ppm",
+    "RenderStats",
+    "brick_depth",
+    "integrate_brick",
+    "render_volume",
+    "trilinear",
+    "Lighting",
+    "gradient",
+    "shade",
+    "SortLastResult",
+    "render_sort_last",
+    "TransferFunction",
+    "cool_warm",
+    "fire",
+    "grayscale_ramp",
+    "isosurface_like",
+    "Brick",
+    "Volume",
+]

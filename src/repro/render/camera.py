@@ -1,0 +1,145 @@
+"""Cameras and ray generation for the software ray caster.
+
+An orbit camera parameterized by azimuth/elevation around a look-at
+center, supporting orthographic (the mode used by correctness tests —
+axis-ordering of bricks is exact) and perspective projection.  Rays are
+produced as vectorized ``(H*W, 3)`` origin/direction arrays in voxel
+space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+def _normalize(v: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(v))
+    if norm == 0.0:
+        raise ValueError("zero-length vector")
+    return v / norm
+
+
+@dataclass(frozen=True)
+class Camera:
+    """An orbit camera.
+
+    Attributes:
+        center: Look-at point (voxel space).
+        distance: Eye distance from the center.
+        azimuth: Horizontal orbit angle in degrees.
+        elevation: Vertical orbit angle in degrees, in (-90, 90).
+        width / height: Image resolution in pixels.
+        mode: ``"ortho"`` or ``"persp"``.
+        view_size: For orthographic — world-space height of the image
+            plane window; for perspective — ignored.
+        fov_degrees: Vertical field of view for perspective mode.
+        up: World up vector.
+    """
+
+    center: Tuple[float, float, float]
+    distance: float
+    azimuth: float = 30.0
+    elevation: float = 20.0
+    width: int = 128
+    height: int = 128
+    mode: str = "ortho"
+    view_size: float = 2.0
+    fov_degrees: float = 45.0
+    up: Tuple[float, float, float] = (0.0, 0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        check_positive("distance", self.distance)
+        check_positive("width", self.width)
+        check_positive("height", self.height)
+        check_positive("view_size", self.view_size)
+        if self.mode not in ("ortho", "persp"):
+            raise ValueError(f"mode must be 'ortho' or 'persp', got {self.mode!r}")
+        if not -89.9 <= self.elevation <= 89.9:
+            raise ValueError(f"elevation out of range: {self.elevation}")
+        if not 1.0 <= self.fov_degrees <= 170.0:
+            raise ValueError(f"fov out of range: {self.fov_degrees}")
+
+    # -- geometry ------------------------------------------------------------
+
+    def eye(self) -> np.ndarray:
+        """Camera position in voxel space."""
+        az = math.radians(self.azimuth)
+        el = math.radians(self.elevation)
+        direction = np.array(
+            [
+                math.cos(el) * math.cos(az),
+                math.cos(el) * math.sin(az),
+                math.sin(el),
+            ]
+        )
+        return np.asarray(self.center, dtype=np.float64) + self.distance * direction
+
+    def basis(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (forward, right, up) orthonormal camera axes."""
+        eye = self.eye()
+        forward = _normalize(np.asarray(self.center, dtype=np.float64) - eye)
+        up_hint = np.asarray(self.up, dtype=np.float64)
+        right = np.cross(forward, up_hint)
+        if np.linalg.norm(right) < 1e-9:  # looking along `up`
+            right = np.cross(forward, np.array([0.0, 1.0, 0.0]))
+        right = _normalize(right)
+        true_up = np.cross(right, forward)
+        return forward, right, true_up
+
+    def rays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate per-pixel rays.
+
+        Returns:
+            ``(origins, directions)`` — each of shape ``(H*W, 3)``;
+            directions are unit length.  Pixel (row 0, col 0) is the
+            top-left of the image.
+        """
+        eye = self.eye()
+        forward, right, true_up = self.basis()
+        aspect = self.width / self.height
+        # Pixel-center coordinates in [-0.5, 0.5] (v flipped: +v is up).
+        us = (np.arange(self.width) + 0.5) / self.width - 0.5
+        vs = 0.5 - (np.arange(self.height) + 0.5) / self.height
+        uu, vv = np.meshgrid(us, vs)  # (H, W)
+        if self.mode == "ortho":
+            h = self.view_size
+            w = self.view_size * aspect
+            offsets = (
+                uu[..., None] * (w * right) + vv[..., None] * (h * true_up)
+            )
+            origins = eye + offsets.reshape(-1, 3)
+            directions = np.broadcast_to(forward, origins.shape).copy()
+        else:
+            tan_half = math.tan(math.radians(self.fov_degrees) / 2.0)
+            dirs = (
+                forward
+                + uu[..., None] * (2.0 * tan_half * aspect * right)
+                + vv[..., None] * (2.0 * tan_half * true_up)
+            ).reshape(-1, 3)
+            directions = dirs / np.linalg.norm(dirs, axis=1, keepdims=True)
+            origins = np.broadcast_to(eye, directions.shape).copy()
+        return origins, directions
+
+
+def default_camera_for(shape: Tuple[int, int, int], **overrides: object) -> Camera:
+    """A camera framing a volume of the given voxel ``shape``."""
+    center = tuple((n - 1) / 2.0 for n in shape)
+    diag = math.sqrt(sum((n - 1) ** 2 for n in shape))
+    params = dict(
+        center=center,
+        distance=1.8 * diag,
+        view_size=1.1 * diag,
+        azimuth=30.0,
+        elevation=20.0,
+    )
+    params.update(overrides)  # type: ignore[arg-type]
+    return Camera(**params)  # type: ignore[arg-type]
+
+
+__all__ = ["Camera", "default_camera_for"]

@@ -1,0 +1,372 @@
+"""Sort-last image compositing: direct send, binary swap, 2-3 swap.
+
+After every rendering node ray-casts its brick, the per-node images must
+be blended in depth order into the final picture (paper §II-A).  The
+classic algorithms are implemented here over the deterministic
+:class:`~repro.comm.SimCommunicator`:
+
+* **direct send** — the image splits into ``p`` row regions; every rank
+  mails region ``j`` to rank ``j``; each rank blends its region across
+  all ``p`` inputs.  One stage, ``p (p-1)`` messages.
+* **binary swap** (Ma et al. [12]) — ``log2 p`` stages of pairwise
+  half-image exchanges; requires a power-of-two rank count.
+* **2-3 swap** (Yu et al. [13]) — the generalization the paper's system
+  uses: stages exchange within groups of 2 *or* 3, supporting rank
+  counts of the form ``2^a 3^b`` directly; other counts are handled by
+  first pair-merging a few adjacent ranks down to the largest
+  2-3-smooth count (an engineering variant preserving depth order and
+  correctness for arbitrary ``p``).
+
+All algorithms assume the caller passes per-rank images **sorted
+front-to-back** (rank 0 closest) in premultiplied RGBA; associativity of
+the *over* operator guarantees every algorithm produces the same final
+image, which the test suite checks against the sequential reference.
+
+Group invariant of the swap family: at every stage, the members of a
+group own the *same* current row region (they kept equal digit-parts in
+earlier stages), and the union of the rank ranges they represent is
+contiguous in depth — so blending received pieces in member order is
+depth-correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.communicator import SimCommunicator
+from repro.render.image import composite_sequence, over
+
+
+@dataclass(frozen=True)
+class CompositeResult:
+    """Final image plus traffic statistics of one compositing run."""
+
+    image: np.ndarray
+    messages: int
+    bytes_sent: int
+    stages: int
+    elapsed: float
+    algorithm: str
+
+
+def factorize_2_3(n: int) -> Optional[List[int]]:
+    """Factor ``n`` into 3s and 2s (3s first), or None if not smooth."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    factors: List[int] = []
+    while n % 3 == 0:
+        factors.append(3)
+        n //= 3
+    while n % 2 == 0:
+        factors.append(2)
+        n //= 2
+    return factors if n == 1 else None
+
+
+def largest_2_3_smooth_leq(n: int) -> int:
+    """The largest ``2^a 3^b`` (>= 1) not exceeding ``n``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    best = 1
+    a = 1
+    while a <= n:
+        b = a
+        while b <= n:
+            best = max(best, b)
+            b *= 3
+        a *= 2
+    return best
+
+
+def _row_partition(start: int, end: int, k: int) -> List[Tuple[int, int]]:
+    """Split rows [start, end) into ``k`` contiguous near-equal parts."""
+    edges = np.linspace(start, end, k + 1).astype(np.int64)
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(k)]
+
+
+def _radix_swap(
+    comm: SimCommunicator,
+    pieces: List[np.ndarray],
+    physical: List[int],
+    factors: Sequence[int],
+) -> Tuple[List[np.ndarray], List[Tuple[int, int]]]:
+    """Run swap stages over logical ranks; return final pieces/regions.
+
+    ``pieces[i]`` is logical rank ``i``'s current image piece (full
+    image rows initially); ``physical[i]`` maps to communicator ranks.
+    """
+    m = len(pieces)
+    height = pieces[0].shape[0]
+    regions: List[Tuple[int, int]] = [(0, height)] * m
+    stride = 1
+    for k in factors:
+        comm.begin_stage()
+        outgoing: List[List[Tuple[int, np.ndarray]]] = [[] for _ in range(m)]
+        # Post all sends of this stage first (round style).
+        for base in range(0, m, stride * k):
+            for offset in range(stride):
+                members = [base + offset + d * stride for d in range(k)]
+                start, end = regions[members[0]]
+                parts = _row_partition(start, end, k)
+                for j, member in enumerate(members):
+                    for d, target in enumerate(members):
+                        lo, hi = parts[d]
+                        piece = pieces[member][lo - start : hi - start]
+                        if target == member:
+                            outgoing[member].append((d, piece))
+                        else:
+                            comm.send(
+                                physical[member],
+                                physical[target],
+                                piece,
+                                tag=stride,
+                            )
+        # Receive and blend.
+        new_pieces: List[np.ndarray] = [None] * m  # type: ignore[list-item]
+        new_regions: List[Tuple[int, int]] = [(0, 0)] * m
+        for base in range(0, m, stride * k):
+            for offset in range(stride):
+                members = [base + offset + d * stride for d in range(k)]
+                start, end = regions[members[0]]
+                parts = _row_partition(start, end, k)
+                for d, member in enumerate(members):
+                    collected: List[np.ndarray] = []
+                    for src in members:  # front-to-back by member order
+                        if src == member:
+                            own = next(
+                                p for dd, p in outgoing[member] if dd == d
+                            )
+                            collected.append(own)
+                        else:
+                            collected.append(
+                                comm.recv(
+                                    physical[member],
+                                    physical[src],
+                                    tag=stride,
+                                )
+                            )
+                    blended = collected[0].astype(np.float64)
+                    for nxt in collected[1:]:
+                        blended = over(blended, nxt.astype(np.float64))
+                    new_pieces[member] = blended
+                    new_regions[member] = parts[d]
+        pieces = new_pieces
+        regions = new_regions
+        comm.end_stage()
+        stride *= k
+    return pieces, regions
+
+
+def _gather_to_root(
+    comm: SimCommunicator,
+    pieces: List[np.ndarray],
+    regions: List[Tuple[int, int]],
+    physical: List[int],
+    shape: Tuple[int, ...],
+) -> np.ndarray:
+    """Assemble the final image at communicator rank 0."""
+    comm.begin_stage()
+    root_phys = 0
+    final = np.zeros(shape, dtype=np.float64)
+    for i, phys in enumerate(physical):
+        lo, hi = regions[i]
+        if hi <= lo:
+            continue
+        if phys == root_phys:
+            final[lo:hi] = pieces[i]
+        else:
+            comm.send(phys, root_phys, pieces[i], tag=999)
+    for i, phys in enumerate(physical):
+        lo, hi = regions[i]
+        if hi <= lo or phys == root_phys:
+            continue
+        final[lo:hi] = comm.recv(root_phys, phys, tag=999)
+    comm.end_stage()
+    return final.astype(np.float32)
+
+
+def _run(
+    images: Sequence[np.ndarray],
+    comm: Optional[SimCommunicator],
+    algorithm: str,
+) -> CompositeResult:
+    if not images:
+        raise ValueError("no images to composite")
+    p = len(images)
+    shapes = {img.shape for img in images}
+    if len(shapes) != 1:
+        raise ValueError(f"image shapes differ: {shapes}")
+    if comm is None:
+        comm = SimCommunicator(p)
+    elif comm.size < p:
+        raise ValueError(f"communicator of size {comm.size} for {p} images")
+    m0, b0, s0, e0 = (
+        comm.interconnect.messages,
+        comm.interconnect.bytes_sent,
+        comm.stages,
+        comm.elapsed,
+    )
+
+    if p == 1:
+        final = images[0].astype(np.float32)
+    elif algorithm == "serial-gather":
+        final = _serial_gather(comm, images)
+    elif algorithm == "direct-send":
+        final = _direct_send(comm, images)
+    elif algorithm == "binary-swap":
+        factors = factorize_2_3(p)
+        if factors is None or any(f == 3 for f in factors):
+            raise ValueError(
+                f"binary swap needs a power-of-two rank count, got {p}"
+            )
+        pieces = [img.astype(np.float64) for img in images]
+        pieces, regions = _radix_swap(comm, pieces, list(range(p)), factors)
+        final = _gather_to_root(comm, pieces, regions, list(range(p)), images[0].shape)
+    elif algorithm == "2-3-swap":
+        final = _two_three_swap(comm, images)
+    else:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; use 'serial-gather', "
+            "'direct-send', 'binary-swap', or '2-3-swap'"
+        )
+    comm.assert_drained()
+    return CompositeResult(
+        image=final,
+        messages=comm.interconnect.messages - m0,
+        bytes_sent=comm.interconnect.bytes_sent - b0,
+        stages=comm.stages - s0,
+        elapsed=comm.elapsed - e0,
+        algorithm=algorithm,
+    )
+
+
+def _serial_gather(
+    comm: SimCommunicator, images: Sequence[np.ndarray]
+) -> np.ndarray:
+    """The naive baseline: every rank mails its full image to the root,
+    which blends all of them.  One stage, p-1 full-image messages, all
+    converging on one link — the bottleneck that motivated binary swap
+    (paper §II-A: compositing "can become very expensive because of the
+    potentially large amount of messages exchanged")."""
+    p = len(images)
+    comm.begin_stage()
+    for src in range(1, p):
+        comm.send(src, 0, images[src], tag=3)
+    stack = [images[0]]
+    for src in range(1, p):
+        stack.append(comm.recv(0, src, tag=3))
+    comm.end_stage()
+    return composite_sequence(stack)
+
+
+def _direct_send(comm: SimCommunicator, images: Sequence[np.ndarray]) -> np.ndarray:
+    p = len(images)
+    height = images[0].shape[0]
+    parts = _row_partition(0, height, p)
+    comm.begin_stage()
+    for src in range(p):
+        for dst in range(p):
+            if dst == src:
+                continue
+            lo, hi = parts[dst]
+            comm.send(src, dst, images[src][lo:hi], tag=1)
+    pieces: List[np.ndarray] = []
+    regions: List[Tuple[int, int]] = []
+    for dst in range(p):
+        lo, hi = parts[dst]
+        stack = []
+        for src in range(p):  # front-to-back
+            if src == dst:
+                stack.append(images[dst][lo:hi])
+            else:
+                stack.append(comm.recv(dst, src, tag=1))
+        pieces.append(composite_sequence(stack).astype(np.float64))
+        regions.append((lo, hi))
+    comm.end_stage()
+    return _gather_to_root(comm, pieces, regions, list(range(p)), images[0].shape)
+
+
+def _two_three_swap(comm: SimCommunicator, images: Sequence[np.ndarray]) -> np.ndarray:
+    p = len(images)
+    factors = factorize_2_3(p)
+    pieces = [img.astype(np.float64) for img in images]
+    physical = list(range(p))
+    if factors is None:
+        # Pre-merge adjacent pairs down to the largest 2-3-smooth count.
+        m = largest_2_3_smooth_leq(p)
+        extras = p - m
+        comm.begin_stage()
+        for i in range(extras):
+            back, front = 2 * i + 1, 2 * i
+            comm.send(back, front, pieces[back], tag=7)
+        merged: List[np.ndarray] = []
+        merged_phys: List[int] = []
+        for i in range(extras):
+            received = comm.recv(2 * i, 2 * i + 1, tag=7)
+            merged.append(over(pieces[2 * i], received))
+            merged_phys.append(2 * i)
+        for r in range(2 * extras, p):
+            merged.append(pieces[r])
+            merged_phys.append(r)
+        comm.end_stage()
+        pieces = merged
+        physical = merged_phys
+        factors = factorize_2_3(m)
+        assert factors is not None
+    if len(pieces) == 1:
+        return pieces[0].astype(np.float32)
+    pieces, regions = _radix_swap(comm, pieces, physical, factors)
+    return _gather_to_root(comm, pieces, regions, physical, images[0].shape)
+
+
+def serial_gather(
+    images: Sequence[np.ndarray], *, comm: Optional[SimCommunicator] = None
+) -> CompositeResult:
+    """Composite by the naive gather-everything-at-the-root baseline."""
+    return _run(images, comm, "serial-gather")
+
+
+def direct_send(
+    images: Sequence[np.ndarray], *, comm: Optional[SimCommunicator] = None
+) -> CompositeResult:
+    """Composite front-to-back-sorted images by direct send."""
+    return _run(images, comm, "direct-send")
+
+
+def binary_swap(
+    images: Sequence[np.ndarray], *, comm: Optional[SimCommunicator] = None
+) -> CompositeResult:
+    """Composite front-to-back-sorted images by binary swap (p = 2^k)."""
+    return _run(images, comm, "binary-swap")
+
+
+def two_three_swap(
+    images: Sequence[np.ndarray], *, comm: Optional[SimCommunicator] = None
+) -> CompositeResult:
+    """Composite front-to-back-sorted images by 2-3 swap (any p)."""
+    return _run(images, comm, "2-3-swap")
+
+
+def composite(
+    images: Sequence[np.ndarray],
+    *,
+    algorithm: str = "2-3-swap",
+    comm: Optional[SimCommunicator] = None,
+) -> CompositeResult:
+    """Composite by algorithm name."""
+    return _run(images, comm, algorithm)
+
+
+__all__ = [
+    "CompositeResult",
+    "composite",
+    "serial_gather",
+    "direct_send",
+    "binary_swap",
+    "two_three_swap",
+    "factorize_2_3",
+    "largest_2_3_smooth_leq",
+]

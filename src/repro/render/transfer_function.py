@@ -1,0 +1,142 @@
+"""Transfer functions: scalar value → color and opacity.
+
+Ray casting applies a transfer function at every sample point to map
+scalar values to optical properties (paper §II-A).  This module
+implements piecewise-linear RGBA transfer functions compiled to a
+lookup table, plus a few presets suited to the synthetic datasets.
+
+Opacities in the control points are *reference* opacities for a unit
+sampling step; the renderer applies the standard opacity correction
+``a' = 1 - (1 - a)^(dt / reference_step)`` so images converge as the
+step size shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+ControlPoint = Tuple[float, Tuple[float, float, float, float]]
+
+
+@dataclass(frozen=True)
+class TransferFunction:
+    """A piecewise-linear RGBA transfer function over scalars in [0, 1].
+
+    Attributes:
+        points: Control points ``(scalar, (r, g, b, a))`` sorted by
+            scalar; evaluation clamps outside the first/last point.
+        resolution: LUT resolution used by the renderer.
+    """
+
+    points: Tuple[ControlPoint, ...]
+    resolution: int = 256
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("a transfer function needs >= 2 control points")
+        xs = [p[0] for p in self.points]
+        if any(b < a for a, b in zip(xs, xs[1:])):
+            raise ValueError(f"control points must be sorted by scalar: {xs}")
+        for x, rgba in self.points:
+            if not 0.0 <= x <= 1.0:
+                raise ValueError(f"control scalar {x} outside [0, 1]")
+            if len(rgba) != 4:
+                raise ValueError(f"RGBA needs 4 components, got {rgba!r}")
+            if any(not 0.0 <= c <= 1.0 for c in rgba):
+                raise ValueError(f"RGBA components outside [0, 1]: {rgba!r}")
+        if self.resolution < 2:
+            raise ValueError(f"resolution must be >= 2, got {self.resolution}")
+
+    def lut(self) -> np.ndarray:
+        """Compile to a ``(resolution, 4)`` float32 lookup table."""
+        xs = np.array([p[0] for p in self.points], dtype=np.float64)
+        cs = np.array([p[1] for p in self.points], dtype=np.float64)
+        grid = np.linspace(0.0, 1.0, self.resolution)
+        table = np.empty((self.resolution, 4), dtype=np.float32)
+        for ch in range(4):
+            table[:, ch] = np.interp(grid, xs, cs[:, ch])
+        return table
+
+    def __call__(self, scalars: np.ndarray) -> np.ndarray:
+        """Evaluate exactly (piecewise-linear, no LUT quantization)."""
+        xs = np.array([p[0] for p in self.points], dtype=np.float64)
+        cs = np.array([p[1] for p in self.points], dtype=np.float64)
+        s = np.clip(np.asarray(scalars, dtype=np.float64), 0.0, 1.0)
+        out = np.empty(s.shape + (4,), dtype=np.float32)
+        for ch in range(4):
+            out[..., ch] = np.interp(s, xs, cs[:, ch])
+        return out
+
+
+def grayscale_ramp(max_opacity: float = 0.5) -> TransferFunction:
+    """Transparent black → opaque white ramp."""
+    return TransferFunction(
+        points=(
+            (0.0, (0.0, 0.0, 0.0, 0.0)),
+            (1.0, (1.0, 1.0, 1.0, max_opacity)),
+        )
+    )
+
+
+def fire(max_opacity: float = 0.6) -> TransferFunction:
+    """Black-body style ramp (combustion/plume rendering)."""
+    return TransferFunction(
+        points=(
+            (0.00, (0.0, 0.0, 0.0, 0.00)),
+            (0.20, (0.1, 0.0, 0.0, 0.00)),
+            (0.40, (0.8, 0.2, 0.0, 0.15 * max_opacity)),
+            (0.60, (1.0, 0.5, 0.0, 0.45 * max_opacity)),
+            (0.80, (1.0, 0.8, 0.2, 0.80 * max_opacity)),
+            (1.00, (1.0, 1.0, 0.8, max_opacity)),
+        )
+    )
+
+
+def cool_warm(max_opacity: float = 0.5) -> TransferFunction:
+    """Blue → white → red diverging map (supernova shells)."""
+    return TransferFunction(
+        points=(
+            (0.00, (0.0, 0.1, 0.5, 0.00)),
+            (0.30, (0.2, 0.5, 0.9, 0.15 * max_opacity)),
+            (0.50, (0.9, 0.9, 0.9, 0.30 * max_opacity)),
+            (0.70, (0.9, 0.4, 0.2, 0.60 * max_opacity)),
+            (1.00, (0.7, 0.0, 0.0, max_opacity)),
+        )
+    )
+
+
+def isosurface_like(
+    level: float,
+    *,
+    width: float = 0.05,
+    color: Sequence[float] = (0.9, 0.9, 0.2),
+    opacity: float = 0.8,
+) -> TransferFunction:
+    """A narrow opacity peak around ``level`` (pseudo-isosurface)."""
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be inside (0, 1), got {level}")
+    lo = max(0.0, level - width)
+    hi = min(1.0, level + width)
+    r, g, b = color
+    points: List[ControlPoint] = [(0.0, (0.0, 0.0, 0.0, 0.0))]
+    if lo > 0.0:
+        points.append((lo, (r, g, b, 0.0)))
+    points.append((level, (r, g, b, opacity)))
+    if hi < 1.0:
+        points.append((hi, (r, g, b, 0.0)))
+        points.append((1.0, (0.0, 0.0, 0.0, 0.0)))
+    else:
+        points.append((1.0, (r, g, b, opacity)))
+    return TransferFunction(points=tuple(points))
+
+
+__all__ = [
+    "TransferFunction",
+    "grayscale_ramp",
+    "fire",
+    "cool_warm",
+    "isosurface_like",
+]

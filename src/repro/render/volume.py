@@ -1,0 +1,213 @@
+"""Volumetric datasets and brick decomposition for sort-last rendering.
+
+A :class:`Volume` wraps a 3-D scalar field (float32, values in [0, 1])
+indexed ``[x, y, z]`` in *voxel space*: the continuous sampling domain
+is ``[0, nx-1] x [0, ny-1] x [0, nz-1]`` and trilinear interpolation is
+valid for points with ``floor(p) <= n-2`` per axis.
+
+For parallel (sort-last) rendering the volume splits into axis-aligned
+**bricks**.  Ownership is defined on interpolation *base cells*: brick
+``b`` owns sample points ``p`` with ``lo <= p < hi`` (half-open per
+axis), so every sample point on a ray belongs to exactly one brick and
+brick-wise rendering + depth compositing reproduces the monolithic
+render exactly.  Each brick carries a one-voxel ghost layer on its high
+faces so interpolation near its boundary needs no remote data — the
+standard ghost-cell construction of distributed volume renderers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Brick:
+    """One axis-aligned piece of a volume.
+
+    Attributes:
+        index: Grid position ``(bx, by, bz)`` of the brick.
+        lo: Inclusive lower corner of the owned sample region (voxels).
+        hi: Exclusive upper corner of the owned sample region (voxels).
+        origin: Global voxel index of ``data[0, 0, 0]``.  Equals ``lo``
+            for a plain ghost-1 brick; lies below ``lo`` when the brick
+            carries an extra *margin* for gradient (shading) lookups.
+        data: Local scalar field; ``data[i, j, k]`` corresponds to
+            global voxel ``origin + (i, j, k)``.
+    """
+
+    index: Tuple[int, int, int]
+    lo: Tuple[int, int, int]
+    hi: Tuple[int, int, int]
+    data: np.ndarray
+    origin: Tuple[int, int, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.origin is None:
+            object.__setattr__(self, "origin", self.lo)
+
+    @property
+    def owned_shape(self) -> Tuple[int, int, int]:
+        """Extent of the owned sample region per axis."""
+        return tuple(h - l for l, h in zip(self.lo, self.hi))  # type: ignore[return-value]
+
+    def covers_point_range(self, lo: Sequence[float], hi: Sequence[float]) -> bool:
+        """True if trilinear lookups are valid for all points in
+        ``[lo, hi]`` (the interpolation cell of every point is in
+        ``data``)."""
+        for axis in range(3):
+            base_min = int(np.floor(lo[axis]))
+            base_max = int(np.floor(hi[axis]))
+            if base_min < self.origin[axis]:
+                return False
+            if base_max + 1 > self.origin[axis] + self.data.shape[axis] - 1:
+                return False
+        return True
+
+    def center(self) -> np.ndarray:
+        """Center of the owned region in voxel space."""
+        return (np.asarray(self.lo, dtype=np.float64) + np.asarray(self.hi)) / 2.0
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean ownership mask for an ``(N, 3)`` array of points."""
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        return np.all((points >= lo) & (points < hi), axis=-1)
+
+
+class Volume:
+    """A scalar volume with brick decomposition support.
+
+    Args:
+        data: 3-D array; converted to float32.  Values are expected in
+            [0, 1] (transfer functions index a [0, 1] LUT; out-of-range
+            values are clamped at sampling time).
+        name: Optional label (dataset name).
+    """
+
+    def __init__(self, data: np.ndarray, *, name: str = "volume") -> None:
+        array = np.asarray(data, dtype=np.float32)
+        if array.ndim != 3:
+            raise ValueError(f"volume data must be 3-D, got shape {array.shape}")
+        if min(array.shape) < 2:
+            raise ValueError(
+                f"each axis needs >= 2 voxels for interpolation, got {array.shape}"
+            )
+        self.data = array
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Voxel counts per axis."""
+        return self.data.shape  # type: ignore[return-value]
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory size of the scalar field."""
+        return int(self.data.nbytes)
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Continuous sampling domain ``[0, n-1]`` per axis."""
+        hi = np.asarray(self.shape, dtype=np.float64) - 1.0
+        return np.zeros(3), hi
+
+    def whole_brick(self) -> Brick:
+        """The volume as a single brick (monolithic rendering)."""
+        n = self.shape
+        return Brick(
+            index=(0, 0, 0),
+            lo=(0, 0, 0),
+            hi=(n[0] - 1, n[1] - 1, n[2] - 1),
+            data=self.data,
+        )
+
+    def bricks(self, counts: Sequence[int], *, margin: int = 0) -> List[Brick]:
+        """Split into a regular ``bx x by x bz`` grid of bricks.
+
+        The *base-cell* space ``[0, n-1)`` per axis is split as evenly
+        as possible; each brick's data slice extends one voxel past its
+        owned region (the interpolation ghost layer), clamped at the
+        volume edge.
+
+        Args:
+            margin: Extra voxels of data on every side (clamped at the
+                volume boundary).  ``margin=1`` suffices for central-
+                difference gradients at owned sample points (shading).
+
+        Raises:
+            ValueError: If a requested axis count exceeds the number of
+                base cells on that axis.
+        """
+        if len(counts) != 3:
+            raise ValueError(f"counts must have 3 entries, got {counts!r}")
+        if margin < 0:
+            raise ValueError(f"margin must be >= 0, got {margin}")
+        edges: List[np.ndarray] = []
+        for axis, c in enumerate(counts):
+            check_positive(f"counts[{axis}]", c)
+            cells = self.shape[axis] - 1
+            if c > cells:
+                raise ValueError(
+                    f"axis {axis}: cannot split {cells} cells into {c} bricks"
+                )
+            edges.append(np.linspace(0, cells, int(c) + 1).astype(np.int64))
+        out: List[Brick] = []
+        n = self.shape
+        for bx, by, bz in itertools.product(*(range(int(c)) for c in counts)):
+            lo = tuple(int(v) for v in (edges[0][bx], edges[1][by], edges[2][bz]))
+            hi = tuple(
+                int(v) for v in (edges[0][bx + 1], edges[1][by + 1], edges[2][bz + 1])
+            )
+            # Data covers base cells lo..hi-1 plus the +1 ghost vertex,
+            # widened by `margin` and clamped to the volume.
+            origin = tuple(max(0, l - margin) for l in lo)
+            stop = tuple(min(n[a], hi[a] + 1 + margin) for a in range(3))
+            sl = tuple(slice(o, s) for o, s in zip(origin, stop))
+            out.append(
+                Brick(
+                    index=(bx, by, bz),
+                    lo=lo,  # type: ignore[arg-type]
+                    hi=hi,  # type: ignore[arg-type]
+                    data=self.data[sl],
+                    origin=origin,  # type: ignore[arg-type]
+                )
+            )
+        return out
+
+    def split_for_ranks(self, ranks: int, *, margin: int = 0) -> List[Brick]:
+        """Split into approximately ``ranks`` bricks (sort-last layout).
+
+        Factorizes ``ranks`` into a near-cubic grid, preferring to cut
+        the longest axes; the brick count equals ``ranks`` exactly when
+        ``ranks`` factorizes onto the axes, which holds for the usual
+        power-of-two node counts.
+        """
+        check_positive("ranks", ranks)
+        counts = [1, 1, 1]
+        remaining = int(ranks)
+        # Greedily assign prime factors (largest first) to the axis with
+        # the most cells per current brick.
+        factors: List[int] = []
+        n = remaining
+        f = 2
+        while f * f <= n:
+            while n % f == 0:
+                factors.append(f)
+                n //= f
+            f += 1
+        if n > 1:
+            factors.append(n)
+        for factor in sorted(factors, reverse=True):
+            axis = max(
+                range(3), key=lambda a: (self.shape[a] - 1) / counts[a]
+            )
+            counts[axis] *= factor
+        return self.bricks(counts, margin=margin)
+
+
+__all__ = ["Volume", "Brick"]

@@ -1,0 +1,27 @@
+"""Simulation glue: system configs, the head-node service, the runner."""
+
+from repro.sim.config import SystemConfig, system_anl, system_linux8
+from repro.sim.service import VisualizationService
+from repro.sim.simulator import SimulationResult, compare_schedulers, run_simulation
+from repro.sim.sweep import (
+    MetricStats,
+    ReplicationResult,
+    SweepResult,
+    replicate,
+    sweep,
+)
+
+__all__ = [
+    "SystemConfig",
+    "system_anl",
+    "system_linux8",
+    "VisualizationService",
+    "SimulationResult",
+    "compare_schedulers",
+    "run_simulation",
+    "MetricStats",
+    "ReplicationResult",
+    "SweepResult",
+    "replicate",
+    "sweep",
+]

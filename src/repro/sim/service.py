@@ -1,0 +1,281 @@
+"""The visualization service: head-node logic (paper §III-A, Fig. 1).
+
+The head node communicates with users and manages the rendering nodes.
+Its *listening thread* converts incoming requests to rendering jobs and
+pushes them to a job queue; its *dispatching thread* pops jobs, applies
+the data-decomposition policy and the scheduling scheme, and distributes
+tasks to rendering nodes; completed jobs are composited and returned.
+
+In the simulation, :class:`VisualizationService` owns:
+
+* the scheduler and its head-node tables (with completion corrections),
+* the trigger machinery (immediate / ω-cycle / batch-window),
+* job lifecycle tracking (tasks outstanding → job finish + compositing),
+* measurement of the scheduling procedure's wall-clock cost (Table III).
+
+Scheduling-cycle events self-terminate when no work remains and are
+re-armed by the next submission, so a simulation can be run to event-
+queue exhaustion (drain) or stopped at a horizon.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.event_queue import PRIORITY_CYCLE
+from repro.cluster.node import RenderNode
+from repro.core.job import JobType, RenderJob, RenderTask
+from repro.core.scheduler_base import Scheduler, SchedulerContext, Trigger
+from repro.core.tables import SchedulerTables
+from repro.metrics.collectors import SimulationCollector
+from repro.workload.trace import Request
+
+
+class VisualizationService:
+    """Head-node job queue, dispatcher, and bookkeeping.
+
+    Args:
+        cluster: The cluster to dispatch onto.
+        scheduler: The scheduling policy.
+        chunk_max: ``Chkmax`` for the scheduler's decomposition policy.
+        collector: Optional measurement sink (one is created if absent).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        chunk_max: int,
+        *,
+        collector: Optional[SimulationCollector] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.decomposition = scheduler.make_decomposition(
+            cluster.node_count, chunk_max
+        )
+        quota = cluster.nodes[0].cache.capacity
+        self.tables = SchedulerTables(
+            cluster.node_count,
+            quota,
+            cluster.cost,
+            cluster.storage,
+            executors_per_node=cluster.nodes[0].executors,
+        )
+        self.ctx = SchedulerContext(cluster, self.tables, self.decomposition)
+        self.collector = collector if collector is not None else SimulationCollector()
+        cluster.add_task_finish_listener(self._on_task_finish)
+
+        self._datasets: Dict[str, object] = {}
+        self._pending: List[RenderJob] = []
+        self._remaining: Dict[int, int] = {}
+        self._cycle_armed = False
+        self._window_generation = 0
+        self._completion_listeners: List = []
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+
+    def add_completion_listener(self, callback) -> None:
+        """Register ``callback(job)`` to fire on every job completion.
+
+        Used by closed-loop workload drivers (users who pace their
+        requests by delivered frames) and custom instrumentation.
+        """
+        self._completion_listeners.append(callback)
+
+    # -- prewarm ("test run") --------------------------------------------------
+
+    def prewarm(self, datasets: "List[object]") -> int:
+        """Pre-load chunk caches before measurement (the paper's test run).
+
+        The Estimate table is initialized via a test run (§V-B); that
+        same run leaves the dataset chunks resident in node memory —
+        Scenarios 1 and 3 explicitly rely on data being "completely
+        cached".  Chunks are placed round-robin (or by their pinned node
+        under the uniform decomposition) while they fit without
+        eviction; node caches and the head-node mirrors are updated in
+        lockstep so the Cache table stays exact.
+
+        Returns:
+            The number of chunks made resident.
+        """
+        from repro.core.chunks import UniformDecomposition
+
+        uniform = isinstance(self.decomposition, UniformDecomposition)
+        p = self.cluster.node_count
+        loaded = 0
+        cursor = 0
+        for ds in datasets:
+            for chunk in self.decomposition.decompose(ds):  # type: ignore[arg-type]
+                if uniform:
+                    candidates = [chunk.index]
+                else:
+                    candidates = [(cursor + off) % p for off in range(p)]
+                for k in candidates:
+                    node = self.cluster.nodes[k]
+                    if chunk.size <= node.cache.free_bytes:
+                        node.cache.insert(chunk)
+                        self.tables.warm(chunk, k)
+                        loaded += 1
+                        cursor = (k + 1) % p
+                        break
+        return loaded
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_request(self, request: Request, dataset: object) -> None:
+        """Listener-thread path: convert a request to a job and queue it."""
+        job = RenderJob(
+            request.job_type,
+            dataset,  # type: ignore[arg-type]
+            self.cluster.now,
+            user=request.user,
+            action=request.action,
+            sequence=request.sequence,
+        )
+        self.submit(job)
+
+    def submit(self, job: RenderJob) -> None:
+        """Queue a rendering job according to the scheduler's trigger."""
+        self.jobs_submitted += 1
+        self.collector.on_submit(job)
+        trigger = self.scheduler.trigger
+        if trigger is Trigger.IMMEDIATE:
+            self._run_scheduler([job])
+        elif trigger is Trigger.CYCLE:
+            self._pending.append(job)
+            self._arm_cycle()
+        else:  # Trigger.WINDOW
+            self._pending.append(job)
+            if len(self._pending) >= self.scheduler.window_size:
+                self._flush_window()
+            elif len(self._pending) == 1:
+                generation = self._window_generation
+                self.cluster.events.schedule_after(
+                    self.scheduler.window_timeout,
+                    self._on_window_timeout,
+                    generation,
+                    priority=PRIORITY_CYCLE,
+                )
+
+    # -- triggers ------------------------------------------------------------
+
+    def _arm_cycle(self) -> None:
+        """Ensure a scheduling-cycle event is pending."""
+        if not self._cycle_armed:
+            self._cycle_armed = True
+            self.cluster.events.schedule_after(
+                self.scheduler.cycle, self._on_cycle, priority=PRIORITY_CYCLE
+            )
+
+    def start(self) -> None:
+        """Arm the first scheduling cycle for cycle-triggered schedulers.
+
+        Harmless for other triggers; idempotent.
+        """
+        if self.scheduler.trigger is Trigger.CYCLE:
+            self._arm_cycle()
+
+    def _on_cycle(self) -> None:
+        jobs = self._pending
+        self._pending = []
+        self._run_scheduler(jobs)
+        # Re-arm while the scheduler still holds deferred work or new
+        # jobs arrived during this cycle's scheduling; otherwise go
+        # quiescent until the next submission re-arms us.
+        self._cycle_armed = False
+        if self._pending or self.scheduler.pending_task_count() > 0:
+            self._arm_cycle()
+
+    def _on_window_timeout(self, generation: int) -> None:
+        if generation == self._window_generation and self._pending:
+            self._flush_window()
+
+    def _flush_window(self) -> None:
+        jobs = self._pending
+        self._pending = []
+        self._window_generation += 1
+        self._run_scheduler(jobs)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _run_scheduler(self, jobs: List[RenderJob]) -> None:
+        """Invoke the policy, measure its cost, dispatch its assignments."""
+        t0 = _time.perf_counter()
+        self.scheduler.schedule(jobs, self.ctx)
+        elapsed = _time.perf_counter() - t0
+        assignments = self.ctx.take_assignments()
+        self.collector.scheduling.record(elapsed, len(jobs), len(assignments))
+        self._dispatch(assignments)
+
+    def _dispatch(self, assignments) -> None:
+        remaining = self._remaining
+        dispatch = self.cluster.dispatch
+        for assignment in assignments:
+            job = assignment.task.job
+            if job.job_id not in remaining:
+                remaining[job.job_id] = job.task_count
+            dispatch(assignment.task, assignment.node)
+
+    # -- fault tolerance (paper §VI-D) -------------------------------------
+
+    def fail_node(self, node_id: int) -> int:
+        """Crash rendering node ``node_id`` and recover its workload.
+
+        The node's in-flight and queued tasks are re-dispatched to the
+        surviving nodes via the scheduler's ``reschedule`` policy
+        (locality-aware by default: chunks with live replicas stay
+        cached, the rest reload from the file system).  Returns the
+        number of tasks recovered.
+        """
+        node = self.cluster.nodes[node_id]
+        orphans = node.fail()
+        self.tables.mark_node_failed(node_id)
+        for task in orphans:
+            # Their old predictions are void; fresh ones are recorded at
+            # re-assignment.
+            self.tables._pending_est.pop(task, None)
+        if orphans:
+            self.scheduler.reschedule(orphans, self.ctx)
+            self._dispatch(self.ctx.take_assignments())
+        return len(orphans)
+
+    # -- completion ------------------------------------------------------------
+
+    def _on_task_finish(self, node: RenderNode, task: RenderTask) -> None:
+        now = self.cluster.now
+        self.tables.correct_completion(task, node.node_id, now)
+        job = task.job
+        left = self._remaining[job.job_id] - 1
+        if left:
+            self._remaining[job.job_id] = left
+            return
+        del self._remaining[job.job_id]
+        # The compositing thread assembles the final image after the last
+        # render; it extends job latency but frees the render thread.
+        group = len(job.group_nodes())
+        job.finish_time = now + self.cluster.cost.composite_time(group)
+        self.jobs_completed += 1
+        self.collector.on_job_complete(job)
+        for listener in self._completion_listeners:
+            listener(job)
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def outstanding_jobs(self) -> int:
+        """Jobs submitted but not yet completed (queued, deferred, running)."""
+        return self.jobs_submitted - self.jobs_completed
+
+    def has_work(self) -> bool:
+        """True while any job is queued, deferred, or in flight."""
+        return (
+            bool(self._pending)
+            or bool(self._remaining)
+            or self.scheduler.pending_task_count() > 0
+        )
+
+
+__all__ = ["VisualizationService"]

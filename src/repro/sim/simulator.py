@@ -1,0 +1,263 @@
+"""Top-level simulation runner: scenario x scheduler → results.
+
+:func:`run_simulation` wires a scenario's cluster, a scheduler, and the
+workload trace into one discrete-event run and returns a
+:class:`SimulationResult` with everything the evaluation section reports
+(framerates, latencies, hit rates, scheduling costs, utilization).
+
+:func:`compare_schedulers` runs the same scenario under several policies
+— the shape of Figs. 4-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.event_queue import PRIORITY_ARRIVAL, EventQueue
+from repro.core.cost_model import mean
+from repro.core.job import JobType
+from repro.core.registry import make_scheduler
+from repro.core.scheduler_base import Scheduler
+from repro.metrics.analysis import (
+    LatencyStats,
+    SchedulerSummary,
+    batch_working_time,
+    delivered_framerates_by_action,
+    framerates_by_action,
+    latency_stats,
+    mean_interactive_framerate,
+    summarize,
+)
+from repro.metrics.collectors import JobRecord, SimulationCollector
+from repro.metrics.timeline import TimelineSampler
+from repro.sim.service import VisualizationService
+from repro.workload.scenarios import Scenario
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one scenario x scheduler run."""
+
+    scenario_name: str
+    scheduler_name: str
+    horizon: float
+    target_framerate: float
+    collector: SimulationCollector
+    jobs_submitted: int
+    jobs_completed: int
+    simulated_time: float
+    events_processed: int
+    mean_node_utilization: float
+    drained: bool
+    tasks_executed: int = 0
+    tasks_hit: int = 0
+    tasks_missed: int = 0
+    timeline: Optional["TimelineSampler"] = None
+
+    # -- job records -----------------------------------------------------------
+
+    @property
+    def records(self) -> List[JobRecord]:
+        """All completed-job records."""
+        return self.collector.records
+
+    @property
+    def unfinished_jobs(self) -> int:
+        """Jobs submitted but not completed within the run."""
+        return self.jobs_submitted - self.jobs_completed
+
+    # -- headline metrics --------------------------------------------------------
+
+    @property
+    def frame_interval(self) -> float:
+        """Request spacing of one action: 1 / target framerate."""
+        return 1.0 / self.target_framerate
+
+    def interactive_framerates(self) -> Dict[int, float]:
+        """Definition-4 framerate per interactive action."""
+        return framerates_by_action(self.records)
+
+    def delivered_framerates(self) -> Dict[int, float]:
+        """Delivered framerate per interactive action."""
+        return delivered_framerates_by_action(
+            self.records, self.collector.action_issues, self.frame_interval
+        )
+
+    @property
+    def interactive_fps(self) -> float:
+        """Mean per-action *delivered* framerate (Fig. 4-7 bars)."""
+        return mean(list(self.delivered_framerates().values()))
+
+    @property
+    def interactive_fps_definition4(self) -> float:
+        """Mean per-action Definition-4 framerate (completion spacing)."""
+        return mean_interactive_framerate(self.records)
+
+    @property
+    def interactive_latency(self) -> LatencyStats:
+        """Interactive-job latency summary (Fig. 4-7 marked lines)."""
+        return latency_stats(self.records, JobType.INTERACTIVE)
+
+    @property
+    def batch_latency(self) -> LatencyStats:
+        """Batch-job latency summary (Fig. 5-7 left bars)."""
+        return latency_stats(self.records, JobType.BATCH)
+
+    @property
+    def batch_working_time(self) -> float:
+        """Mean batch ``JExec`` (Fig. 5-7 right bars)."""
+        return batch_working_time(self.records)
+
+    @property
+    def hit_rate(self) -> float:
+        """Data-reuse hit rate over *executed* tasks (Table III).
+
+        Counts every task the rendering nodes ran (hits and misses are
+        tallied when a task begins executing), including tasks of jobs
+        that had not fully completed by the horizon; the collector's
+        per-completed-job hit counts remain available via
+        ``collector.hit_rate``.
+        """
+        total = self.tasks_hit + self.tasks_missed
+        if total == 0:
+            return 0.0
+        return self.tasks_hit / total
+
+    @property
+    def sched_cost_us(self) -> float:
+        """Average scheduling cost per job in µs (Table III)."""
+        return self.collector.scheduling.mean_cost_per_job_us
+
+    def summary(self) -> SchedulerSummary:
+        """One comparison row for this run."""
+        return summarize(
+            self.scheduler_name,
+            self.records,
+            hit_rate=self.hit_rate,
+            sched_cost_us=self.sched_cost_us,
+            action_issues=self.collector.action_issues,
+            frame_interval=self.frame_interval,
+        )
+
+
+def run_simulation(
+    scenario: Scenario,
+    scheduler: Union[str, Scheduler],
+    *,
+    drain: bool = False,
+    max_drain_time: Optional[float] = None,
+    storage_seed: int = 0,
+    timeline_interval: Optional[float] = None,
+    node_failures: Optional[Sequence[Tuple[float, int]]] = None,
+) -> SimulationResult:
+    """Run one scenario under one scheduler.
+
+    Args:
+        scenario: System configuration + workload trace.
+        scheduler: A registry name (e.g. ``"OURS"``) or an instance.
+        drain: If True, keep simulating past the trace horizon until all
+            submitted jobs complete (bounded by ``max_drain_time``
+            simulated seconds past the horizon, when given).  The
+            paper's measurements are horizon-bounded (``drain=False``):
+            metrics cover jobs completed within the run window.
+        storage_seed: Seed for I/O jitter (when the storage spec enables
+            it).
+        timeline_interval: If given, sample cluster dynamics (backlog,
+            busy nodes, completions, hits) every this many simulated
+            seconds; the series is returned as ``result.timeline``.
+        node_failures: Optional crash schedule — ``(time, node_id)``
+            pairs; each node fails at its time and its workload is
+            recovered per the paper's §VI-D fault-tolerance design.
+
+    Returns:
+        A :class:`SimulationResult`.
+    """
+    if isinstance(scheduler, str):
+        scheduler = make_scheduler(scheduler)
+    scheduler.reset()
+
+    events = EventQueue()
+    cluster = scenario.system.build_cluster(events=events, storage_seed=storage_seed)
+    service = VisualizationService(cluster, scheduler, scenario.system.chunk_max)
+    if scenario.prewarm:
+        service.prewarm(scenario.trace.datasets)
+    sampler: Optional[TimelineSampler] = None
+    if timeline_interval is not None:
+        horizon_hint = None if drain else scenario.trace.duration
+        sampler = TimelineSampler(timeline_interval, horizon=horizon_hint)
+        sampler.attach(service)
+
+    if node_failures:
+        for fail_time, node_id in node_failures:
+            if not 0 <= node_id < cluster.node_count:
+                raise ValueError(f"node_failures references node {node_id}")
+            events.schedule(
+                fail_time, service.fail_node, node_id, priority=PRIORITY_ARRIVAL
+            )
+
+    datasets = {d.name: d for d in scenario.trace.datasets}
+    for request in scenario.trace.requests:
+        events.schedule(
+            request.time,
+            service.submit_request,
+            request,
+            datasets[request.dataset],
+            priority=PRIORITY_ARRIVAL,
+        )
+    service.start()
+
+    horizon = scenario.trace.duration
+    events.run(until=horizon)
+    drained = not service.has_work()
+    if drain and not drained:
+        limit = None if max_drain_time is None else horizon + max_drain_time
+        while service.has_work():
+            next_time = events.peek_time()
+            if next_time is None:
+                break
+            if limit is not None and next_time > limit:
+                break
+            events.step()
+        drained = not service.has_work()
+
+    return SimulationResult(
+        scenario_name=scenario.name,
+        scheduler_name=scheduler.name,
+        horizon=horizon,
+        target_framerate=scenario.target_framerate,
+        collector=service.collector,
+        jobs_submitted=service.jobs_submitted,
+        jobs_completed=service.jobs_completed,
+        simulated_time=events.now,
+        events_processed=events.processed,
+        mean_node_utilization=cluster.mean_utilization(max(events.now, 1e-9)),
+        drained=drained,
+        tasks_executed=sum(n.tasks_executed for n in cluster.nodes),
+        tasks_hit=sum(n.cache_hits for n in cluster.nodes),
+        tasks_missed=sum(n.cache_misses for n in cluster.nodes),
+        timeline=sampler,
+    )
+
+
+def compare_schedulers(
+    scenario: Scenario,
+    schedulers: Sequence[Union[str, Scheduler]],
+    *,
+    drain: bool = False,
+    max_drain_time: Optional[float] = None,
+) -> List[SimulationResult]:
+    """Run the same scenario under each scheduler (Figs. 4-7 harness).
+
+    Every run replays the identical trace on a fresh cluster.
+    """
+    return [
+        run_simulation(
+            scenario, sched, drain=drain, max_drain_time=max_drain_time
+        )
+        for sched in schedulers
+    ]
+
+
+__all__ = ["SimulationResult", "run_simulation", "compare_schedulers"]

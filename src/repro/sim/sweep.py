@@ -1,0 +1,179 @@
+"""Experiment harness: parameter sweeps and seed replication.
+
+The Fig. 8/9-style studies are parameter sweeps (vary one knob, run the
+simulation, tabulate metrics), and rigorous comparisons need
+replication over workload seeds.  This module packages both patterns so
+benches, examples, and downstream studies don't re-implement the loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.scheduler_base import Scheduler
+from repro.metrics.report import sweep_table
+from repro.sim.simulator import SimulationResult, run_simulation
+from repro.workload.scenarios import Scenario
+
+ScenarioFactory = Callable[..., Scenario]
+SchedulerLike = Union[str, Callable[[], Scheduler]]
+
+
+def _instantiate(scheduler: SchedulerLike) -> Union[str, Scheduler]:
+    return scheduler() if callable(scheduler) else scheduler
+
+
+@dataclass
+class SweepResult:
+    """Results of a one-dimensional parameter sweep."""
+
+    parameter: str
+    values: List[float]
+    schedulers: List[str]
+    results: Dict[tuple, SimulationResult] = field(default_factory=dict)
+
+    def result(self, value: float, scheduler: str) -> SimulationResult:
+        """The run at one sweep point."""
+        return self.results[(value, scheduler)]
+
+    def series(
+        self, metric: Callable[[SimulationResult], float]
+    ) -> Dict[str, List[float]]:
+        """Extract ``metric`` per scheduler across the sweep."""
+        return {
+            s: [metric(self.results[(v, s)]) for v in self.values]
+            for s in self.schedulers
+        }
+
+    def table(
+        self,
+        metric: Callable[[SimulationResult], float],
+        *,
+        title: str = "",
+        fmt: str = "{:>12.2f}",
+    ) -> str:
+        """Render one metric as a Fig. 8/9-style text table."""
+        return sweep_table(
+            self.parameter, self.values, self.series(metric), title=title, fmt=fmt
+        )
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[float],
+    scenario_factory: Callable[[float], Scenario],
+    schedulers: Sequence[SchedulerLike],
+    **run_kwargs,
+) -> SweepResult:
+    """Run ``scenario_factory(value)`` under each scheduler per value.
+
+    Args:
+        parameter: Display name of the swept knob.
+        values: Sweep points (passed to the factory).
+        scenario_factory: Builds the scenario for one sweep point.
+        schedulers: Registry names or zero-arg factories.
+        **run_kwargs: Forwarded to :func:`run_simulation`.
+    """
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    if not schedulers:
+        raise ValueError("sweep needs at least one scheduler")
+    out = SweepResult(parameter=parameter, values=list(values), schedulers=[])
+    names: List[str] = []
+    for value in values:
+        scenario = scenario_factory(value)
+        for scheduler in schedulers:
+            instance = _instantiate(scheduler)
+            result = run_simulation(scenario, instance, **run_kwargs)
+            out.results[(value, result.scheduler_name)] = result
+            if result.scheduler_name not in names:
+                names.append(result.scheduler_name)
+    out.schedulers = names
+    return out
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean and sample standard deviation of one metric across seeds."""
+
+    mean: float
+    std: float
+    values: tuple
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricStats":
+        n = len(values)
+        if n == 0:
+            return cls(mean=0.0, std=0.0, values=())
+        mean = sum(values) / n
+        if n == 1:
+            return cls(mean=mean, std=0.0, values=tuple(values))
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        return cls(mean=mean, std=math.sqrt(var), values=tuple(values))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f} (n={len(self.values)})"
+
+
+@dataclass
+class ReplicationResult:
+    """Seed-replicated metrics for one scheduler."""
+
+    scheduler: str
+    seeds: List[int]
+    results: List[SimulationResult]
+
+    def stat(self, metric: Callable[[SimulationResult], float]) -> MetricStats:
+        """Aggregate ``metric`` across the replicas."""
+        return MetricStats.of([metric(r) for r in self.results])
+
+    @property
+    def fps(self) -> MetricStats:
+        """Delivered interactive framerate across seeds."""
+        return self.stat(lambda r: r.interactive_fps)
+
+    @property
+    def interactive_latency(self) -> MetricStats:
+        """Mean interactive latency across seeds."""
+        return self.stat(lambda r: r.interactive_latency.mean)
+
+    @property
+    def hit_rate(self) -> MetricStats:
+        """Executed-task hit rate across seeds."""
+        return self.stat(lambda r: r.hit_rate)
+
+
+def replicate(
+    scenario_factory: Callable[[int], Scenario],
+    scheduler: SchedulerLike,
+    seeds: Sequence[int],
+    **run_kwargs,
+) -> ReplicationResult:
+    """Run ``scenario_factory(seed)`` once per seed under one scheduler.
+
+    Quantifies the workload-seed sensitivity that single-trace
+    comparisons (the paper's, and this repo's scenario benches) cannot.
+    """
+    if not seeds:
+        raise ValueError("replicate needs at least one seed")
+    results: List[SimulationResult] = []
+    name: Optional[str] = None
+    for seed in seeds:
+        instance = _instantiate(scheduler)
+        result = run_simulation(scenario_factory(seed), instance, **run_kwargs)
+        results.append(result)
+        name = result.scheduler_name
+    return ReplicationResult(
+        scheduler=name or "?", seeds=list(seeds), results=results
+    )
+
+
+__all__ = [
+    "SweepResult",
+    "sweep",
+    "MetricStats",
+    "ReplicationResult",
+    "replicate",
+]

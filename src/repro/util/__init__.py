@@ -1,0 +1,40 @@
+"""Shared utilities: byte/time unit helpers, seeded RNG, validation."""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    bytes_to_gib,
+    bytes_to_mib,
+    fmt_bytes,
+    fmt_seconds,
+    MICROSECOND,
+    MILLISECOND,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+)
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "bytes_to_gib",
+    "bytes_to_mib",
+    "fmt_bytes",
+    "fmt_seconds",
+    "MICROSECOND",
+    "MILLISECOND",
+    "make_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+]

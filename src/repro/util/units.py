@@ -1,0 +1,67 @@
+"""Byte and time unit constants and formatting helpers.
+
+The simulator keeps all sizes in integer **bytes** and all times in float
+**seconds**.  These helpers exist so that configuration code reads like the
+paper ("512 MB chunks", "2 GB memory quota", "30 ms request interval")
+instead of raw powers of two.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Byte units (binary, as used for memory quotas and chunk sizes).
+# ---------------------------------------------------------------------------
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+# ---------------------------------------------------------------------------
+# Time units, expressed in seconds.
+# ---------------------------------------------------------------------------
+
+MICROSECOND: float = 1e-6
+MILLISECOND: float = 1e-3
+
+
+def bytes_to_mib(n: int) -> float:
+    """Convert a byte count to MiB as a float."""
+    return n / MiB
+
+
+def bytes_to_gib(n: int) -> float:
+    """Convert a byte count to GiB as a float."""
+    return n / GiB
+
+
+def fmt_bytes(n: int) -> str:
+    """Render a byte count with an adaptive binary unit.
+
+    >>> fmt_bytes(512 * MiB)
+    '512.0 MiB'
+    >>> fmt_bytes(3 * GiB)
+    '3.0 GiB'
+    """
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(t: float) -> str:
+    """Render a duration with an adaptive unit (us / ms / s).
+
+    >>> fmt_seconds(0.0305)
+    '30.500 ms'
+    """
+    if t == 0.0:
+        return "0 s"
+    a = abs(t)
+    if a < 1e-3:
+        return f"{t * 1e6:.1f} us"
+    if a < 1.0:
+        return f"{t * 1e3:.3f} ms"
+    return f"{t:.3f} s"

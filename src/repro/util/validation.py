@@ -1,0 +1,61 @@
+"""Small argument-validation helpers used across the library.
+
+These raise early, with messages naming the offending parameter, so that
+configuration mistakes surface at construction time rather than as silent
+nonsense deep inside a simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Require ``lo <= value <= hi`` (or strict, if ``inclusive=False``)."""
+    ok = (lo <= value <= hi) if inclusive else (lo < value < hi)
+    if not ok:
+        bounds = f"[{lo}, {hi}]" if inclusive else f"({lo}, {hi})"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_type(
+    name: str,
+    value: Any,
+    types: Union[Type, Tuple[Type, ...]],
+) -> Any:
+    """Require ``isinstance(value, types)``; return it for chaining."""
+    if not isinstance(value, types):
+        expected = (
+            types.__name__
+            if isinstance(types, type)
+            else " | ".join(t.__name__ for t in types)
+        )
+        raise TypeError(
+            f"{name} must be {expected}, got {type(value).__name__}: {value!r}"
+        )
+    return value
+
+
+__all__ = ["check_positive", "check_non_negative", "check_in_range", "check_type"]

@@ -1,0 +1,57 @@
+"""Workload generation: interactive actions, batch streams, scenarios."""
+
+from repro.workload.actions import (
+    UserAction,
+    expected_interactive_jobs,
+    persistent_actions,
+    poisson_action_stream,
+)
+from repro.workload.batch import (
+    BatchSubmission,
+    TimeVaryingSubmission,
+    poisson_batch_stream,
+    time_varying_batch_stream,
+)
+from repro.workload.closedloop import (
+    ClosedLoopResult,
+    ClosedLoopUser,
+    run_closed_loop,
+)
+from repro.workload.scenarios import (
+    SCENARIO_FACTORIES,
+    TARGET_FPS,
+    Scenario,
+    custom_scenario,
+    make_scenario,
+    scenario_1,
+    scenario_2,
+    scenario_3,
+    scenario_4,
+)
+from repro.workload.trace import Request, WorkloadTrace, merge_traces
+
+__all__ = [
+    "UserAction",
+    "expected_interactive_jobs",
+    "persistent_actions",
+    "poisson_action_stream",
+    "BatchSubmission",
+    "TimeVaryingSubmission",
+    "poisson_batch_stream",
+    "time_varying_batch_stream",
+    "ClosedLoopResult",
+    "ClosedLoopUser",
+    "run_closed_loop",
+    "SCENARIO_FACTORIES",
+    "TARGET_FPS",
+    "Scenario",
+    "custom_scenario",
+    "make_scenario",
+    "scenario_1",
+    "scenario_2",
+    "scenario_3",
+    "scenario_4",
+    "Request",
+    "WorkloadTrace",
+    "merge_traces",
+]

@@ -1,0 +1,309 @@
+"""The four evaluation scenarios of Table II, plus custom scenarios.
+
+Each factory reproduces one row of Table II:
+
+====  =====  ============  ==========  ==========  ======  ===========
+ #    nodes  total memory  # datasets  total size   length  jobs (b/i)
+====  =====  ============  ==========  ==========  ======  ===========
+ 1      8      16 GB           6         12 GB       60 s    0 / 12006
+ 2      8      16 GB          12         24 GB      120 s    2251 / 21011
+ 3     64     512 GB          32        256 GB      300 s    9844 / 160633
+ 4     64     512 GB         128          1 TB      600 s    35176 / 388481
+====  =====  ============  ==========  ==========  ======  ===========
+
+All four target 33.33 fps (one request per 30 ms per action).
+
+Scenario 1 uses persistent actions (exactly 12 006 requests).  The
+mixed scenarios use Poisson action/batch streams whose rates are sized
+to the Table II totals; generated counts land within sampling noise of
+the paper's (the exact values are properties of the authors' traces,
+not of the design).
+
+Every factory takes a ``scale`` factor that shrinks the simulated
+duration while preserving all rates and the dataset suite, so the
+request *intensity* — the thing the schedulers react to — is unchanged.
+``scale=1.0`` reproduces the full Table II runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.chunks import Dataset, dataset_suite
+from repro.sim.config import SystemConfig, system_anl, system_linux8
+from repro.util.units import GiB
+from repro.util.validation import check_positive
+from repro.workload.actions import persistent_actions, poisson_action_stream
+from repro.workload.batch import poisson_batch_stream
+from repro.workload.trace import WorkloadTrace, merge_traces
+
+#: The paper's target framerate for all scenarios: "33.33 fps (one
+#: request per 30ms for each action)" — exactly 100/3 so the request
+#: interval is exactly 30 ms.
+TARGET_FPS = 100.0 / 3.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A system configuration plus the workload to run on it.
+
+    ``prewarm`` replays the paper's pre-measurement "test run": dataset
+    chunks are made memory-resident (as far as they fit without
+    eviction) before the first request, so runs start from the warmed
+    state the evaluation assumes ("total data ... can be completely
+    cached", Scenarios 1 and 3).
+    """
+
+    name: str
+    system: SystemConfig
+    trace: WorkloadTrace
+    description: str = ""
+    prewarm: bool = True
+
+    @property
+    def datasets(self) -> List[Dataset]:
+        """The dataset suite of the workload."""
+        return self.trace.datasets
+
+    @property
+    def target_framerate(self) -> float:
+        """The interactive framerate target."""
+        return self.trace.target_framerate
+
+    def summary(self) -> str:
+        """Table II-style one-liner."""
+        return f"[{self.system.name} x{self.system.node_count}] {self.trace.summary()}"
+
+
+def _mixed_trace(
+    datasets: List[Dataset],
+    duration: float,
+    *,
+    action_rate: float,
+    mean_action_duration: float,
+    batch_rate: float,
+    mean_batch_frames: float,
+    seed: int,
+    name: str,
+    interactive_datasets: int = 0,
+) -> WorkloadTrace:
+    """Interactive Poisson stream merged with a batch Poisson stream.
+
+    ``interactive_datasets`` > 0 restricts interactive actions to the
+    first that many datasets (the hot working set under active study);
+    batch submissions always range over the whole suite.  This models
+    the paper's multi-user narrative — interactive exploration of
+    resident data, batch production over everything — and is what makes
+    the memory-pressure scenarios' swapping come from *batch* traffic.
+    """
+    weights = None
+    if interactive_datasets:
+        if not 0 < interactive_datasets <= len(datasets):
+            raise ValueError(
+                f"interactive_datasets must be in 1..{len(datasets)}, "
+                f"got {interactive_datasets}"
+            )
+        weights = [1.0] * interactive_datasets + [0.0] * (
+            len(datasets) - interactive_datasets
+        )
+    interactive = poisson_action_stream(
+        datasets,
+        duration,
+        arrival_rate=action_rate,
+        mean_action_duration=mean_action_duration,
+        target_framerate=TARGET_FPS,
+        seed=seed,
+        dataset_weights=weights,
+        name=f"{name}-interactive",
+    )
+    batch = poisson_batch_stream(
+        datasets,
+        duration,
+        submission_rate=batch_rate,
+        mean_frames=mean_batch_frames,
+        target_framerate=TARGET_FPS,
+        seed=seed + 101,
+        name=f"{name}-batch",
+    )
+    return merge_traces([interactive, batch], name=name)
+
+
+def scenario_1(*, scale: float = 1.0, seed: int = 1) -> Scenario:
+    """Scenario 1: workload balancing, all data cacheable (Fig. 4).
+
+    8 nodes with 2 GB quota each (16 GB total); six 2 GB datasets
+    (12 GB total, fully cacheable); six simultaneous persistent user
+    actions at 33.33 fps; no batch jobs; 60 seconds.
+    """
+    check_positive("scale", scale)
+    duration = 60.0 * scale
+    datasets = dataset_suite(6, 2 * GiB)
+    trace = persistent_actions(
+        datasets, duration, target_framerate=TARGET_FPS, name="scenario1"
+    )
+    return Scenario(
+        name="scenario1",
+        system=system_linux8(),
+        trace=trace,
+        description=(
+            "6 persistent interactive actions over 6x2GB datasets on 8 "
+            "nodes; measures pure workload balancing (all data fits in "
+            "memory)"
+        ),
+    )
+
+
+def scenario_2(*, scale: float = 1.0, seed: int = 2) -> Scenario:
+    """Scenario 2: data locality under memory pressure (Fig. 5).
+
+    Doubles the datasets (12 x 2 GB = 24 GB > 16 GB of memory) and adds
+    batch submissions to the short-action interactive mix; 120 seconds.
+    Table II totals: 2 251 batch / 21 011 interactive jobs
+    → ~175 interactive jobs/s (≈5.3 concurrent actions) and
+    ~19 batch jobs/s.
+    """
+    check_positive("scale", scale)
+    duration = 120.0 * scale
+    datasets = dataset_suite(12, 2 * GiB)
+    trace = _mixed_trace(
+        datasets,
+        duration,
+        action_rate=1.75,  # x 3 s mean duration = 5.25 concurrent actions
+        mean_action_duration=3.0,
+        batch_rate=0.25,  # x 75 mean frames = 18.75 batch jobs/s
+        mean_batch_frames=75.0,
+        seed=seed,
+        name="scenario2",
+        # The 8-dataset hot working set fills the 16 GB aggregate memory
+        # exactly, so batch loads of the other 4 datasets force the
+        # interactive/batch data swapping the paper describes; batch
+        # ranges over all 12 datasets.
+        interactive_datasets=8,
+    )
+    return Scenario(
+        name="scenario2",
+        system=system_linux8(),
+        trace=trace,
+        description=(
+            "Short interactive actions + batch submissions over 12x2GB "
+            "datasets (24GB > 16GB memory) on 8 nodes; measures data-"
+            "locality utilization and batch deferral"
+        ),
+    )
+
+
+def scenario_3(*, scale: float = 1.0, seed: int = 3) -> Scenario:
+    """Scenario 3: light-load large-scale hybrid environment (Fig. 6).
+
+    64 ANL nodes with 8 GB quota (512 GB total); 32 x 8 GB datasets
+    (256 GB, fully cacheable); 300 seconds.  Table II totals: 9 844
+    batch / 160 633 interactive jobs → ~535 interactive jobs/s (≈16
+    concurrent actions) and ~33 batch jobs/s.
+    """
+    check_positive("scale", scale)
+    duration = 300.0 * scale
+    datasets = dataset_suite(32, 8 * GiB)
+    trace = _mixed_trace(
+        datasets,
+        duration,
+        action_rate=3.2,  # x 5 s mean duration = 16 concurrent actions
+        mean_action_duration=5.0,
+        batch_rate=0.44,  # x 75 mean frames = 33 batch jobs/s
+        mean_batch_frames=75.0,
+        seed=seed,
+        name="scenario3",
+    )
+    return Scenario(
+        name="scenario3",
+        system=system_anl(),
+        trace=trace,
+        description=(
+            "Hybrid interactive+batch on 64 ANL nodes over 32x8GB "
+            "datasets (fully cacheable); light load"
+        ),
+    )
+
+
+def scenario_4(*, scale: float = 1.0, seed: int = 4) -> Scenario:
+    """Scenario 4: heavy-load environment, 1 TB of data (Fig. 7).
+
+    128 x 8 GB datasets (1 TB, double the 512 GB aggregate memory);
+    600 seconds.  Table II totals: 35 176 batch / 388 481 interactive
+    jobs → ~647 interactive jobs/s (≈19.4 concurrent actions, above the
+    sustainable capacity — latencies soar, as the paper notes) and
+    ~59 batch jobs/s.
+    """
+    check_positive("scale", scale)
+    duration = 600.0 * scale
+    datasets = dataset_suite(128, 8 * GiB)
+    trace = _mixed_trace(
+        datasets,
+        duration,
+        action_rate=3.9,  # x 5 s mean duration = 19.5 concurrent actions
+        mean_action_duration=5.0,
+        batch_rate=0.78,  # x 75 mean frames = 58.5 batch jobs/s
+        mean_batch_frames=75.0,
+        seed=seed,
+        name="scenario4",
+        # 64-dataset working set = the full 512 GB aggregate memory;
+        # batch production ranges over the whole 1 TB suite.
+        interactive_datasets=64,
+    )
+    return Scenario(
+        name="scenario4",
+        system=system_anl(),
+        trace=trace,
+        description=(
+            "Heavy-load hybrid on 64 ANL nodes over 128x8GB datasets "
+            "(1TB, twice the aggregate memory)"
+        ),
+    )
+
+
+def custom_scenario(
+    system: SystemConfig,
+    trace: WorkloadTrace,
+    *,
+    name: Optional[str] = None,
+    description: str = "",
+) -> Scenario:
+    """Wrap an arbitrary system + trace pair as a scenario."""
+    return Scenario(
+        name=name if name is not None else trace.name,
+        system=system,
+        trace=trace,
+        description=description,
+    )
+
+
+SCENARIO_FACTORIES = {
+    1: scenario_1,
+    2: scenario_2,
+    3: scenario_3,
+    4: scenario_4,
+}
+
+
+def make_scenario(number: int, *, scale: float = 1.0, seed: Optional[int] = None) -> Scenario:
+    """Build Table II scenario ``number`` (1-4)."""
+    factory = SCENARIO_FACTORIES.get(number)
+    if factory is None:
+        raise KeyError(f"no scenario {number}; valid: 1-4")
+    kwargs = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return factory(**kwargs)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "TARGET_FPS",
+    "Scenario",
+    "scenario_1",
+    "scenario_2",
+    "scenario_3",
+    "scenario_4",
+    "custom_scenario",
+    "make_scenario",
+    "SCENARIO_FACTORIES",
+]

@@ -1,0 +1,100 @@
+"""Tests for the Cluster aggregate."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.costs import CostParameters
+from repro.cluster.storage import StorageSpec
+from repro.core.chunks import ChunkedDecomposition, Dataset
+from repro.core.job import JobType, RenderJob
+from repro.util.units import GiB, MiB
+
+COST = CostParameters(render_jitter=0.0)
+
+
+def make_cluster(n=4):
+    return Cluster(
+        n,
+        GiB,
+        COST,
+        storage_spec=StorageSpec(bandwidth=100 * MiB, latency=0.01),
+    )
+
+
+def decompose(job):
+    return job.decompose(ChunkedDecomposition(256 * MiB))
+
+
+class TestConstruction:
+    def test_node_count(self):
+        cluster = make_cluster(6)
+        assert cluster.node_count == 6
+        assert [n.node_id for n in cluster.nodes] == list(range(6))
+
+    def test_shared_storage(self):
+        cluster = make_cluster()
+        assert all(n._storage is cluster.storage for n in cluster.nodes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cluster(0, GiB, COST)
+        with pytest.raises(ValueError):
+            Cluster(4, 0, COST)
+
+
+class TestDispatchAndStats:
+    def test_dispatch_executes_on_named_node(self):
+        cluster = make_cluster()
+        job = RenderJob(JobType.INTERACTIVE, Dataset("ds", GiB), 0.0)
+        tasks = decompose(job)
+        for i, t in enumerate(tasks):
+            cluster.dispatch(t, i)
+        cluster.events.run()
+        assert [t.node for t in tasks] == [0, 1, 2, 3]
+        assert cluster.total_tasks_executed() == 4
+
+    def test_task_finish_listener(self):
+        cluster = make_cluster()
+        seen = []
+        cluster.add_task_finish_listener(lambda node, task: seen.append(
+            (node.node_id, task.index)
+        ))
+        job = RenderJob(JobType.INTERACTIVE, Dataset("ds", GiB), 0.0)
+        for t in decompose(job):
+            cluster.dispatch(t, 0)
+        cluster.events.run()
+        assert seen == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+    def test_hit_rate(self):
+        cluster = make_cluster(1)
+        ds = Dataset("ds", 512 * MiB)  # 2 chunks, fits in 1 GiB quota
+        j1 = RenderJob(JobType.INTERACTIVE, ds, 0.0)
+        for t in decompose(j1):
+            cluster.dispatch(t, 0)
+        cluster.events.run()
+        assert cluster.cache_hit_rate() == 0.0
+        j2 = RenderJob(JobType.INTERACTIVE, ds, cluster.now)
+        for t in decompose(j2):
+            cluster.dispatch(t, 0)
+        cluster.events.run()
+        assert cluster.cache_hit_rate() == 0.5
+
+    def test_backlog_and_idle_nodes(self):
+        cluster = make_cluster(2)
+        job = RenderJob(JobType.BATCH, Dataset("ds", GiB), 0.0)
+        for t in decompose(job):
+            cluster.dispatch(t, 0)
+        # Node 0 busy (1 running + 3 queued); node 1 idle.
+        assert cluster.total_backlog() == 3
+        assert cluster.idle_nodes() == [1]
+        cluster.events.run()
+        assert cluster.idle_nodes() == [0, 1]
+
+    def test_mean_utilization(self):
+        cluster = make_cluster(2)
+        job = RenderJob(JobType.BATCH, Dataset("ds", GiB), 0.0)
+        for t in decompose(job):
+            cluster.dispatch(t, 0)
+        cluster.events.run()
+        util = cluster.mean_utilization(cluster.now)
+        assert util == pytest.approx(0.5)  # node 0 fully busy, node 1 idle

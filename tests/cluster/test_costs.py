@@ -1,0 +1,84 @@
+"""Tests for the calibrated cost model constants."""
+
+import pytest
+
+from repro.cluster.costs import CostParameters, cost_preset_anl, cost_preset_linux8
+from repro.util.units import MiB
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        CostParameters()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"render_base": -1.0},
+            {"image_pixels": 0},
+            {"render_jitter": 1.0},
+            {"render_jitter": -0.1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            CostParameters(**kwargs)
+
+    def test_with_overrides(self):
+        cost = CostParameters().with_overrides(render_base=5e-3)
+        assert cost.render_base == 5e-3
+
+
+class TestRenderTime:
+    def test_screen_space_dominates(self):
+        """Per-task render cost is nearly chunk-size independent — the
+        property behind the paper's FCFSU result."""
+        cost = CostParameters()
+        small = cost.render_time(128 * MiB, 4)
+        large = cost.render_time(512 * MiB, 4)
+        assert large > small
+        assert (large - small) / small < 0.25
+
+    def test_group_overhead_grows_with_stages(self):
+        cost = CostParameters()
+        assert cost.render_time(256 * MiB, 8) > cost.render_time(256 * MiB, 4)
+
+    def test_group_one_has_no_stage_overhead(self):
+        cost = CostParameters(group_stage_overhead=1e-3)
+        base = cost.render_time(MiB, 1)
+        assert cost.render_time(MiB, 2) == pytest.approx(base + 1e-3)
+
+    def test_composite_time_small_versus_render(self):
+        """Fig. 2: compositing is milliseconds, like rendering."""
+        cost = CostParameters()
+        assert cost.composite_time(16) < 0.01
+
+
+class TestCalibration:
+    def test_linux8_scenario1_capacity(self):
+        """8 nodes must sustain 200 jobs/s x 4 tasks on the hit path."""
+        cost = cost_preset_linux8()
+        task = cost.render_time(512 * MiB, 4)
+        capacity = 8 / (4 * task)
+        assert 200 < capacity < 230
+
+    def test_linux8_fcfsu_half_target(self):
+        """Uniform decomposition: ~99 jobs/s → ~16.5 fps per action."""
+        cost = cost_preset_linux8()
+        task = cost.render_time(256 * MiB, 8)
+        capacity = 8 / (8 * task)
+        assert 90 < capacity < 110
+
+    def test_anl_scenario3_capacity(self):
+        """64 nodes must exceed the ~535 jobs/s Scenario-3 demand."""
+        cost = cost_preset_anl()
+        task = cost.render_time(512 * MiB, 16)
+        capacity = 64 / (16 * task)
+        assert 550 < capacity < 700
+
+    def test_anl_fcfsu_third_of_target(self):
+        """FCFSU at 64 nodes lands near the paper's 11.25 fps."""
+        cost = cost_preset_anl()
+        task = cost.render_time(128 * MiB, 64)
+        jobs_per_s = 1 / task
+        fps = jobs_per_s / 16  # ~16 concurrent actions
+        assert 9.0 < fps < 13.0

@@ -1,0 +1,132 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.cluster.event_queue import (
+    PRIORITY_ARRIVAL,
+    PRIORITY_COMPLETION,
+    PRIORITY_CYCLE,
+    EventQueue,
+    SimulationError,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, fired.append, "b")
+        q.schedule(1.0, fired.append, "a")
+        q.schedule(3.0, fired.append, "c")
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [1.5]
+        assert q.now == 1.5
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        fired = []
+        for name in "abc":
+            q.schedule(1.0, fired.append, name)
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_orders_same_time(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, fired.append, "cycle", priority=PRIORITY_CYCLE)
+        q.schedule(1.0, fired.append, "arrival", priority=PRIORITY_ARRIVAL)
+        q.schedule(1.0, fired.append, "completion", priority=PRIORITY_COMPLETION)
+        q.run()
+        assert fired == ["completion", "arrival", "cycle"]
+
+    def test_schedule_in_past_raises(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule(0.5, lambda: None)
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, lambda: q.schedule_after(0.5, lambda: seen.append(q.now)))
+        q.run()
+        assert seen == [1.5]
+
+    def test_negative_delay_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule_after(-0.1, lambda: None)
+
+
+class TestRun:
+    def test_run_until_leaves_future_events(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, fired.append, 1)
+        q.schedule(5.0, fired.append, 5)
+        executed = q.run(until=2.0)
+        assert executed == 1
+        assert fired == [1]
+        assert q.now == 2.0
+        assert len(q) == 1
+
+    def test_run_until_then_resume(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, fired.append, 1)
+        q.schedule(5.0, fired.append, 5)
+        q.run(until=2.0)
+        q.run()
+        assert fired == [1, 5]
+
+    def test_event_at_exact_until_runs(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, fired.append, "x")
+        q.run(until=2.0)
+        assert fired == ["x"]
+
+    def test_max_events_budget(self):
+        q = EventQueue()
+        for i in range(10):
+            q.schedule(float(i), lambda: None)
+        assert q.run(max_events=3) == 3
+        assert len(q) == 7
+
+    def test_step_empty_returns_false(self):
+        assert EventQueue().step() is False
+
+    def test_processed_counter(self):
+        q = EventQueue()
+        for i in range(4):
+            q.schedule(float(i), lambda: None)
+        q.run()
+        assert q.processed == 4
+
+    def test_events_scheduled_during_run_execute(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                q.schedule_after(1.0, chain, n + 1)
+
+        q.schedule(0.0, chain, 0)
+        q.run()
+        assert fired == [0, 1, 2, 3]
+        assert q.now == 3.0
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(4.2, lambda: None)
+        assert q.peek_time() == 4.2

@@ -1,0 +1,75 @@
+"""Tests for the GPU spec and explicit VRAM model."""
+
+import pytest
+
+from repro.cluster.gpu import GpuMemoryModel, GpuSpec
+from repro.core.chunks import Chunk
+from repro.util.units import GiB, MiB
+
+
+def chunk(i: int, size: int = 256 * MiB) -> Chunk:
+    return Chunk("ds", i, size)
+
+
+class TestGpuSpec:
+    def test_upload_time(self):
+        spec = GpuSpec(video_memory=GiB, upload_bandwidth=4 * GiB)
+        assert spec.upload_time(GiB) == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("kwargs", [{"video_memory": 0}, {"upload_bandwidth": 0}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GpuSpec(**kwargs)
+
+
+class TestGpuMemoryModel:
+    def test_first_access_uploads(self):
+        model = GpuMemoryModel(GpuSpec(video_memory=GiB, upload_bandwidth=4 * GiB))
+        cost = model.access(chunk(0))
+        assert cost == pytest.approx((256 * MiB) / (4 * GiB))
+        assert model.uploads == 1
+        assert model.resident(chunk(0))
+
+    def test_resident_access_free(self):
+        model = GpuMemoryModel(GpuSpec())
+        model.access(chunk(0))
+        assert model.access(chunk(0)) == 0.0
+        assert model.hits == 1
+        assert model.uploads == 1
+
+    def test_lru_eviction_when_vram_full(self):
+        # 1 GiB VRAM holds 4 chunks of 256 MiB.
+        model = GpuMemoryModel(GpuSpec(video_memory=GiB))
+        for i in range(4):
+            model.access(chunk(i))
+        model.access(chunk(4))  # evicts chunk 0
+        assert not model.resident(chunk(0))
+        assert model.resident(chunk(4))
+        assert model.access(chunk(0)) > 0.0  # re-upload
+
+    def test_invalidate(self):
+        model = GpuMemoryModel(GpuSpec())
+        model.access(chunk(0))
+        model.invalidate(chunk(0))
+        assert not model.resident(chunk(0))
+
+    def test_upload_bytes_accounting(self):
+        model = GpuMemoryModel(GpuSpec())
+        model.access(chunk(0))
+        model.access(chunk(1))
+        model.access(chunk(0))  # hit
+        assert model.upload_bytes == 2 * 256 * MiB
+
+
+class TestVramThrashing:
+    def test_working_set_larger_than_vram_thrashes(self):
+        """The effect the paper's future work targets: a node serving
+        more distinct chunks than its GPU holds re-uploads constantly."""
+        model = GpuMemoryModel(GpuSpec(video_memory=GiB))  # 4-chunk VRAM
+        uploads_before = model.uploads
+        for _round in range(10):
+            for i in range(5):  # 5-chunk working set
+                model.access(chunk(i))
+        # Every access misses once the set exceeds capacity (LRU worst case).
+        assert model.uploads - uploads_before == 50
+        assert model.hits == 0

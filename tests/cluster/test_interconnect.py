@@ -1,0 +1,55 @@
+"""Tests for the interconnect model and stage counting."""
+
+import pytest
+
+from repro.cluster.interconnect import Interconnect, LinkSpec, swap_stage_count
+from repro.util.units import GiB, MiB
+
+
+class TestLinkSpec:
+    def test_transfer_time(self):
+        spec = LinkSpec(latency=1e-4, bandwidth=1 * GiB)
+        assert spec.transfer_time(1 * GiB) == pytest.approx(1.0001)
+
+    def test_zero_bytes_is_latency(self):
+        spec = LinkSpec(latency=5e-5, bandwidth=GiB)
+        assert spec.transfer_time(0) == 5e-5
+
+    @pytest.mark.parametrize("kwargs", [{"latency": -1}, {"bandwidth": 0}])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkSpec(**kwargs)
+
+
+class TestInterconnect:
+    def test_accounting(self):
+        net = Interconnect(LinkSpec())
+        net.send(100)
+        net.send(200)
+        assert net.messages == 2
+        assert net.bytes_sent == 300
+
+    def test_reset(self):
+        net = Interconnect(LinkSpec())
+        net.send(MiB)
+        net.reset_counters()
+        assert net.messages == 0
+        assert net.bytes_sent == 0
+
+    def test_send_returns_transfer_time(self):
+        spec = LinkSpec(latency=0.0, bandwidth=MiB)
+        net = Interconnect(spec)
+        assert net.send(MiB) == pytest.approx(1.0)
+
+
+class TestSwapStageCount:
+    @pytest.mark.parametrize(
+        "group,stages",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (8, 3), (16, 4), (64, 6), (100, 7)],
+    )
+    def test_stages(self, group, stages):
+        assert swap_stage_count(group) == stages
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            swap_stage_count(0)

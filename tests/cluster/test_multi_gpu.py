@@ -1,0 +1,124 @@
+"""Tests for multi-executor (multi-GPU) rendering nodes."""
+
+import pytest
+
+from repro.cluster.costs import CostParameters
+from repro.cluster.event_queue import EventQueue
+from repro.cluster.node import RenderNode
+from repro.cluster.storage import StorageModel, StorageSpec
+from repro.core.chunks import ChunkedDecomposition, Dataset
+from repro.core.job import JobType, RenderJob
+from repro.util.units import GiB, MiB
+
+COST = CostParameters(render_jitter=0.0)
+POLICY = ChunkedDecomposition(256 * MiB)
+
+
+def make_node(events, executors=2):
+    storage = StorageModel(StorageSpec(bandwidth=100 * MiB, latency=0.01))
+    return RenderNode(
+        0, GiB, COST, storage, events, executors=executors
+    )
+
+
+def warm_tasks(node, n_chunks=4):
+    ds = Dataset("ds", n_chunks * 256 * MiB)
+    job = RenderJob(JobType.INTERACTIVE, ds, 0.0)
+    tasks = job.decompose(POLICY)
+    for t in tasks:
+        node.cache.insert(t.chunk)
+    return tasks
+
+
+class TestMultiExecutor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_node(EventQueue(), executors=0)
+
+    def test_two_tasks_run_concurrently(self):
+        events = EventQueue()
+        node = make_node(events, executors=2)
+        tasks = warm_tasks(node, 2)
+        for t in tasks:
+            node.enqueue(t)
+        assert len(node.running_tasks) == 2
+        events.run()
+        # Both started at t=0 (parallel pipelines).
+        assert tasks[0].start_time == tasks[1].start_time == 0.0
+
+    def test_third_task_waits(self):
+        events = EventQueue()
+        node = make_node(events, executors=2)
+        tasks = warm_tasks(node, 4)
+        for t in tasks[:3]:
+            node.enqueue(t)
+        assert node.saturated
+        assert node.backlog == 1
+        events.run()
+        render = COST.render_time(tasks[0].chunk.size, 4)
+        assert tasks[2].start_time == pytest.approx(render)
+
+    def test_throughput_doubles(self):
+        render = COST.render_time(256 * MiB, 4)
+
+        def finish_time(executors):
+            events = EventQueue()
+            node = make_node(events, executors=executors)
+            tasks = warm_tasks(node, 4)
+            for t in tasks:
+                node.enqueue(t)
+            events.run()
+            return max(t.finish_time for t in tasks)
+
+        assert finish_time(1) == pytest.approx(4 * render)
+        assert finish_time(2) == pytest.approx(2 * render)
+
+    def test_utilization_normalized_by_executors(self):
+        events = EventQueue()
+        node = make_node(events, executors=2)
+        tasks = warm_tasks(node, 2)
+        for t in tasks:
+            node.enqueue(t)
+        events.run()
+        assert node.utilization(events.now) == pytest.approx(1.0)
+
+    def test_fail_orphans_all_running(self):
+        events = EventQueue()
+        node = make_node(events, executors=2)
+        tasks = warm_tasks(node, 3)
+        for t in tasks:
+            node.enqueue(t)
+        orphans = node.fail()
+        assert len(orphans) == 3  # 2 running + 1 queued
+
+
+class TestSystemLevel:
+    def test_gpus_per_node_doubles_scenario_capacity(self):
+        """Scenario 4 is overloaded at one pipeline per node; doubling
+        the GPUs per node (the real Eureka configuration) recovers the
+        framerate toward the target."""
+        from dataclasses import replace
+
+        from repro.sim.simulator import run_simulation
+        from repro.workload.scenarios import scenario_4
+
+        sc = scenario_4(scale=0.05)
+        single = run_simulation(sc, "OURS")
+        dual = run_simulation(
+            replace(sc, system=sc.system.with_overrides(gpus_per_node=2)),
+            "OURS",
+        )
+        assert dual.interactive_fps > 1.2 * single.interactive_fps
+
+    def test_tables_divide_estimates(self):
+        from repro.cluster.cluster import Cluster
+        from repro.core.tables import SchedulerTables
+
+        cluster = Cluster(2, GiB, COST, executors_per_node=2)
+        tables = SchedulerTables(
+            2, GiB, COST, cluster.storage, executors_per_node=2
+        )
+        job = RenderJob(JobType.INTERACTIVE, Dataset("d", 256 * MiB), 0.0)
+        task = job.decompose(POLICY)[0]
+        est = tables.record_assignment(task, 0, now=0.0)
+        assert tables.available[0] == pytest.approx(est / 2)

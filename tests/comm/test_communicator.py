@@ -1,0 +1,125 @@
+"""Tests for the simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import (
+    CommunicatorError,
+    SimCommunicator,
+    payload_nbytes,
+)
+
+
+class TestPayloadSize:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float32)) == 40
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_nested(self):
+        assert payload_nbytes([np.zeros(2, np.float64), b"xy"]) == 18
+
+    def test_none(self):
+        assert payload_nbytes(None) == 0
+
+    def test_scalar_envelope(self):
+        assert payload_nbytes(42) == 64
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        comm = SimCommunicator(4)
+        comm.send(0, 1, "hello")
+        assert comm.recv(1, 0) == "hello"
+
+    def test_fifo_per_channel(self):
+        comm = SimCommunicator(2)
+        comm.send(0, 1, "a")
+        comm.send(0, 1, "b")
+        assert comm.recv(1, 0) == "a"
+        assert comm.recv(1, 0) == "b"
+
+    def test_tags_separate_channels(self):
+        comm = SimCommunicator(2)
+        comm.send(0, 1, "t1", tag=1)
+        comm.send(0, 1, "t2", tag=2)
+        assert comm.recv(1, 0, tag=2) == "t2"
+        assert comm.recv(1, 0, tag=1) == "t1"
+
+    def test_missing_message_raises(self):
+        comm = SimCommunicator(2)
+        with pytest.raises(CommunicatorError, match="no message"):
+            comm.recv(1, 0)
+
+    def test_self_send_rejected(self):
+        comm = SimCommunicator(2)
+        with pytest.raises(CommunicatorError):
+            comm.send(1, 1, "x")
+
+    def test_rank_bounds(self):
+        comm = SimCommunicator(2)
+        with pytest.raises(CommunicatorError):
+            comm.send(0, 2, "x")
+        with pytest.raises(CommunicatorError):
+            comm.recv(-1, 0)
+
+    def test_traffic_accounting(self):
+        comm = SimCommunicator(2)
+        comm.send(0, 1, np.zeros(100, dtype=np.uint8))
+        assert comm.interconnect.messages == 1
+        assert comm.interconnect.bytes_sent == 100
+
+
+class TestCollectives:
+    def test_bcast(self):
+        comm = SimCommunicator(3)
+        comm.bcast(0, "payload")
+        assert comm.recv(1, 0) == "payload"
+        assert comm.recv(2, 0) == "payload"
+
+    def test_gather(self):
+        comm = SimCommunicator(3)
+        comm.send(1, 0, "one")
+        comm.send(2, 0, "two")
+        assert comm.gather(0) == [None, "one", "two"]
+
+
+class TestStages:
+    def test_elapsed_is_max_over_ranks(self):
+        comm = SimCommunicator(3)
+        comm.begin_stage()
+        comm.send(0, 1, np.zeros(1000, np.uint8))
+        comm.send(0, 2, np.zeros(1000, np.uint8))
+        comm.send(1, 2, np.zeros(1000, np.uint8))  # rank 2 receives twice
+        comm.end_stage()
+        spec = comm.interconnect.spec
+        expected = 2 * spec.transfer_time(1000)
+        assert comm.elapsed == pytest.approx(expected)
+        assert comm.stages == 1
+
+    def test_nested_stage_rejected(self):
+        comm = SimCommunicator(2)
+        comm.begin_stage()
+        with pytest.raises(CommunicatorError):
+            comm.begin_stage()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(CommunicatorError):
+            SimCommunicator(2).end_stage()
+
+
+class TestDrainChecks:
+    def test_assert_drained(self):
+        comm = SimCommunicator(2)
+        comm.send(0, 1, "x")
+        with pytest.raises(CommunicatorError, match="undrained"):
+            comm.assert_drained()
+        comm.recv(1, 0)
+        comm.assert_drained()
+
+    def test_pending_count(self):
+        comm = SimCommunicator(2)
+        assert comm.pending_messages() == 0
+        comm.send(0, 1, "x")
+        assert comm.pending_messages() == 1

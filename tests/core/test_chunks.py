@@ -1,0 +1,118 @@
+"""Tests for datasets, chunks, and decomposition policies (§III-C)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import (
+    Chunk,
+    ChunkedDecomposition,
+    Dataset,
+    UniformDecomposition,
+    dataset_suite,
+    total_size,
+)
+from repro.util.units import GiB, MiB
+
+
+class TestChunk:
+    def test_key_and_hashability(self):
+        a = Chunk("ds", 0, 100)
+        b = Chunk("ds", 0, 100)
+        assert a == b
+        assert a.key == ("ds", 0)
+        assert len({a, b}) == 1
+
+    def test_distinct_chunks(self):
+        assert Chunk("ds", 0, 100) != Chunk("ds", 1, 100)
+        assert Chunk("a", 0, 100) != Chunk("b", 0, 100)
+
+
+class TestDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset("x", 0)
+        with pytest.raises(ValueError):
+            Dataset("", 10)
+
+
+class TestChunkedDecomposition:
+    def test_paper_example_2gb_512mb(self):
+        """Scenario 1: a 2 GB dataset with Chkmax=512 MB → 4 tasks."""
+        policy = ChunkedDecomposition(512 * MiB)
+        chunks = policy.decompose(Dataset("ds", 2 * GiB))
+        assert len(chunks) == 4
+        assert all(c.size == 512 * MiB for c in chunks)
+
+    def test_paper_example_8gb_512mb(self):
+        """Scenario 3: an 8 GB dataset → 16 tasks."""
+        policy = ChunkedDecomposition(512 * MiB)
+        assert policy.chunk_count(Dataset("ds", 8 * GiB)) == 16
+
+    def test_ceiling_division(self):
+        policy = ChunkedDecomposition(512 * MiB)
+        assert policy.chunk_count(Dataset("ds", 2 * GiB + 1)) == 5
+
+    def test_small_dataset_single_chunk(self):
+        policy = ChunkedDecomposition(512 * MiB)
+        chunks = policy.decompose(Dataset("ds", 100))
+        assert len(chunks) == 1
+        assert chunks[0].size == 100
+
+    def test_memoized_identity(self):
+        policy = ChunkedDecomposition(512 * MiB)
+        ds = Dataset("ds", 2 * GiB)
+        assert policy.decompose(ds) is policy.decompose(ds)
+
+    def test_same_name_different_size_not_confused(self):
+        policy = ChunkedDecomposition(512 * MiB)
+        a = policy.decompose(Dataset("ds", 2 * GiB))
+        b = policy.decompose(Dataset("ds", 1 * GiB))
+        assert len(a) == 4 and len(b) == 2
+
+    @given(
+        size=st.integers(1, 10 * GiB),
+        chunk_max=st.integers(1 * MiB, 2 * GiB),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_chunk_count_and_conservation(self, size, chunk_max):
+        """m = ceil(size / Chkmax); bytes conserved; sizes bounded."""
+        policy = ChunkedDecomposition(chunk_max)
+        chunks = policy.decompose(Dataset("ds", size))
+        assert len(chunks) == max(1, math.ceil(size / chunk_max))
+        assert sum(c.size for c in chunks) == size
+        assert all(c.size <= chunk_max for c in chunks)
+        sizes = [c.size for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+
+class TestUniformDecomposition:
+    def test_one_chunk_per_node(self):
+        policy = UniformDecomposition(8)
+        chunks = policy.decompose(Dataset("ds", 2 * GiB))
+        assert len(chunks) == 8
+        assert all(c.size == 256 * MiB for c in chunks)
+
+    @given(size=st.integers(8, GiB), nodes=st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_property_conservation(self, size, nodes):
+        policy = UniformDecomposition(nodes)
+        chunks = policy.decompose(Dataset("ds", size))
+        assert len(chunks) == nodes
+        assert sum(c.size for c in chunks) == size
+
+
+class TestSuite:
+    def test_dataset_suite_names_and_sizes(self):
+        suite = dataset_suite(12, 2 * GiB)
+        assert len(suite) == 12
+        assert suite[0].name == "ds00"
+        assert suite[11].name == "ds11"
+        assert total_size(suite) == 24 * GiB
+
+    def test_suite_names_unique(self):
+        suite = dataset_suite(128, GiB)
+        assert len({d.name for d in suite}) == 128

@@ -1,0 +1,155 @@
+"""Tests for the paper's cost model (Definitions 1-4), incl. properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import ChunkedDecomposition, Dataset
+from repro.core.cost_model import (
+    action_framerate,
+    framerate,
+    job_execution_time,
+    job_latency,
+    mean,
+    mean_execution_time,
+    mean_latency,
+    percentile,
+    task_alpha,
+    task_execution_time,
+)
+from repro.core.job import JobType, RenderJob
+from repro.util.units import GiB, MiB
+
+POLICY = ChunkedDecomposition(512 * MiB)
+
+
+def completed_job(arrival=1.0, starts=(2.0,), finishes=(3.0,), io=(0.5,)):
+    size = len(starts) * 512 * MiB
+    job = RenderJob(JobType.INTERACTIVE, Dataset("ds", size), arrival)
+    tasks = job.decompose(POLICY)
+    for t, s, f, i in zip(tasks, starts, finishes, io):
+        t.start_time, t.finish_time, t.io_time = s, f, i
+    job.finish_time = max(finishes) + 0.001  # + compositing
+    return job
+
+
+class TestDefinition1:
+    def test_task_execution_time(self):
+        job = completed_job()
+        assert task_execution_time(job.tasks[0]) == pytest.approx(1.0)
+
+    def test_task_alpha_is_remainder(self):
+        job = completed_job()
+        assert task_alpha(job.tasks[0]) == pytest.approx(0.5)
+
+    def test_incomplete_task_raises(self):
+        job = RenderJob(JobType.INTERACTIVE, Dataset("ds", 512 * MiB), 0.0)
+        task = job.decompose(POLICY)[0]
+        with pytest.raises(ValueError):
+            task_execution_time(task)
+
+    def test_io_dominates_simplification(self):
+        """TExec ≈ t_io + α with α ≪ t_io for a cold 512 MiB chunk."""
+        io = 5.13
+        job = completed_job(starts=(0.0,), finishes=(io + 0.008,), io=(io,))
+        alpha = task_alpha(job.tasks[0])
+        assert alpha < 0.01 * io
+
+
+class TestDefinitions2and3:
+    def test_job_execution_time(self):
+        job = completed_job(
+            starts=(2.0, 2.5), finishes=(3.0, 4.0), io=(0.0, 0.0)
+        )
+        assert job_execution_time(job) == pytest.approx(4.001 - 2.0)
+
+    def test_job_latency(self):
+        job = completed_job(arrival=1.0)
+        assert job_latency(job) == pytest.approx(3.001 - 1.0)
+
+    def test_incomplete_job_raises(self):
+        job = RenderJob(JobType.INTERACTIVE, Dataset("ds", 512 * MiB), 0.0)
+        job.decompose(POLICY)
+        with pytest.raises(ValueError):
+            job_latency(job)
+
+
+class TestDefinition4:
+    def test_uniform_spacing(self):
+        times = [0.0, 0.03, 0.06, 0.09]
+        assert framerate(times) == pytest.approx(1 / 0.03)
+
+    def test_telescoping_equivalence(self):
+        times = [0.0, 0.01, 0.05, 0.2]
+        assert framerate(times) == pytest.approx((len(times) - 1) / (0.2 - 0.0))
+
+    def test_fewer_than_two_is_zero(self):
+        assert framerate([]) == 0.0
+        assert framerate([1.0]) == 0.0
+
+    def test_decreasing_raises(self):
+        with pytest.raises(ValueError):
+            framerate([1.0, 0.5])
+
+    def test_simultaneous_finishes_infinite(self):
+        assert framerate([1.0, 1.0]) == math.inf
+
+    def test_action_framerate_ignores_incomplete(self):
+        jobs = [completed_job(finishes=(1.0 + 0.05 * i,)) for i in range(5)]
+        unfinished = RenderJob(
+            JobType.INTERACTIVE, Dataset("ds", 512 * MiB), 0.0
+        )
+        unfinished.decompose(POLICY)
+        rate = action_framerate(jobs + [unfinished])
+        assert rate == pytest.approx(1 / 0.05)
+
+    @given(
+        st.lists(st.floats(0.001, 1.0), min_size=2, max_size=50).map(
+            lambda gaps: [sum(gaps[:i]) for i in range(len(gaps) + 1)]
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_framerate_bounds(self, times):
+        """Framerate lies between reciprocal max and min gap."""
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        rate = framerate(times)
+        assert 1 / max(gaps) - 1e-9 <= rate <= 1 / min(gaps) + 1e-9
+
+
+class TestAggregates:
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_percentile_basics(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_percentile_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_percentile_empty(self):
+        assert percentile([], 50) == 0.0
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_property_percentile_within_range(self, values):
+        for q in (0, 25, 50, 75, 100):
+            p = percentile(values, q)
+            assert min(values) - 1e-9 <= p <= max(values) + 1e-9
+
+    def test_mean_latency_and_execution(self):
+        jobs = [
+            completed_job(arrival=0.0, starts=(0.5,), finishes=(1.0,)),
+            completed_job(arrival=0.0, starts=(0.5,), finishes=(3.0,)),
+        ]
+        # Latencies: 1.001 and 3.001; executions: 0.501 and 2.501.
+        assert mean_latency(jobs) == pytest.approx(2.001)
+        assert mean_execution_time(jobs) == pytest.approx(1.501)

@@ -1,0 +1,52 @@
+"""Model-based property tests for the availability heap."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tables import NodeAvailabilityHeap
+
+
+@given(
+    n=st.integers(1, 12),
+    ops=st.lists(
+        st.tuples(st.integers(0, 11), st.floats(0.0, 100.0)), max_size=150
+    ),
+)
+@settings(max_examples=200, deadline=None)
+def test_min_node_matches_linear_scan(n, ops):
+    """After any sequence of updates, min_node agrees with a scan."""
+    available = [0.0] * n
+    heap = NodeAvailabilityHeap(available)
+    for node, value in ops:
+        node %= n
+        available[node] = value
+        heap.update(node)
+        best = heap.min_node()
+        assert available[best] == min(available)
+
+
+@given(
+    n=st.integers(2, 8),
+    ops=st.lists(
+        st.tuples(st.integers(0, 7), st.floats(0.0, 50.0)), max_size=60
+    ),
+    excluded_bits=st.integers(0, 254),
+)
+@settings(max_examples=150, deadline=None)
+def test_min_excluding_matches_linear_scan(n, ops, excluded_bits):
+    available = [0.0] * n
+    heap = NodeAvailabilityHeap(available)
+    for node, value in ops:
+        node %= n
+        available[node] = value
+        heap.update(node)
+    excluded = {k for k in range(n) if excluded_bits & (1 << k)}
+    result = heap.min_node_excluding(excluded)
+    remaining = [k for k in range(n) if k not in excluded]
+    if not remaining:
+        assert result is None
+    else:
+        assert result is not None
+        assert available[result] == min(available[k] for k in remaining)
+    # Non-destructive: global min still correct afterwards.
+    assert available[heap.min_node()] == min(available)

@@ -1,0 +1,79 @@
+"""Tests for rendering jobs and tasks."""
+
+import pytest
+
+from repro.core.chunks import ChunkedDecomposition, Dataset
+from repro.core.job import JobType, RenderJob
+from repro.util.units import GiB, MiB
+
+POLICY = ChunkedDecomposition(512 * MiB)
+
+
+def make_job(size=2 * GiB, job_type=JobType.INTERACTIVE, **kw):
+    return RenderJob(job_type, Dataset("ds", size), 1.0, **kw)
+
+
+class TestDecomposition:
+    def test_decompose_creates_tasks(self):
+        job = make_job()
+        tasks = job.decompose(POLICY)
+        assert len(tasks) == 4
+        assert job.task_count == 4
+        assert job.composite_group_size == 4
+        assert [t.index for t in tasks] == [0, 1, 2, 3]
+        assert all(t.job is job for t in tasks)
+
+    def test_decompose_idempotent(self):
+        job = make_job()
+        first = job.decompose(POLICY)
+        second = job.decompose(POLICY)
+        assert first is second
+
+    def test_task_type_follows_job(self):
+        job = make_job(job_type=JobType.BATCH)
+        assert all(t.job_type is JobType.BATCH for t in job.decompose(POLICY))
+
+
+class TestIds:
+    def test_ids_monotonic(self):
+        a, b = make_job(), make_job()
+        assert b.job_id == a.job_id + 1
+
+    def test_metadata_fields(self):
+        job = make_job(user=3, action=7, sequence=12)
+        assert (job.user, job.action, job.sequence) == (3, 7, 12)
+
+
+class TestTiming:
+    def test_start_finish_and_completion(self):
+        job = make_job()
+        tasks = job.decompose(POLICY)
+        assert not job.is_complete
+        for i, t in enumerate(tasks):
+            t.start_time = 2.0 + i
+            t.finish_time = 3.0 + i
+        assert job.is_complete
+        assert job.start_time() == 2.0
+        assert job.last_task_finish() == 6.0
+
+    def test_start_time_requires_started_tasks(self):
+        job = make_job()
+        job.decompose(POLICY)
+        with pytest.raises(ValueError):
+            job.start_time()
+        with pytest.raises(ValueError):
+            job.last_task_finish()
+
+    def test_group_nodes_distinct_in_order(self):
+        job = make_job()
+        tasks = job.decompose(POLICY)
+        for t, node in zip(tasks, [2, 0, 2, 1]):
+            t.node = node
+        assert job.group_nodes() == [2, 0, 1]
+
+    def test_task_done_flag(self):
+        job = make_job()
+        task = job.decompose(POLICY)[0]
+        assert not task.done
+        task.finish_time = 5.0
+        assert task.done

@@ -1,0 +1,57 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.core.fcfs import FCFSScheduler
+from repro.core.ours import OursScheduler
+from repro.core.registry import SCHEDULER_NAMES, make_scheduler, register_scheduler
+from repro.core.scheduler_base import Scheduler, Trigger
+
+
+class TestMakeScheduler:
+    def test_all_six_paper_schedulers_present(self):
+        assert set(SCHEDULER_NAMES) >= {"FS", "SF", "FCFS", "FCFSU", "FCFSL", "OURS"}
+
+    @pytest.mark.parametrize("name", ["FS", "SF", "FCFS", "FCFSU", "FCFSL", "OURS"])
+    def test_instantiates_fresh(self, name):
+        a = make_scheduler(name)
+        b = make_scheduler(name)
+        assert a is not b
+        assert a.name == name
+
+    def test_case_insensitive(self):
+        assert isinstance(make_scheduler("ours"), OursScheduler)
+
+    def test_kwargs_forwarded(self):
+        sched = make_scheduler("OURS", cycle=0.005)
+        assert sched.cycle == 0.005
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="OURS"):
+            make_scheduler("NOPE")
+
+
+class TestRegisterScheduler:
+    def test_register_custom(self):
+        class Custom(Scheduler):
+            name = "CUSTOM-X"
+            trigger = Trigger.IMMEDIATE
+
+            def schedule(self, jobs, ctx):
+                for job in jobs:
+                    for task in ctx.decompose(job):
+                        ctx.assign(task, 0)
+
+        register_scheduler("CUSTOM-X", Custom)
+        try:
+            assert isinstance(make_scheduler("custom-x"), Custom)
+            assert "CUSTOM-X" in SCHEDULER_NAMES
+        finally:
+            from repro.core import registry
+
+            registry._FACTORIES.pop("CUSTOM-X", None)
+            SCHEDULER_NAMES.remove("CUSTOM-X")
+
+    def test_cannot_shadow_builtin(self):
+        with pytest.raises(ValueError):
+            register_scheduler("OURS", FCFSScheduler)

@@ -1,0 +1,120 @@
+"""Tests for the Shortest-First and Fair-Sharing baselines."""
+
+import pytest
+
+from repro.core.chunks import Dataset
+from repro.core.fs import FSScheduler
+from repro.core.job import JobType
+from repro.core.scheduler_base import Trigger
+from repro.core.sf import SFScheduler
+from repro.util.units import GiB, MiB
+
+from tests.conftest import MiniHarness
+
+
+class TestSF:
+    def test_trigger_window(self):
+        assert SFScheduler.trigger is Trigger.WINDOW
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SFScheduler(window_size=0)
+        with pytest.raises(ValueError):
+            SFScheduler(window_timeout=0)
+
+    def test_shortest_job_first(self, harness):
+        """A 1-chunk job is scheduled before a 4-chunk job regardless of
+        arrival order."""
+        sched = SFScheduler()
+        big = harness.job(Dataset("big", 1 * GiB), action=0)
+        small = harness.job(Dataset("small", 256 * MiB), action=1)
+        sched.schedule([big, small], harness.ctx)
+        assignments = harness.ctx.take_assignments()
+        assert assignments[0].task.job is small
+        assert len(assignments) == 5
+
+    def test_equal_estimates_keep_arrival_order(self, harness):
+        sched = SFScheduler()
+        a = harness.job(Dataset("a", 256 * MiB), action=0)
+        b = harness.job(Dataset("b", 256 * MiB), action=1)
+        sched.schedule([a, b], harness.ctx)
+        assignments = harness.ctx.take_assignments()
+        assert assignments[0].task.job is a
+
+    def test_cached_chunks_shorten_estimate(self, harness):
+        """SF job estimates use the Estimate table (cold), so a smaller
+        dataset always wins even if a bigger one is cached."""
+        sched = SFScheduler()
+        big = Dataset("big", GiB)
+        for c in harness.decomposition.decompose(big):
+            harness.tables.warm(c, 0)
+        j_big = harness.job(big, action=0)
+        j_small = harness.job(Dataset("small", 512 * MiB), action=1)
+        sched.schedule([j_big, j_small], harness.ctx)
+        assignments = harness.ctx.take_assignments()
+        assert assignments[0].task.job is j_small
+
+
+class TestFS:
+    def test_trigger_cycle(self):
+        assert FSScheduler.trigger is Trigger.CYCLE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FSScheduler(cycle=0)
+
+    def test_least_served_user_first(self, harness):
+        sched = FSScheduler()
+        ds = Dataset("ds", 256 * MiB)
+        # User 0 consumed a lot in a previous cycle.
+        heavy = [harness.job(ds, user=0, action=i) for i in range(3)]
+        sched.schedule(heavy, harness.ctx)
+        harness.ctx.take_assignments()
+        j0 = harness.job(ds, user=0, action=10)
+        j1 = harness.job(ds, user=1, action=11)
+        sched.schedule([j0, j1], harness.ctx)
+        assignments = harness.ctx.take_assignments()
+        # The fresh user 1 goes first.
+        assert assignments[0].task.job is j1
+
+    def test_round_robin_between_equal_users(self, harness):
+        sched = FSScheduler()
+        ds = Dataset("ds", 256 * MiB)
+        jobs = [harness.job(ds, user=u, action=u) for u in (0, 1, 0, 1)]
+        sched.schedule(jobs, harness.ctx)
+        assignments = harness.ctx.take_assignments()
+        users = [a.task.job.user for a in assignments]
+        assert users == [0, 1, 0, 1]
+
+    def test_all_jobs_scheduled_within_cycle(self, harness, dataset_1g):
+        sched = FSScheduler()
+        jobs = [harness.job(dataset_1g, user=u) for u in range(3)]
+        sched.schedule(jobs, harness.ctx)
+        assert len(harness.ctx.take_assignments()) == 12
+        assert sched.pending_task_count() == 0
+
+    def test_usage_normalization_bounded(self, harness):
+        """Usage counters do not grow without bound across cycles."""
+        sched = FSScheduler()
+        ds = Dataset("ds", 256 * MiB)
+        for cycle in range(50):
+            jobs = [harness.job(ds, user=u, action=cycle) for u in (0, 1)]
+            sched.schedule(jobs, harness.ctx)
+            harness.ctx.take_assignments()
+        charge = harness.tables.estimate(
+            harness.decomposition.decompose(ds)[0], 1
+        )
+        assert max(sched._usage.values()) <= 2 * charge + 1e-9
+
+    def test_reset_clears_state(self, harness, dataset_1g):
+        sched = FSScheduler()
+        sched.schedule([harness.job(dataset_1g, user=5)], harness.ctx)
+        harness.ctx.take_assignments()
+        sched.reset()
+        assert sched._usage == {}
+        assert sched.pending_task_count() == 0
+
+    def test_empty_cycle_noop(self, harness):
+        sched = FSScheduler()
+        sched.schedule([], harness.ctx)
+        assert harness.ctx.take_assignments() == []

@@ -1,0 +1,181 @@
+"""Fault tolerance (paper §VI-D): node crashes mid-run.
+
+"Our scheduling method has a certain degree of fault tolerance when
+some of the nodes crash.  By dynamically updating the [tables] to
+identify those unavailable nodes, the rendering can still carry on as
+long as the system has copies of the required data chunks on other
+rendering nodes."
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.costs import CostParameters
+from repro.cluster.storage import StorageSpec
+from repro.core.chunks import Dataset, dataset_suite
+from repro.core.job import JobType, RenderJob
+from repro.core.ours import OursScheduler
+from repro.core.fcfs import FCFSLScheduler, FCFSScheduler
+from repro.sim.service import VisualizationService
+from repro.util.units import GiB, MiB
+
+
+def make_service(scheduler, nodes=4, quota=GiB):
+    cluster = Cluster(
+        nodes,
+        quota,
+        CostParameters(render_jitter=0.0),
+        storage_spec=StorageSpec(bandwidth=100 * MiB, latency=0.01),
+    )
+    return VisualizationService(cluster, scheduler, chunk_max=256 * MiB)
+
+
+class TestNodeFail:
+    def test_failed_node_rejects_work(self):
+        service = make_service(FCFSScheduler())
+        node = service.cluster.nodes[0]
+        node.fail()
+        assert not node.alive
+        job = RenderJob(JobType.INTERACTIVE, Dataset("d", 256 * MiB), 0.0)
+        task = job.decompose(service.decomposition)[0]
+        with pytest.raises(RuntimeError, match="failed"):
+            node.enqueue(task)
+
+    def test_fail_returns_orphans_with_reset_state(self):
+        service = make_service(FCFSScheduler(), nodes=1)
+        job = RenderJob(JobType.BATCH, Dataset("d", GiB), 0.0)
+        service.submit(job)  # 4 tasks queued on the single node
+        node = service.cluster.nodes[0]
+        assert node.busy
+        orphans = node.fail()
+        assert len(orphans) == 4
+        for t in orphans:
+            assert t.node is None
+            assert t.start_time is None
+            assert t.cache_hit is None
+        assert node.cache.used_bytes == 0
+        # Storage accounting balanced despite the aborted in-flight load.
+        assert service.cluster.storage.active_loads == 0
+
+    def test_fail_twice_is_idempotent(self):
+        service = make_service(FCFSScheduler())
+        node = service.cluster.nodes[0]
+        assert node.fail() == []
+        assert node.fail() == []
+
+
+class TestTablesAfterFailure:
+    def test_failed_node_removed_from_tables(self):
+        service = make_service(FCFSLScheduler())
+        ds = dataset_suite(1, GiB)
+        service.prewarm(ds)
+        chunk = service.decomposition.decompose(ds[0])[0]
+        cached_on = next(iter(service.tables.cached_nodes(chunk)))
+        service.fail_node(cached_on)
+        assert cached_on not in service.tables.cached_nodes(chunk)
+        assert service.tables.available[cached_on] == math.inf
+        assert service.tables.alive[cached_on] is False
+        service.tables.check_invariants()
+
+    def test_greedy_never_selects_dead_node(self):
+        service = make_service(FCFSScheduler())
+        service.fail_node(0)
+        for _ in range(8):
+            job = RenderJob(
+                JobType.INTERACTIVE, Dataset("d", GiB), service.cluster.now
+            )
+            service.submit(job)
+        service.cluster.events.run()
+        executed = [n.tasks_executed for n in service.cluster.nodes]
+        assert executed[0] == 0
+        assert sum(executed) == 32
+
+
+class TestServiceRecovery:
+    @pytest.mark.parametrize("scheduler_factory", [
+        FCFSScheduler,
+        FCFSLScheduler,
+        lambda: OursScheduler(cycle=0.01),
+    ])
+    def test_all_jobs_complete_despite_crash(self, scheduler_factory):
+        service = make_service(scheduler_factory())
+        events = service.cluster.events
+        datasets = dataset_suite(2, GiB)
+        service.prewarm(datasets)
+        jobs = []
+
+        def submit_wave(t, n=4):
+            for i in range(n):
+                job = RenderJob(
+                    JobType.INTERACTIVE,
+                    datasets[i % 2],
+                    events.now,
+                    action=i,
+                    sequence=int(t * 100),
+                )
+                jobs.append(job)
+                service.submit(job)
+
+        events.schedule(0.0, submit_wave, 0.0)
+        events.schedule(0.05, service.fail_node, 1)
+        events.schedule(0.06, submit_wave, 0.06)
+        events.schedule(0.12, submit_wave, 0.12)
+        service.start()
+        events.run()
+        assert all(j.is_complete for j in jobs)
+        assert service.jobs_completed == len(jobs)
+        assert not service.cluster.nodes[1].alive
+
+    def test_replicated_chunks_keep_locality_after_crash(self):
+        """A chunk cached on two nodes survives one crash without I/O."""
+        service = make_service(FCFSLScheduler())
+        events = service.cluster.events
+        ds = Dataset("hot", 256 * MiB)
+        chunk = service.decomposition.decompose(ds)[0]
+        # Replicate on nodes 0 and 1.
+        for k in (0, 1):
+            service.cluster.nodes[k].cache.insert(chunk)
+            service.tables.warm(chunk, k)
+        service.fail_node(0)
+        job = RenderJob(JobType.INTERACTIVE, ds, events.now)
+        service.submit(job)
+        events.run()
+        (task,) = job.tasks
+        assert task.node == 1
+        assert task.cache_hit is True
+
+    def test_lost_chunks_reload_elsewhere(self):
+        """Chunks cached only on the dead node are reloaded from disk."""
+        service = make_service(OursScheduler(cycle=0.01))
+        events = service.cluster.events
+        ds = Dataset("solo", 256 * MiB)
+        chunk = service.decomposition.decompose(ds)[0]
+        service.cluster.nodes[2].cache.insert(chunk)
+        service.tables.warm(chunk, 2)
+        service.fail_node(2)
+        job = RenderJob(JobType.INTERACTIVE, ds, events.now)
+        service.submit(job)
+        service.start()
+        events.run()
+        (task,) = job.tasks
+        assert task.node != 2
+        assert task.cache_hit is False
+        assert task.io_time > 1.0  # real disk reload
+
+    def test_in_flight_task_recovered_once(self):
+        """A task caught mid-execution completes exactly once, on a
+        surviving node, with no stale completion from the dead one."""
+        service = make_service(FCFSScheduler(), nodes=2)
+        events = service.cluster.events
+        job = RenderJob(JobType.INTERACTIVE, Dataset("d", 512 * MiB), 0.0)
+        service.submit(job)  # 2 tasks → one per node
+        victim = job.tasks[0].node
+        events.schedule(0.5, service.fail_node, victim)  # mid-load (I/O ~2.6 s)
+        events.run()
+        assert job.is_complete
+        assert service.jobs_completed == 1
+        survivor = 1 - victim
+        assert all(t.node == survivor for t in job.tasks)
+        assert service.cluster.nodes[survivor].tasks_executed == 2

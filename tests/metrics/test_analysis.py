@@ -1,0 +1,148 @@
+"""Tests for evaluation analytics."""
+
+import pytest
+
+from repro.core.job import JobType
+from repro.metrics.analysis import (
+    LatencyStats,
+    batch_working_time,
+    delivered_framerates_by_action,
+    framerates_by_action,
+    latency_stats,
+    mean_delivered_framerate,
+    mean_interactive_framerate,
+    summarize,
+)
+from repro.metrics.collectors import JobRecord
+
+
+def rec(
+    action=0,
+    arrival=0.0,
+    finish=1.0,
+    job_type=JobType.INTERACTIVE,
+    start=None,
+    hits=4,
+):
+    return JobRecord(
+        job_id=0,
+        job_type=job_type,
+        dataset="ds",
+        user=0,
+        action=action,
+        sequence=0,
+        arrival=arrival,
+        start=arrival if start is None else start,
+        finish=finish,
+        task_count=4,
+        cache_hits=hits,
+        io_seconds=0.0,
+        group_size=4,
+    )
+
+
+class TestDefinition4Framerates:
+    def test_per_action(self):
+        records = [rec(action=0, finish=0.03 * i) for i in range(1, 5)]
+        records += [rec(action=1, finish=0.1 * i) for i in range(1, 4)]
+        rates = framerates_by_action(records)
+        assert rates[0] == pytest.approx(1 / 0.03)
+        assert rates[1] == pytest.approx(1 / 0.1)
+
+    def test_single_completion_scores_zero(self):
+        rates = framerates_by_action([rec(action=0)])
+        assert rates[0] == 0.0
+
+    def test_batch_ignored(self):
+        records = [rec(job_type=JobType.BATCH, finish=float(i)) for i in range(5)]
+        assert framerates_by_action(records) == {}
+
+    def test_mean(self):
+        records = [rec(action=0, finish=0.03 * i) for i in range(1, 5)]
+        records += [rec(action=1)]  # 0 fps
+        expected = (1 / 0.03 + 0.0) / 2
+        assert mean_interactive_framerate(records) == pytest.approx(expected)
+
+
+class TestDeliveredFramerates:
+    def test_full_delivery_matches_target(self):
+        interval = 0.03
+        issues = {0: (101, 0.0, 3.0)}
+        records = [rec(action=0, arrival=i * interval) for i in range(101)]
+        rates = delivered_framerates_by_action(records, issues, interval)
+        assert rates[0] == pytest.approx(101 / 3.03)
+
+    def test_burst_completion_not_rewarded(self):
+        """5 frames delivered of a 3-second action is ~1.7 fps even if
+        the five completions landed microseconds apart."""
+        interval = 0.03
+        issues = {0: (101, 0.0, 3.0)}
+        records = [
+            rec(action=0, arrival=i * interval, finish=50.0 + 1e-5 * i)
+            for i in range(5)
+        ]
+        rates = delivered_framerates_by_action(records, issues, interval)
+        assert rates[0] == pytest.approx(5 / 3.03)
+        # Definition 4 on the same records would report a huge number.
+        assert framerates_by_action(records)[0] > 1000
+
+    def test_action_with_no_completions_scores_zero(self):
+        issues = {0: (100, 0.0, 3.0), 1: (50, 0.0, 1.5)}
+        records = [rec(action=0, arrival=0.0)]
+        rates = delivered_framerates_by_action(records, issues, 0.03)
+        assert rates[1] == 0.0
+
+    def test_mean_delivered(self):
+        issues = {0: (2, 0.0, 0.03), 1: (2, 0.0, 0.03)}
+        records = [rec(action=0), rec(action=0, arrival=0.03)]
+        mean_rate = mean_delivered_framerate(records, issues, 0.03)
+        assert mean_rate == pytest.approx((2 / 0.06 + 0.0) / 2)
+
+
+class TestLatencyStats:
+    def test_of(self):
+        stats = LatencyStats.of([1.0, 2.0, 3.0, 10.0])
+        assert stats.count == 4
+        assert stats.mean == 4.0
+        assert stats.p50 == pytest.approx(2.5)
+        assert stats.maximum == 10.0
+
+    def test_empty(self):
+        stats = LatencyStats.of([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+    def test_by_type(self):
+        records = [
+            rec(arrival=0.0, finish=2.0),
+            rec(arrival=0.0, finish=4.0, job_type=JobType.BATCH),
+        ]
+        assert latency_stats(records, JobType.INTERACTIVE).mean == 2.0
+        assert latency_stats(records, JobType.BATCH).mean == 4.0
+
+
+class TestSummarize:
+    def test_batch_working_time(self):
+        records = [
+            rec(job_type=JobType.BATCH, arrival=0.0, start=1.0, finish=3.0),
+            rec(job_type=JobType.BATCH, arrival=0.0, start=2.0, finish=4.0),
+        ]
+        assert batch_working_time(records) == pytest.approx(2.0)
+
+    def test_summary_row_renders(self):
+        records = [rec(action=0, finish=0.03 * i) for i in range(1, 4)]
+        summary = summarize("OURS", records, hit_rate=0.999, sched_cost_us=33.0)
+        row = summary.row()
+        assert "OURS" in row
+        assert "99.90%" in row
+
+    def test_summary_uses_delivered_when_issues_given(self):
+        records = [rec(action=0, arrival=0.0, finish=50.0),
+                   rec(action=0, arrival=0.03, finish=50.001)]
+        issues = {0: (101, 0.0, 3.0)}
+        with_issues = summarize(
+            "X", records, hit_rate=1.0, sched_cost_us=0.0,
+            action_issues=issues, frame_interval=0.03,
+        )
+        without = summarize("X", records, hit_rate=1.0, sched_cost_us=0.0)
+        assert with_issues.interactive_fps < without.interactive_fps

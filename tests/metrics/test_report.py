@@ -1,0 +1,82 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.metrics.analysis import SchedulerSummary
+from repro.metrics.report import (
+    comparison_table,
+    hit_rate_table,
+    pipeline_breakdown,
+    sweep_table,
+)
+
+
+def summary(name="OURS", fps=33.3, hit=0.999, cost=33.0):
+    return SchedulerSummary(
+        scheduler=name,
+        interactive_fps=fps,
+        interactive_latency=0.04,
+        batch_latency=1.5,
+        batch_working_time=0.2,
+        interactive_completed=100,
+        batch_completed=10,
+        hit_rate=hit,
+        sched_cost_us=cost,
+    )
+
+
+class TestComparisonTable:
+    def test_contains_rows_and_target(self):
+        text = comparison_table(
+            [summary("OURS"), summary("FCFS", fps=0.2)],
+            title="Fig 4",
+            target_fps=33.33,
+        )
+        assert "Fig 4" in text
+        assert "33.33" in text
+        assert "OURS" in text and "FCFS" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 2 + 2  # title, target, header, rule, 2 rows
+
+
+class TestHitRateTable:
+    def test_layout(self):
+        rows = {
+            "scenario1": {"FS": summary("FS", hit=0.08), "OURS": summary()},
+            "scenario2": {"OURS": summary()},
+        }
+        text = hit_rate_table(rows, ["FS", "OURS"])
+        assert "scenario1" in text
+        assert "8.00%" in text
+        assert "99.90%" in text
+        # Missing cell renders as '-'.
+        assert "-" in text
+
+
+class TestSweepTable:
+    def test_renders_series(self):
+        text = sweep_table(
+            "actions",
+            [8, 16, 32],
+            {"OURS": [1.0, 1.1, 1.2], "FCFSL": [2.0, 4.0, 8.0]},
+            title="Fig 8",
+        )
+        assert "Fig 8" in text
+        assert "OURS" in text and "FCFSL" in text
+        assert len(text.splitlines()) == 1 + 2 + 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sweep_table("x", [1, 2], {"a": [1.0]})
+
+
+class TestPipelineBreakdown:
+    def test_shares_sum_and_format(self):
+        text = pipeline_breakdown(5.0, 0.005, 0.002)
+        assert "data I/O" in text
+        assert "99.9" in text  # I/O dominates
+        assert "total" in text
+
+    def test_zero_total(self):
+        text = pipeline_breakdown(0.0, 0.0, 0.0)
+        assert "0.0" in text

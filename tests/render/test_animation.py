@@ -1,0 +1,105 @@
+"""Tests for orbit paths and animation rendering."""
+
+import numpy as np
+import pytest
+
+from repro.render.animation import AnimationResult, OrbitPath, render_animation
+from repro.render.datasets import supernova
+from repro.render.transfer_function import cool_warm
+
+
+class TestOrbitPath:
+    def test_frame_count(self):
+        cams = OrbitPath(frames=8).cameras((16, 16, 16))
+        assert len(cams) == 8
+
+    def test_full_sweep_no_duplicate_endpoint(self):
+        cams = OrbitPath(frames=4, azimuth_start=0, azimuth_end=360).cameras(
+            (16, 16, 16)
+        )
+        assert [c.azimuth for c in cams] == [0.0, 90.0, 180.0, 270.0]
+
+    def test_elevation_swing(self):
+        cams = OrbitPath(
+            frames=4, elevation=20.0, elevation_swing=10.0
+        ).cameras((16, 16, 16))
+        elevations = [c.elevation for c in cams]
+        assert elevations[0] == pytest.approx(20.0)
+        assert elevations[1] == pytest.approx(30.0)
+        assert elevations[3] == pytest.approx(10.0)
+
+    def test_camera_overrides(self):
+        cams = OrbitPath(frames=2).cameras((16, 16, 16), width=32, height=24)
+        assert cams[0].width == 32 and cams[0].height == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OrbitPath(frames=0)
+
+
+class TestRenderAnimation:
+    @pytest.fixture(scope="class")
+    def volume(self):
+        return supernova((16, 16, 16))
+
+    def test_basic_run(self, volume):
+        result = render_animation(
+            volume,
+            OrbitPath(frames=3),
+            cool_warm(),
+            ranks=2,
+            width=16,
+            height=16,
+            step=1.2,
+        )
+        assert isinstance(result, AnimationResult)
+        assert result.frames == 3
+        assert result.total_samples > 0
+        assert result.total_messages > 0
+        assert result.paths == []
+
+    def test_frames_differ(self, volume):
+        frames = {}
+        render_animation(
+            volume,
+            OrbitPath(frames=3),
+            cool_warm(),
+            ranks=2,
+            width=16,
+            height=16,
+            step=1.2,
+            on_frame=lambda i, img: frames.__setitem__(i, img.copy()),
+        )
+        assert len(frames) == 3
+        assert not np.allclose(frames[0], frames[1])
+
+    def test_writes_ppm_files(self, volume, tmp_path):
+        result = render_animation(
+            volume,
+            OrbitPath(frames=2),
+            cool_warm(),
+            ranks=2,
+            width=12,
+            height=12,
+            step=1.5,
+            output_dir=tmp_path / "anim",
+        )
+        assert len(result.paths) == 2
+        for path in result.paths:
+            assert path.exists()
+            assert path.read_bytes().startswith(b"P6\n12 12\n255\n")
+
+    def test_shaded_animation(self, volume):
+        from repro.render.shading import Lighting
+
+        result = render_animation(
+            volume,
+            OrbitPath(frames=2),
+            cool_warm(),
+            ranks=3,
+            width=12,
+            height=12,
+            step=1.5,
+            lighting=Lighting(),
+        )
+        assert result.frames == 2

@@ -1,0 +1,91 @@
+"""Tests for the orbit camera and ray generation."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera, default_camera_for
+
+
+def cam(**kw):
+    params = dict(center=(0.0, 0.0, 0.0), distance=10.0, width=8, height=8)
+    params.update(kw)
+    return Camera(**params)
+
+
+class TestGeometry:
+    def test_eye_distance(self):
+        c = cam(azimuth=37.0, elevation=12.0)
+        assert np.linalg.norm(c.eye() - np.array(c.center)) == pytest.approx(10.0)
+
+    def test_eye_at_zero_angles(self):
+        c = cam(azimuth=0.0, elevation=0.0)
+        assert np.allclose(c.eye(), [10.0, 0.0, 0.0])
+
+    def test_basis_orthonormal(self):
+        c = cam(azimuth=25.0, elevation=40.0)
+        f, r, u = c.basis()
+        for v in (f, r, u):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert abs(np.dot(f, r)) < 1e-9
+        assert abs(np.dot(f, u)) < 1e-9
+        assert abs(np.dot(r, u)) < 1e-9
+
+    def test_forward_points_at_center(self):
+        c = cam(azimuth=25.0, elevation=40.0)
+        f, _, _ = c.basis()
+        expected = (np.array(c.center) - c.eye()) / 10.0
+        assert np.allclose(f, expected)
+
+    def test_looking_straight_down_does_not_degenerate(self):
+        c = cam(elevation=89.5)
+        f, r, u = c.basis()
+        assert np.isfinite(r).all() and np.linalg.norm(r) == pytest.approx(1.0)
+
+
+class TestRays:
+    def test_shapes(self):
+        c = cam(width=6, height=4)
+        origins, dirs = c.rays()
+        assert origins.shape == (24, 3)
+        assert dirs.shape == (24, 3)
+
+    def test_ortho_parallel_directions(self):
+        origins, dirs = cam(mode="ortho").rays()
+        assert np.allclose(dirs, dirs[0])
+        # Origins span the view window.
+        assert np.ptp(origins, axis=0).max() > 0
+
+    def test_persp_shared_origin_unit_dirs(self):
+        origins, dirs = cam(mode="persp").rays()
+        assert np.allclose(origins, origins[0])
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+    def test_center_ray_hits_lookat_ortho(self):
+        """With an even pixel grid the mean ray passes through center."""
+        c = cam(mode="ortho", width=8, height=8)
+        origins, dirs = c.rays()
+        mean_origin = origins.mean(axis=0)
+        # Project the center onto the ray from the mean origin.
+        t = np.dot(np.array(c.center) - mean_origin, dirs[0])
+        hit = mean_origin + t * dirs[0]
+        assert np.allclose(hit, c.center, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cam(mode="weird")
+        with pytest.raises(ValueError):
+            cam(elevation=95.0)
+        with pytest.raises(ValueError):
+            cam(distance=0.0)
+
+
+class TestDefaultCamera:
+    def test_frames_volume(self):
+        c = default_camera_for((64, 64, 64))
+        assert c.center == (31.5, 31.5, 31.5)
+        assert c.distance > 100
+
+    def test_overrides(self):
+        c = default_camera_for((64, 64, 64), width=32, azimuth=90.0)
+        assert c.width == 32
+        assert c.azimuth == 90.0

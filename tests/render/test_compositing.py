@@ -1,0 +1,197 @@
+"""Tests for sort-last compositing, incl. property-based equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.communicator import SimCommunicator
+from repro.render.compositing import (
+    binary_swap,
+    composite,
+    direct_send,
+    factorize_2_3,
+    largest_2_3_smooth_leq,
+    two_three_swap,
+)
+from repro.render.image import composite_sequence, max_channel_difference
+
+
+def random_images(p, h=12, w=7, seed=0):
+    """Premultiplied RGBA stack: color channels bounded by alpha."""
+    rng = np.random.default_rng(seed)
+    images = []
+    for _ in range(p):
+        alpha = rng.uniform(0, 1, size=(h, w, 1)).astype(np.float32)
+        rgb = rng.uniform(0, 1, size=(h, w, 3)).astype(np.float32) * alpha
+        images.append(np.concatenate([rgb, alpha], axis=-1))
+    return images
+
+
+class TestFactorization:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, []), (2, [2]), (3, [3]), (6, [3, 2]), (12, [3, 2, 2]), (9, [3, 3])],
+    )
+    def test_smooth(self, n, expected):
+        assert factorize_2_3(n) == expected
+
+    @pytest.mark.parametrize("n", [5, 7, 10, 11, 13, 14])
+    def test_non_smooth(self, n):
+        assert factorize_2_3(n) is None
+
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (5, 4), (7, 6), (10, 9), (100, 96)]
+    )
+    def test_largest_smooth(self, n, expected):
+        assert largest_2_3_smooth_leq(n) == expected
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_binary_swap_matches_reference(self, p):
+        images = random_images(p)
+        reference = composite_sequence(images)
+        result = binary_swap(images)
+        assert max_channel_difference(reference, result.image) < 1e-5
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13])
+    def test_two_three_swap_matches_reference(self, p):
+        images = random_images(p, seed=p)
+        reference = composite_sequence(images)
+        result = two_three_swap(images)
+        assert max_channel_difference(reference, result.image) < 1e-5
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_direct_send_matches_reference(self, p):
+        images = random_images(p, seed=p + 50)
+        reference = composite_sequence(images)
+        result = direct_send(images)
+        assert max_channel_difference(reference, result.image) < 1e-5
+
+    @given(
+        p=st.integers(1, 10),
+        h=st.integers(1, 16),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_all_algorithms_agree(self, p, h, seed):
+        images = random_images(p, h=h, w=3, seed=seed)
+        reference = composite_sequence(images)
+        for algo in ("direct-send", "2-3-swap"):
+            result = composite(images, algorithm=algo)
+            assert max_channel_difference(reference, result.image) < 1e-5
+
+
+class TestProtocol:
+    def test_binary_swap_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            binary_swap(random_images(6))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            composite(random_images(2), algorithm="magic")
+
+    def test_mismatched_shapes(self):
+        images = random_images(2)
+        images[1] = images[1][:-1]
+        with pytest.raises(ValueError, match="shapes differ"):
+            binary_swap(images)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            composite([])
+
+    def test_small_communicator_rejected(self):
+        with pytest.raises(ValueError, match="communicator"):
+            binary_swap(random_images(4), comm=SimCommunicator(2))
+
+
+class TestTraffic:
+    def test_binary_swap_message_count(self):
+        """p log2(p) exchange messages + (p-1) gather messages."""
+        p = 8
+        result = binary_swap(random_images(p))
+        exchange = p * int(np.log2(p))
+        assert result.messages == exchange + (p - 1)
+
+    def test_direct_send_message_count(self):
+        p = 5
+        result = direct_send(random_images(p))
+        assert result.messages == p * (p - 1) + (p - 1)
+
+    def test_binary_swap_faster_than_serial_gather(self):
+        """The reason swap algorithms exist: compositing time is
+        O(log p) stages of shrinking pieces, not a serial gather of
+        p-1 full images at the root."""
+        p = 8
+        # Large image so bandwidth (not per-message latency) dominates;
+        # at tiny image sizes serial gather wins on message count.
+        images = random_images(p, h=512, w=256)
+        bs = binary_swap(images)
+        spec = SimCommunicator(p).interconnect.spec
+        serial_gather = (p - 1) * spec.transfer_time(images[0].nbytes)
+        assert bs.elapsed < serial_gather
+
+    def test_swap_receive_load_balanced(self):
+        """Every rank's per-stage receive volume shrinks geometrically;
+        total bytes grow ~linearly in p (each rank ~1 image)."""
+        images8 = random_images(8, h=32, w=32)
+        images4 = random_images(4, h=32, w=32)
+        b8 = binary_swap(images8)
+        b4 = binary_swap(images4)
+        per_rank8 = b8.bytes_sent / 8
+        per_rank4 = b4.bytes_sent / 4
+        assert per_rank8 < 1.6 * per_rank4
+
+    def test_stage_counts(self):
+        assert binary_swap(random_images(8)).stages == 3 + 1  # + gather
+        assert direct_send(random_images(8)).stages == 2
+
+    def test_elapsed_positive(self):
+        assert two_three_swap(random_images(6)).elapsed > 0
+
+    def test_single_image_no_traffic(self):
+        result = composite(random_images(1))
+        assert result.messages == 0
+        assert result.bytes_sent == 0
+
+
+class TestShortImages:
+    def test_more_ranks_than_rows(self):
+        """Row regions degenerate to empty slices without error."""
+        images = random_images(8, h=3, w=4, seed=2)
+        reference = composite_sequence(images)
+        for algo in ("direct-send", "2-3-swap", "binary-swap"):
+            result = composite(images, algorithm=algo)
+            assert max_channel_difference(reference, result.image) < 1e-5
+
+
+class TestSerialGather:
+    from repro.render.compositing import serial_gather as _sg  # noqa
+
+    @pytest.mark.parametrize("p", [1, 2, 5, 8])
+    def test_matches_reference(self, p):
+        from repro.render.compositing import serial_gather
+
+        images = random_images(p, seed=p + 90)
+        reference = composite_sequence(images)
+        result = serial_gather(images)
+        assert max_channel_difference(reference, result.image) < 1e-5
+
+    def test_message_count(self):
+        from repro.render.compositing import serial_gather
+
+        result = serial_gather(random_images(6))
+        assert result.messages == 5
+        assert result.stages == 1
+
+    def test_root_link_is_the_bottleneck(self):
+        """Serial gather's elapsed time is the sum of p-1 full-image
+        transfers into one link — worse than 2-3 swap at scale."""
+        from repro.render.compositing import serial_gather, two_three_swap
+
+        images = random_images(16, h=128, w=128)
+        sg = serial_gather(images)
+        tts = two_three_swap(images)
+        assert tts.elapsed < sg.elapsed

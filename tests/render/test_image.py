@@ -1,0 +1,106 @@
+"""Tests for image utilities: over operator, display, PPM output."""
+
+import numpy as np
+import pytest
+
+from repro.render.image import (
+    composite_sequence,
+    max_channel_difference,
+    over,
+    to_display,
+    to_uint8,
+    write_ppm,
+)
+
+
+def solid(rgba, h=2, w=2):
+    img = np.zeros((h, w, 4), dtype=np.float32)
+    img[:] = rgba
+    return img
+
+
+class TestOver:
+    def test_opaque_front_wins(self):
+        front = solid((1, 0, 0, 1))
+        back = solid((0, 1, 0, 1))
+        assert np.allclose(over(front, back), front)
+
+    def test_transparent_front_passes_back(self):
+        front = solid((0, 0, 0, 0))
+        back = solid((0, 0.5, 0, 0.5))
+        assert np.allclose(over(front, back), back)
+
+    def test_half_blend(self):
+        front = solid((0.5, 0, 0, 0.5))  # premultiplied red at 50%
+        back = solid((0, 1, 0, 1))
+        out = over(front, back)
+        assert np.allclose(out[0, 0], [0.5, 0.5, 0, 1.0])
+
+    def test_associativity(self):
+        """over(a, over(b, c)) == over(over(a, b), c) — the property
+        every compositing algorithm relies on."""
+        rng = np.random.default_rng(0)
+        imgs = []
+        for _ in range(3):
+            a = rng.uniform(0, 1, (4, 4, 1)).astype(np.float64)
+            rgb = rng.uniform(0, 1, (4, 4, 3)) * a
+            imgs.append(np.concatenate([rgb, a], axis=-1))
+        a, b, c = imgs
+        left = over(over(a, b), c)
+        right = over(a, over(b, c))
+        assert np.allclose(left, right, atol=1e-12)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            over(solid((0, 0, 0, 0), h=2), solid((0, 0, 0, 0), h=3))
+
+
+class TestCompositeSequence:
+    def test_single(self):
+        img = solid((0.2, 0.3, 0.1, 0.4))
+        assert np.allclose(composite_sequence([img]), img)
+
+    def test_matches_manual_fold(self):
+        rng = np.random.default_rng(1)
+        imgs = []
+        for _ in range(4):
+            a = rng.uniform(0, 1, (3, 3, 1))
+            imgs.append(
+                np.concatenate([rng.uniform(0, 1, (3, 3, 3)) * a, a], axis=-1)
+            )
+        manual = imgs[0]
+        for nxt in imgs[1:]:
+            manual = over(manual, nxt)
+        assert np.allclose(composite_sequence(imgs), manual, atol=1e-6)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            composite_sequence([])
+
+
+class TestDisplay:
+    def test_to_display_background(self):
+        img = solid((0, 0, 0, 0))
+        assert np.allclose(to_display(img, background=0.25), 0.25)
+
+    def test_to_uint8_range(self):
+        img = solid((1, 1, 1, 1))
+        out = to_uint8(img)
+        assert out.dtype == np.uint8
+        assert np.all(out == 255)
+
+    def test_max_channel_difference(self):
+        a = solid((0, 0, 0, 0))
+        b = solid((0.5, 0, 0, 0))
+        assert max_channel_difference(a, b) == pytest.approx(0.5)
+
+
+class TestPPM:
+    def test_write_and_header(self, tmp_path):
+        img = solid((1, 0, 0, 1), h=3, w=5)
+        path = write_ppm(tmp_path / "out.ppm", img)
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n5 3\n255\n")
+        pixels = data.split(b"255\n", 1)[1]
+        assert len(pixels) == 3 * 5 * 3
+        assert pixels[0:3] == b"\xff\x00\x00"

@@ -1,0 +1,144 @@
+"""Tests for the ray-casting integrator."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera, default_camera_for
+from repro.render.raycast import (
+    RenderStats,
+    brick_depth,
+    integrate_brick,
+    render_volume,
+    trilinear,
+)
+from repro.render.transfer_function import TransferFunction, grayscale_ramp
+from repro.render.volume import Volume
+
+
+class TestTrilinear:
+    def test_exact_at_vertices(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((4, 4, 4)).astype(np.float32)
+        pts = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        out = trilinear(data, pts)
+        assert out[0] == pytest.approx(data[1, 2, 3])
+        assert out[1] == pytest.approx(data[0, 0, 0])
+
+    def test_linear_field_reproduced(self):
+        """Trilinear interpolation is exact for (tri)linear fields."""
+        x, y, z = np.meshgrid(
+            np.arange(5), np.arange(5), np.arange(5), indexing="ij"
+        )
+        data = (0.1 * x + 0.02 * y + 0.005 * z).astype(np.float64)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 3.999, size=(50, 3))
+        expected = 0.1 * pts[:, 0] + 0.02 * pts[:, 1] + 0.005 * pts[:, 2]
+        assert np.allclose(trilinear(data, pts), expected, atol=1e-12)
+
+    def test_midpoint_average(self):
+        data = np.zeros((2, 2, 2))
+        data[1, 1, 1] = 1.0
+        out = trilinear(data, np.array([[0.5, 0.5, 0.5]]))
+        assert out[0] == pytest.approx(0.125)
+
+
+def small_volume(value=1.0, shape=(8, 8, 8)):
+    return Volume(np.full(shape, value, dtype=np.float32))
+
+
+def ortho_cam(shape, n=16):
+    return default_camera_for(shape, width=n, height=n, mode="ortho")
+
+
+class TestIntegration:
+    def test_empty_volume_transparent(self):
+        vol = small_volume(0.0)
+        tf = grayscale_ramp()
+        img = render_volume(vol, ortho_cam(vol.shape), tf)
+        assert np.all(img == 0)
+
+    def test_dense_volume_opaque_center(self):
+        vol = small_volume(1.0)
+        tf = TransferFunction(
+            points=((0.0, (1, 1, 1, 0.9)), (1.0, (1, 1, 1, 0.9)))
+        )
+        img = render_volume(vol, ortho_cam(vol.shape), tf, step=0.5)
+        h, w = img.shape[:2]
+        assert img[h // 2, w // 2, 3] > 0.99
+
+    def test_alpha_bounded(self):
+        rng = np.random.default_rng(0)
+        vol = Volume(rng.random((8, 8, 8)).astype(np.float32))
+        img = render_volume(vol, ortho_cam(vol.shape), grayscale_ramp())
+        assert np.all(img[..., 3] <= 1.0 + 1e-6)
+        assert np.all(img >= 0.0)
+
+    def test_premultiplied_color_bounded_by_alpha(self):
+        rng = np.random.default_rng(0)
+        vol = Volume(rng.random((8, 8, 8)).astype(np.float32))
+        img = render_volume(vol, ortho_cam(vol.shape), grayscale_ramp())
+        for ch in range(3):
+            assert np.all(img[..., ch] <= img[..., 3] + 1e-5)
+
+    def test_camera_outside_misses_nothing_behind(self):
+        """A camera aimed away from the volume sees nothing."""
+        vol = small_volume(1.0)
+        c = Camera(
+            center=(100.0, 100.0, 100.0),
+            distance=5.0,
+            width=8,
+            height=8,
+            view_size=4.0,
+        )
+        img = integrate_brick(vol.whole_brick(), c, grayscale_ramp())
+        assert np.all(img == 0)
+
+    def test_smaller_step_converges(self):
+        rng = np.random.default_rng(2)
+        vol = Volume(rng.random((10, 10, 10)).astype(np.float32))
+        cam = ortho_cam(vol.shape, n=12)
+        tf = grayscale_ramp()
+        coarse = render_volume(vol, cam, tf, step=1.0)
+        fine = render_volume(vol, cam, tf, step=0.5)
+        finer = render_volume(vol, cam, tf, step=0.25)
+        err1 = np.abs(coarse - finer).mean()
+        err2 = np.abs(fine - finer).mean()
+        assert err2 < err1
+
+    def test_early_termination_close_to_exact(self):
+        vol = small_volume(1.0)
+        cam = ortho_cam(vol.shape)
+        tf = TransferFunction(
+            points=((0.0, (1, 0, 0, 0.8)), (1.0, (1, 0, 0, 0.8)))
+        )
+        exact = render_volume(vol, cam, tf, step=0.5)
+        fast = render_volume(vol, cam, tf, step=0.5, early_termination=0.999)
+        assert np.abs(exact - fast).max() < 5e-3
+
+    def test_stats_counted(self):
+        vol = small_volume(1.0)
+        stats = RenderStats()
+        render_volume(vol, ortho_cam(vol.shape), grayscale_ramp(), stats=stats)
+        assert stats.rays == 16 * 16
+        assert stats.samples > 0
+        assert stats.steps > 0
+
+    def test_invalid_args(self):
+        vol = small_volume()
+        cam = ortho_cam(vol.shape)
+        with pytest.raises(ValueError):
+            render_volume(vol, cam, grayscale_ramp(), step=0.0)
+        with pytest.raises(ValueError):
+            render_volume(vol, cam, grayscale_ramp(), early_termination=0.0)
+
+
+class TestBrickDepth:
+    def test_front_brick_has_smaller_depth(self):
+        rng = np.random.default_rng(0)
+        vol = Volume(rng.random((9, 9, 9)).astype(np.float32))
+        cam = Camera(center=(4, 4, 4), distance=30.0, azimuth=0.0, elevation=0.0)
+        bricks = vol.bricks((2, 1, 1))
+        # Camera sits on +x; the brick with larger x is closer.
+        d0 = brick_depth(bricks[0], cam)
+        d1 = brick_depth(bricks[1], cam)
+        assert d1 < d0

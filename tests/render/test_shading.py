@@ -1,0 +1,145 @@
+"""Tests for gradient-based Blinn-Phong shading."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import default_camera_for
+from repro.render.datasets import supernova
+from repro.render.image import max_channel_difference
+from repro.render.raycast import render_volume
+from repro.render.shading import Lighting, gradient, shade
+from repro.render.sortlast import render_sort_last
+from repro.render.transfer_function import cool_warm
+from repro.render.volume import Volume
+
+
+def linear_volume(shape=(8, 8, 8), coeffs=(0.05, 0.02, 0.01)):
+    x, y, z = np.meshgrid(*(np.arange(s) for s in shape), indexing="ij")
+    a, b, c = coeffs
+    return Volume((a * x + b * y + c * z).astype(np.float32))
+
+
+class TestLightingValidation:
+    def test_defaults_valid(self):
+        Lighting()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"ambient": -0.1}, {"diffuse": 2.0}, {"shininess": 0}, {"gradient_floor": -1}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            Lighting(**kwargs)
+
+
+class TestGradient:
+    def test_linear_field_exact(self):
+        vol = linear_volume()
+        brick = vol.whole_brick()
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(1.5, 5.5, size=(40, 3))
+        grads = gradient(brick, pts)
+        assert np.allclose(grads, [0.05, 0.02, 0.01], atol=1e-10)
+
+    def test_boundary_one_sided(self):
+        """Clamped differences at the volume edge remain finite and
+        directionally correct for a monotone field."""
+        vol = linear_volume()
+        brick = vol.whole_brick()
+        pts = np.array([[0.0, 0.0, 0.0], [6.9, 6.9, 6.9]])
+        grads = gradient(brick, pts)
+        assert np.all(grads > 0)
+        assert np.all(np.isfinite(grads))
+
+    def test_brick_gradients_match_monolithic(self):
+        vol = supernova((16, 16, 16))
+        whole = vol.whole_brick()
+        rng = np.random.default_rng(1)
+        for brick in vol.bricks((2, 2, 2), margin=1):
+            lo = np.asarray(brick.lo) + 0.01
+            hi = np.asarray(brick.hi) - 0.01
+            pts = rng.uniform(lo, np.maximum(hi, lo + 1e-6), size=(30, 3))
+            g_brick = gradient(brick, pts)
+            g_whole = gradient(whole, pts)
+            assert np.allclose(g_brick, g_whole, atol=1e-6)
+
+
+class TestShade:
+    def _pack(self, n=5, seed=0):
+        rng = np.random.default_rng(seed)
+        rgb = rng.uniform(0.2, 0.8, (n, 3))
+        grads = rng.normal(size=(n, 3))
+        views = rng.normal(size=(n, 3))
+        views /= np.linalg.norm(views, axis=1, keepdims=True)
+        return rgb, grads, views
+
+    def test_output_bounded(self):
+        rgb, grads, views = self._pack()
+        out = shade(rgb, grads, views, Lighting())
+        assert np.all(out >= 0) and np.all(out <= 1)
+
+    def test_zero_gradient_unshaded(self):
+        rgb = np.array([[0.5, 0.4, 0.3]])
+        grads = np.zeros((1, 3))
+        views = np.array([[0.0, 0.0, 1.0]])
+        out = shade(rgb, grads, views, Lighting())
+        assert np.allclose(out, rgb)
+
+    def test_headlight_facing_surface_brighter_than_ambient(self):
+        rgb = np.array([[0.5, 0.5, 0.5]])
+        views = np.array([[0.0, 0.0, 1.0]])
+        grads = np.array([[0.0, 0.0, 1.0]])  # normal along view
+        lit = shade(rgb, grads, views, Lighting(ambient=0.2, diffuse=0.6, specular=0.0))
+        assert np.all(lit < rgb)  # 0.8 x base < base
+        assert np.allclose(lit, 0.5 * 0.8)
+
+    def test_grazing_surface_darker_than_facing(self):
+        rgb = np.array([[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]])
+        views = np.array([[0.0, 0.0, 1.0], [0.0, 0.0, 1.0]])
+        grads = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+        out = shade(rgb, grads, views, Lighting(specular=0.0))
+        assert out[0, 0] > out[1, 0]
+
+    def test_fixed_light_direction(self):
+        rgb = np.array([[0.5, 0.5, 0.5]])
+        views = np.array([[0.0, 0.0, 1.0]])
+        grads = np.array([[-1.0, 0.0, 0.0]])  # normal +x
+        toward = shade(
+            rgb, grads, views, Lighting(light_direction=(1, 0, 0), specular=0.0)
+        )
+        away = shade(
+            rgb, grads, views, Lighting(light_direction=(0, 1, 0), specular=0.0)
+        )
+        assert toward[0, 0] > away[0, 0]
+
+
+class TestShadedRendering:
+    def test_shaded_differs_from_unshaded(self):
+        vol = supernova((16, 16, 16))
+        cam = default_camera_for(vol.shape, width=24, height=24)
+        tf = cool_warm()
+        plain = render_volume(vol, cam, tf, step=1.0)
+        lit = render_volume(vol, cam, tf, step=1.0, lighting=Lighting())
+        assert max_channel_difference(plain, lit) > 0.01
+        # Alpha is untouched by shading.
+        assert np.allclose(plain[..., 3], lit[..., 3])
+
+    @pytest.mark.parametrize("ranks", [2, 3, 6])
+    def test_shaded_sortlast_matches_monolithic(self, ranks):
+        vol = supernova((20, 20, 20))
+        cam = default_camera_for(vol.shape, width=24, height=24)
+        tf = cool_warm()
+        mono = render_volume(vol, cam, tf, step=0.9, lighting=Lighting())
+        result = render_sort_last(
+            vol, cam, tf, ranks=ranks, step=0.9, lighting=Lighting()
+        )
+        assert max_channel_difference(mono, result.image) < 1e-5
+
+    def test_marginless_brick_rejected(self):
+        from repro.render.raycast import integrate_brick
+
+        vol = supernova((16, 16, 16))
+        cam = default_camera_for(vol.shape, width=8, height=8)
+        interior = vol.bricks((2, 2, 2))[7]  # margin=0, lo > 0
+        with pytest.raises(ValueError, match="margin"):
+            integrate_brick(interior, cam, cool_warm(), lighting=Lighting())

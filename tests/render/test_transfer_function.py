@@ -1,0 +1,87 @@
+"""Tests for transfer functions."""
+
+import numpy as np
+import pytest
+
+from repro.render.transfer_function import (
+    TransferFunction,
+    cool_warm,
+    fire,
+    grayscale_ramp,
+    isosurface_like,
+)
+
+
+class TestValidation:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            TransferFunction(points=((0.0, (0, 0, 0, 0)),))
+
+    def test_sorted_scalars_required(self):
+        with pytest.raises(ValueError, match="sorted"):
+            TransferFunction(
+                points=((0.5, (0, 0, 0, 0)), (0.2, (1, 1, 1, 1)))
+            )
+
+    def test_component_bounds(self):
+        with pytest.raises(ValueError):
+            TransferFunction(points=((0.0, (0, 0, 0, 0)), (1.0, (2, 0, 0, 0))))
+
+    def test_scalar_bounds(self):
+        with pytest.raises(ValueError):
+            TransferFunction(points=((-0.1, (0, 0, 0, 0)), (1.0, (0, 0, 0, 0))))
+
+
+class TestEvaluation:
+    def test_endpoints(self):
+        tf = grayscale_ramp(max_opacity=0.5)
+        assert np.allclose(tf(np.array([0.0])), [[0, 0, 0, 0]])
+        assert np.allclose(tf(np.array([1.0])), [[1, 1, 1, 0.5]])
+
+    def test_linear_midpoint(self):
+        tf = grayscale_ramp(max_opacity=1.0)
+        assert np.allclose(tf(np.array([0.5])), [[0.5, 0.5, 0.5, 0.5]])
+
+    def test_clamping(self):
+        tf = grayscale_ramp()
+        assert np.allclose(tf(np.array([-5.0])), tf(np.array([0.0])))
+        assert np.allclose(tf(np.array([5.0])), tf(np.array([1.0])))
+
+    def test_lut_matches_exact_eval(self):
+        tf = fire()
+        lut = tf.lut()
+        grid = np.linspace(0, 1, tf.resolution)
+        exact = tf(grid)
+        assert np.allclose(lut, exact, atol=1e-6)
+
+    def test_lut_shape_dtype(self):
+        lut = cool_warm().lut()
+        assert lut.shape == (256, 4)
+        assert lut.dtype == np.float32
+
+    def test_preserves_input_shape(self):
+        tf = fire()
+        out = tf(np.zeros((4, 5)))
+        assert out.shape == (4, 5, 4)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory", [grayscale_ramp, fire, cool_warm])
+    def test_presets_valid(self, factory):
+        tf = factory()
+        lut = tf.lut()
+        assert np.all(lut >= 0) and np.all(lut <= 1)
+
+    def test_isosurface_peak(self):
+        tf = isosurface_like(0.5, width=0.05, opacity=0.8)
+        assert tf(np.array([0.5]))[0, 3] == pytest.approx(0.8)
+        assert tf(np.array([0.3]))[0, 3] == pytest.approx(0.0)
+        assert tf(np.array([0.7]))[0, 3] == pytest.approx(0.0)
+
+    def test_isosurface_level_validation(self):
+        with pytest.raises(ValueError):
+            isosurface_like(0.0)
+
+    def test_isosurface_high_level_clamps(self):
+        tf = isosurface_like(0.99, width=0.05)
+        assert tf(np.array([1.0]))[0, 3] > 0

@@ -1,0 +1,150 @@
+"""Tests for volumes and brick decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.render.volume import Volume
+
+
+def make_volume(shape=(9, 9, 9), seed=0):
+    rng = np.random.default_rng(seed)
+    return Volume(rng.random(shape).astype(np.float32))
+
+
+class TestVolume:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Volume(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            Volume(np.zeros((1, 4, 4)))
+
+    def test_shape_and_bytes(self):
+        vol = make_volume((4, 5, 6))
+        assert vol.shape == (4, 5, 6)
+        assert vol.nbytes == 4 * 5 * 6 * 4
+
+    def test_bounds(self):
+        vol = make_volume((4, 5, 6))
+        lo, hi = vol.bounds()
+        assert np.array_equal(lo, [0, 0, 0])
+        assert np.array_equal(hi, [3, 4, 5])
+
+    def test_whole_brick_covers_everything(self):
+        vol = make_volume((4, 5, 6))
+        brick = vol.whole_brick()
+        assert brick.lo == (0, 0, 0)
+        assert brick.hi == (3, 4, 5)
+        assert brick.data is vol.data
+
+
+class TestBricks:
+    def test_grid_count(self):
+        vol = make_volume((9, 9, 9))
+        assert len(vol.bricks((2, 2, 2))) == 8
+
+    def test_ownership_partitions_base_cells(self):
+        """Every base cell belongs to exactly one brick."""
+        vol = make_volume((9, 7, 5))
+        bricks = vol.bricks((2, 3, 1))
+        pts = np.array(
+            [
+                [x + 0.5, y + 0.5, z + 0.5]
+                for x in range(8)
+                for y in range(6)
+                for z in range(4)
+            ]
+        )
+        owners = np.zeros(len(pts), dtype=int)
+        for b in bricks:
+            owners += b.contains(pts).astype(int)
+        assert np.all(owners == 1)
+
+    def test_ghost_layer_data(self):
+        """Brick data includes the +1 vertex so local interpolation of
+        owned points matches the global field."""
+        vol = make_volume((9, 9, 9))
+        for b in vol.bricks((2, 2, 2)):
+            expected_shape = tuple(h - l + 1 for l, h in zip(b.lo, b.hi))
+            assert b.data.shape == expected_shape
+            sl = tuple(slice(l, h + 1) for l, h in zip(b.lo, b.hi))
+            assert np.array_equal(b.data, vol.data[sl])
+
+    def test_too_many_bricks_rejected(self):
+        vol = make_volume((4, 4, 4))
+        with pytest.raises(ValueError, match="cannot split"):
+            vol.bricks((4, 1, 1))  # only 3 base cells on axis 0
+
+    def test_brick_centers_inside_bounds(self):
+        vol = make_volume((9, 9, 9))
+        for b in vol.bricks((2, 2, 2)):
+            c = b.center()
+            assert np.all(c >= 0) and np.all(c <= 8)
+
+
+class TestSplitForRanks:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 6, 8, 12, 16])
+    def test_exact_rank_count(self, ranks):
+        vol = make_volume((17, 17, 17))
+        assert len(vol.split_for_ranks(ranks)) == ranks
+
+    def test_prefers_long_axes(self):
+        vol = make_volume((33, 5, 5))
+        bricks = vol.split_for_ranks(4)
+        # All cuts land on the long x axis.
+        xs = {b.index[0] for b in bricks}
+        assert len(xs) == 4
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_property_ownership_partition(self, ranks):
+        vol = make_volume((17, 13, 11))
+        bricks = vol.split_for_ranks(ranks)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform([0, 0, 0], [15.999, 11.999, 9.999], size=(300, 3))
+        owners = np.zeros(len(pts), dtype=int)
+        for b in bricks:
+            owners += b.contains(pts).astype(int)
+        assert np.all(owners == 1)
+
+
+class TestMargins:
+    def test_margin_widens_data(self):
+        vol = make_volume((9, 9, 9))
+        plain = vol.bricks((2, 2, 2))
+        wide = vol.bricks((2, 2, 2), margin=1)
+        for a, b in zip(plain, wide):
+            assert a.lo == b.lo and a.hi == b.hi
+            assert b.data.shape >= a.data.shape
+            # Origin moves down by one where not clamped at the volume.
+            for axis in range(3):
+                expected = max(0, a.lo[axis] - 1)
+                assert b.origin[axis] == expected
+
+    def test_margin_clamped_at_volume_edges(self):
+        vol = make_volume((9, 9, 9))
+        for brick in vol.bricks((2, 2, 2), margin=3):
+            for axis in range(3):
+                assert brick.origin[axis] >= 0
+                end = brick.origin[axis] + brick.data.shape[axis]
+                assert end <= vol.shape[axis]
+
+    def test_margin_data_matches_global(self):
+        vol = make_volume((9, 9, 9))
+        for b in vol.bricks((2, 2, 2), margin=1):
+            sl = tuple(
+                slice(o, o + s) for o, s in zip(b.origin, b.data.shape)
+            )
+            assert np.array_equal(b.data, vol.data[sl])
+
+    def test_negative_margin_rejected(self):
+        vol = make_volume((9, 9, 9))
+        with pytest.raises(ValueError, match="margin"):
+            vol.bricks((2, 2, 2), margin=-1)
+
+    def test_covers_point_range(self):
+        vol = make_volume((9, 9, 9))
+        brick = vol.bricks((2, 2, 2), margin=1)[7]  # high corner brick
+        assert brick.covers_point_range(brick.lo, [h - 0.01 for h in brick.hi])
+        assert not brick.covers_point_range([0.0, 0.0, 0.0], brick.lo)

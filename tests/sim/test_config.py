@@ -1,0 +1,65 @@
+"""Tests for system configurations."""
+
+import pytest
+
+from repro.sim.config import SystemConfig, system_anl, system_linux8
+from repro.util.units import GiB, MiB
+
+
+class TestPresets:
+    def test_linux8_matches_paper(self):
+        cfg = system_linux8()
+        assert cfg.node_count == 8
+        assert cfg.memory_quota == 2 * GiB
+        assert cfg.total_memory == 16 * GiB
+        assert cfg.chunk_max == 512 * MiB
+        assert cfg.gpu.video_memory == 1 * GiB  # GTX 285
+        assert cfg.model_vram is False
+
+    def test_anl_matches_paper(self):
+        cfg = system_anl()
+        assert cfg.node_count == 64
+        assert cfg.memory_quota == 8 * GiB
+        assert cfg.total_memory == 512 * GiB
+        assert cfg.gpu.video_memory == int(1.5 * GiB)  # Quadro FX5600
+
+    def test_anl_node_count_override(self):
+        assert system_anl(node_count=16).node_count == 16
+
+    def test_build_cluster(self):
+        cluster = system_linux8().build_cluster()
+        assert cluster.node_count == 8
+        assert cluster.nodes[0].cache.capacity == 2 * GiB
+
+    def test_with_overrides(self):
+        cfg = system_linux8().with_overrides(node_count=4)
+        assert cfg.node_count == 4
+        assert cfg.memory_quota == 2 * GiB
+
+
+class TestValidation:
+    def test_chkmax_bounded_by_gpu_memory(self):
+        """§III-C: Chkmax must not exceed graphics memory."""
+        with pytest.raises(ValueError, match="video memory"):
+            SystemConfig(
+                name="bad",
+                node_count=4,
+                memory_quota=4 * GiB,
+                chunk_max=2 * GiB,  # > 1 GiB default GPU
+            )
+
+    def test_chkmax_bounded_by_quota(self):
+        from repro.cluster.gpu import GpuSpec
+
+        with pytest.raises(ValueError, match="quota"):
+            SystemConfig(
+                name="bad",
+                node_count=4,
+                memory_quota=256 * MiB,
+                chunk_max=512 * MiB,
+                gpu=GpuSpec(video_memory=1 * GiB),
+            )
+
+    def test_positive_counts(self):
+        with pytest.raises(ValueError):
+            SystemConfig(name="bad", node_count=0, memory_quota=GiB)

@@ -1,0 +1,109 @@
+"""Tests for the sweep/replication experiment harness."""
+
+import pytest
+
+from repro.core.chunks import dataset_suite
+from repro.core.ours import OursScheduler
+from repro.sim.config import system_linux8
+from repro.sim.sweep import MetricStats, replicate, sweep
+from repro.util.units import GiB
+from repro.workload.actions import persistent_actions
+from repro.workload.scenarios import Scenario
+
+
+def scenario_with_actions(actions: float, seed: int = 0) -> Scenario:
+    system = system_linux8(node_count=4)
+    datasets = dataset_suite(2, 1 * GiB)
+    trace = persistent_actions(
+        datasets,
+        1.5,
+        actions=int(actions),
+        target_framerate=100.0 / 3.0,
+        seed=seed,
+        name=f"sweep-a{actions}",
+    )
+    return Scenario(name=f"sweep-a{actions}", system=system, trace=trace)
+
+
+class TestSweep:
+    def test_grid_complete(self):
+        result = sweep(
+            "#actions",
+            [1, 2],
+            scenario_with_actions,
+            ["OURS", "FCFS"],
+        )
+        assert result.schedulers == ["OURS", "FCFS"]
+        assert set(result.results) == {
+            (1, "OURS"),
+            (1, "FCFS"),
+            (2, "OURS"),
+            (2, "FCFS"),
+        }
+
+    def test_series_and_table(self):
+        result = sweep("#actions", [1, 2], scenario_with_actions, ["OURS"])
+        series = result.series(lambda r: float(r.jobs_submitted))
+        assert series["OURS"][1] > series["OURS"][0]
+        text = result.table(lambda r: r.interactive_fps, title="t")
+        assert "OURS" in text and "t" in text
+
+    def test_scheduler_factories_accepted(self):
+        result = sweep(
+            "#actions",
+            [1],
+            scenario_with_actions,
+            [lambda: OursScheduler(cycle=0.01)],
+        )
+        assert result.schedulers == ["OURS"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep("x", [], scenario_with_actions, ["OURS"])
+        with pytest.raises(ValueError):
+            sweep("x", [1], scenario_with_actions, [])
+
+
+class TestMetricStats:
+    def test_mean_std(self):
+        stats = MetricStats.of([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        stats = MetricStats.of([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+
+    def test_empty(self):
+        assert MetricStats.of([]).mean == 0.0
+
+    def test_str(self):
+        assert "n=2" in str(MetricStats.of([1.0, 2.0]))
+
+
+class TestReplicate:
+    def test_per_seed_runs(self):
+        result = replicate(
+            lambda seed: scenario_with_actions(2, seed=seed),
+            "OURS",
+            seeds=[0, 1, 2],
+        )
+        assert result.scheduler == "OURS"
+        assert len(result.results) == 3
+        assert result.fps.mean > 0
+        assert len(result.fps.values) == 3
+
+    def test_seed_sensitivity_visible(self):
+        """Different seeds produce (slightly) different traces."""
+        result = replicate(
+            lambda seed: scenario_with_actions(2, seed=seed),
+            "OURS",
+            seeds=[0, 1, 2, 3],
+        )
+        latencies = result.interactive_latency.values
+        assert len(set(latencies)) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: scenario_with_actions(1, s), "OURS", seeds=[])

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scenario == 1
+        assert args.schedulers == "OURS"
+        assert args.scale == 1.0
+
+    def test_render_defaults(self):
+        args = build_parser().parse_args(["render"])
+        assert args.dataset == "supernova"
+        assert args.algorithm == "2-3-swap"
+
+
+class TestCommands:
+    def test_schedulers_lists_all(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("OURS", "FCFS", "FCFSL", "FCFSU", "SF", "FS"):
+            assert name in out
+
+    def test_scenarios_describe(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "[1]" in out and "[4]" in out
+        assert "linux8" in out and "anl" in out
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scenario",
+                "1",
+                "--scale",
+                "0.05",
+                "--schedulers",
+                "ours,fcfs",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OURS" in out and "FCFS" in out
+        assert "completed" in out
+
+    def test_simulate_unknown_scheduler(self, capsys):
+        assert main(["simulate", "--schedulers", "BOGUS"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_simulate_per_action(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scenario",
+                "1",
+                "--scale",
+                "0.05",
+                "--per-action",
+            ]
+        )
+        assert code == 0
+        assert "action" in capsys.readouterr().out
+
+    def test_render_writes_ppm(self, tmp_path, capsys):
+        out = tmp_path / "img.ppm"
+        code = main(
+            [
+                "render",
+                "--dataset",
+                "plume",
+                "--size",
+                "16",
+                "--image",
+                "24",
+                "--ranks",
+                "3",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = out.read_bytes()
+        assert data.startswith(b"P6\n24 24\n255\n")
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestAnimateCommand:
+    def test_animate_writes_frames(self, tmp_path, capsys):
+        code = main(
+            [
+                "animate",
+                "--dataset", "plume",
+                "--frames", "2",
+                "--size", "14",
+                "--image", "16",
+                "--ranks", "2",
+                "--out", str(tmp_path / "anim"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "anim" / "frame_0000.ppm").exists()
+        assert (tmp_path / "anim" / "frame_0001.ppm").exists()
+
+    def test_render_shaded(self, tmp_path):
+        out = tmp_path / "s.ppm"
+        code = main(
+            [
+                "render", "--dataset", "supernova", "--size", "14",
+                "--image", "16", "--ranks", "2", "--shaded",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()

@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--scale", "0.1")
+        assert "OURS" in out and "FCFS" in out
+
+    def test_cost_model_timeline(self):
+        out = run_example("cost_model_timeline.py")
+        assert "Definition 4" in out or "framerates" in out
+        assert "33.33" in out
+
+    def test_custom_scheduler(self):
+        out = run_example("custom_scheduler.py", "--scale", "0.08")
+        assert "DELAY" in out
+
+    def test_render_gallery(self, tmp_path):
+        out = run_example(
+            "render_gallery.py",
+            "--size", "20", "--image", "32", "--ranks", "2",
+            "--out", str(tmp_path),
+        )
+        assert "supernova" in out
+        assert (tmp_path / "supernova.ppm").exists()
+        assert (tmp_path / "plume.ppm").exists()
+        assert (tmp_path / "combustion.ppm").exists()
+
+    def test_batch_animation(self, tmp_path):
+        out = run_example(
+            "batch_animation.py",
+            "--frames", "2", "--size", "16", "--image", "24",
+            "--ranks", "2", "--out", str(tmp_path),
+        )
+        assert "2 frames" in out
+        assert (tmp_path / "frame_0000.ppm").exists()
+
+    def test_service_dynamics(self):
+        out = run_example("service_dynamics.py", "--scale", "0.1")
+        assert "node backlog" in out
+        assert "OURS" in out and "FCFSL" in out
+
+    def test_multi_user_service(self):
+        out = run_example(
+            "multi_user_service.py", "--duration", "6", "--nodes", "4"
+        )
+        assert "Per-action delivered framerates" in out
+
+    def test_fault_tolerance(self):
+        out = run_example("fault_tolerance.py", "--scale", "0.15")
+        assert "with crashes" in out
+        assert "busy nodes" in out

@@ -1,0 +1,60 @@
+"""Performance regression guards for the simulation core.
+
+The guides' first rule is *measure*; these tests pin order-of-magnitude
+throughput floors so an accidental O(n^2) in the hot paths (event loop,
+LRU, tables) is caught by CI rather than by a 10x slower Scenario 4.
+Thresholds are set ~10x below typical speeds to stay robust on slow CI
+machines.
+"""
+
+import time
+
+from repro.cluster.event_queue import EventQueue
+from repro.cluster.memory import LRUChunkCache
+from repro.core.chunks import Chunk
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import scenario_1
+
+
+def test_event_queue_throughput():
+    """The DES core sustains well over 100k events/second."""
+    q = EventQueue()
+    n = 50_000
+    counter = [0]
+
+    def bump():
+        counter[0] += 1
+
+    start = time.perf_counter()
+    for i in range(n):
+        q.schedule(i * 1e-6, bump)
+    q.run()
+    elapsed = time.perf_counter() - start
+    assert counter[0] == n
+    assert n / elapsed > 100_000, f"only {n / elapsed:.0f} events/s"
+
+
+def test_lru_cache_throughput():
+    """LRU operations sustain well over 100k ops/second."""
+    cache = LRUChunkCache(100 * 100)
+    chunks = [Chunk("ds", i, 100) for i in range(500)]
+    n = 50_000
+    start = time.perf_counter()
+    for i in range(n):
+        cache.insert(chunks[i % 500])
+    elapsed = time.perf_counter() - start
+    assert n / elapsed > 100_000, f"only {n / elapsed:.0f} ops/s"
+
+
+def test_simulation_throughput():
+    """A full OURS scenario run processes > 5k jobs/second of wall time.
+
+    (Scenario 1 at full scale is 12k jobs; typical speed is 15-25k
+    jobs/s, so this catches order-of-magnitude regressions only.)
+    """
+    scenario = scenario_1(scale=0.25)
+    start = time.perf_counter()
+    result = run_simulation(scenario, "OURS")
+    elapsed = time.perf_counter() - start
+    rate = result.jobs_submitted / elapsed
+    assert rate > 5_000, f"only {rate:.0f} jobs/s"

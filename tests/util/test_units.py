@@ -1,0 +1,70 @@
+"""Tests for byte/time unit helpers."""
+
+import pytest
+
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    bytes_to_gib,
+    bytes_to_mib,
+    fmt_bytes,
+    fmt_seconds,
+)
+
+
+class TestConstants:
+    def test_progression(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+        assert TiB == 1024 * GiB
+
+    def test_paper_sizes(self):
+        # Table II: 512 MiB chunks of a 2 GiB dataset → 4 chunks.
+        assert (2 * GiB) // (512 * MiB) == 4
+        # 8 GiB dataset → 16 chunks.
+        assert (8 * GiB) // (512 * MiB) == 16
+
+
+class TestConversions:
+    def test_bytes_to_mib(self):
+        assert bytes_to_mib(512 * MiB) == 512.0
+
+    def test_bytes_to_gib(self):
+        assert bytes_to_gib(3 * GiB) == 3.0
+
+    def test_roundtrip_fraction(self):
+        assert bytes_to_gib(512 * MiB) == pytest.approx(0.5)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (2 * KiB, "2.0 KiB"),
+            (512 * MiB, "512.0 MiB"),
+            (3 * GiB, "3.0 GiB"),
+            (2 * TiB, "2.0 TiB"),
+        ],
+    )
+    def test_fmt_bytes(self, value, expected):
+        assert fmt_bytes(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, "0 s"),
+            (5e-6, "5.0 us"),
+            (0.0305, "30.500 ms"),
+            (2.5, "2.500 s"),
+        ],
+    )
+    def test_fmt_seconds(self, value, expected):
+        assert fmt_seconds(value) == expected
+
+    def test_fmt_seconds_negative(self):
+        assert fmt_seconds(-0.002) == "-2.000 ms"

@@ -1,0 +1,55 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range_message_names_param(self):
+        with pytest.raises(ValueError, match="alpha"):
+            check_in_range("alpha", 2.0, 0.0, 1.0)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_tuple_of_types(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0
+
+    def test_rejects_with_names(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "nope", int)

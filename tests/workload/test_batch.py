@@ -1,0 +1,73 @@
+"""Tests for batch submission generation."""
+
+import pytest
+
+from repro.core.chunks import dataset_suite
+from repro.core.job import JobType
+from repro.util.units import GiB
+from repro.workload.batch import BatchSubmission, poisson_batch_stream
+
+
+class TestBatchSubmission:
+    def test_requests_all_at_submission_time(self):
+        sub = BatchSubmission(5, 9, "ds", time=3.0, frames=4)
+        reqs = sub.requests()
+        assert len(reqs) == 4
+        assert all(r.time == 3.0 for r in reqs)
+        assert all(r.job_type is JobType.BATCH for r in reqs)
+        assert all(r.action == 5 for r in reqs)
+        assert [r.sequence for r in reqs] == [0, 1, 2, 3]
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSubmission(0, 0, "ds", time=0.0, frames=0).requests()
+
+
+class TestPoissonBatchStream:
+    def test_reproducible(self):
+        datasets = dataset_suite(3, GiB)
+        t1 = poisson_batch_stream(
+            datasets, 50.0, submission_rate=0.5, mean_frames=20, seed=7
+        )
+        t2 = poisson_batch_stream(
+            datasets, 50.0, submission_rate=0.5, mean_frames=20, seed=7
+        )
+        assert t1.requests == t2.requests
+
+    def test_all_batch_type(self):
+        datasets = dataset_suite(3, GiB)
+        trace = poisson_batch_stream(
+            datasets, 20.0, submission_rate=1.0, mean_frames=10, seed=0
+        )
+        assert trace.interactive_count == 0
+        assert trace.batch_count == len(trace.requests) > 0
+
+    def test_expected_total_magnitude(self):
+        datasets = dataset_suite(3, GiB)
+        trace = poisson_batch_stream(
+            datasets, 400.0, submission_rate=1.0, mean_frames=25, seed=1
+        )
+        expected = 400.0 * 1.0 * 25
+        assert 0.6 * expected < trace.batch_count < 1.4 * expected
+
+    def test_id_offsets_keep_namespaces_disjoint(self):
+        datasets = dataset_suite(2, GiB)
+        trace = poisson_batch_stream(
+            datasets,
+            20.0,
+            submission_rate=0.5,
+            mean_frames=5,
+            first_submission_id=1_000_000,
+            seed=2,
+        )
+        assert all(r.action >= 1_000_000 for r in trace.requests)
+
+    def test_frames_at_least_one(self):
+        datasets = dataset_suite(2, GiB)
+        trace = poisson_batch_stream(
+            datasets, 50.0, submission_rate=2.0, mean_frames=1.0, seed=3
+        )
+        counts = {}
+        for r in trace.requests:
+            counts[r.action] = counts.get(r.action, 0) + 1
+        assert all(c >= 1 for c in counts.values())

@@ -1,0 +1,96 @@
+"""Tests for workload traces."""
+
+import pytest
+
+from repro.core.chunks import Dataset
+from repro.core.job import JobType
+from repro.util.units import GiB
+from repro.workload.trace import Request, WorkloadTrace, merge_traces
+
+
+def req(t, ds="a", jt=JobType.INTERACTIVE, action=0, seq=0, user=0):
+    return Request(
+        time=t, job_type=jt, dataset=ds, user=user, action=action, sequence=seq
+    )
+
+
+def make_trace(requests, datasets=None, **kw):
+    if datasets is None:
+        datasets = [Dataset("a", GiB), Dataset("b", GiB)]
+    return WorkloadTrace(
+        requests=requests, datasets=datasets, duration=10.0, **kw
+    )
+
+
+class TestTrace:
+    def test_sorted_by_time(self):
+        trace = make_trace([req(2.0), req(1.0), req(3.0)])
+        assert [r.time for r in trace.requests] == [1.0, 2.0, 3.0]
+
+    def test_counts(self):
+        trace = make_trace(
+            [
+                req(0.0, action=0),
+                req(0.1, action=1),
+                req(0.2, jt=JobType.BATCH, action=2),
+            ]
+        )
+        assert trace.interactive_count == 2
+        assert trace.batch_count == 1
+        assert trace.action_count == 2
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_trace([req(0.0, ds="zz")])
+
+    def test_duplicate_dataset_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_trace([], datasets=[Dataset("a", 1), Dataset("a", 2)])
+
+    def test_dataset_by_name(self):
+        trace = make_trace([])
+        assert trace.dataset_by_name("a").size == GiB
+        with pytest.raises(KeyError):
+            trace.dataset_by_name("zz")
+
+    def test_summary_mentions_counts(self):
+        trace = make_trace([req(0.0), req(0.1, jt=JobType.BATCH)])
+        s = trace.summary()
+        assert "1 batch" in s and "1 interactive" in s
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        trace = make_trace(
+            [req(0.5, action=3, seq=7, user=2), req(1.0, jt=JobType.BATCH)],
+            name="t",
+        )
+        restored = WorkloadTrace.from_json(trace.to_json())
+        assert restored.name == trace.name
+        assert restored.duration == trace.duration
+        assert restored.requests == trace.requests
+        assert restored.datasets == trace.datasets
+
+
+class TestMerge:
+    def test_merge_unions_datasets_and_sorts(self):
+        t1 = make_trace([req(2.0)], datasets=[Dataset("a", GiB)])
+        t2 = WorkloadTrace(
+            requests=[req(1.0, ds="b", jt=JobType.BATCH)],
+            datasets=[Dataset("b", 2 * GiB)],
+            duration=20.0,
+        )
+        merged = merge_traces([t1, t2])
+        assert {d.name for d in merged.datasets} == {"a", "b"}
+        assert merged.duration == 20.0
+        assert [r.time for r in merged.requests] == [1.0, 2.0]
+
+    def test_conflicting_sizes_rejected(self):
+        t1 = make_trace([], datasets=[Dataset("a", 1)])
+        t2 = make_trace([], datasets=[Dataset("a", 2)])
+        with pytest.raises(ValueError, match="conflicting"):
+            merge_traces([t1, t2])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
