@@ -1,0 +1,96 @@
+"""Tracing overhead: events/sec with tracing disabled vs fully on.
+
+The observability layer must be free when off — hot paths hold ``None``
+and skip instrumentation with one identity check — and cheap enough
+when on that traced runs stay practical.  This bench measures the
+simulator's event-processing rate three ways (untraced, ``NullTracer``,
+full ``Tracer`` + counter sampling) on Scenario 1 and emits the numbers
+both as a text report and as machine-readable
+``benchmarks/results/BENCH_tracer.json`` for regression tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Optional
+
+from benchmarks._shared import RESULTS_DIR, bench_scale, emit_report
+from repro.obs.tracer import NullTracer, Tracer
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import scenario_1
+
+SCALE = bench_scale(0.25)
+ROUNDS = 3
+
+
+def _measure(tracer_factory) -> Dict[str, float]:
+    """Best-of-N events/sec for one tracer configuration."""
+    best: Optional[Dict[str, float]] = None
+    for _ in range(ROUNDS):
+        scenario = scenario_1(scale=SCALE)
+        tracer = tracer_factory() if tracer_factory else None
+        start = time.perf_counter()
+        result = run_simulation(scenario, "OURS", tracer=tracer)
+        wall = time.perf_counter() - start
+        sample = {
+            "events": float(result.events_processed),
+            "wall_s": wall,
+            "events_per_sec": result.events_processed / wall,
+            "trace_events": float(len(tracer)) if tracer is not None else 0.0,
+        }
+        if best is None or sample["events_per_sec"] > best["events_per_sec"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+def test_tracer_overhead(benchmark):
+    """Measure and persist the disabled/null/full tracing rates."""
+
+    def run_all():
+        return {
+            "untraced": _measure(None),
+            "null_tracer": _measure(NullTracer),
+            "full_tracer": _measure(Tracer),
+        }
+
+    rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = rates["untraced"]["events_per_sec"]
+    null_ratio = rates["null_tracer"]["events_per_sec"] / base
+    full_ratio = rates["full_tracer"]["events_per_sec"] / base
+
+    payload = {
+        "bench": "tracer_overhead",
+        "scenario": "scenario1",
+        "scale": SCALE,
+        "scheduler": "OURS",
+        "rounds": ROUNDS,
+        "results": rates,
+        "null_tracer_relative_rate": null_ratio,
+        "full_tracer_relative_rate": full_ratio,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = RESULTS_DIR / "BENCH_tracer.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = ["tracer overhead — scenario 1, OURS, best of "
+             f"{ROUNDS} (scale {SCALE})", ""]
+    for name, r in rates.items():
+        lines.append(
+            f"{name:>12}: {r['events_per_sec']:>12,.0f} events/s "
+            f"({r['events']:,.0f} events, {r['wall_s']*1e3:.1f} ms, "
+            f"{r['trace_events']:,.0f} trace events)"
+        )
+    lines.append("")
+    lines.append(f"null tracer relative rate: {null_ratio:.3f}")
+    lines.append(f"full tracer relative rate: {full_ratio:.3f}")
+    lines.append(f"machine-readable: {out}")
+    emit_report("tracer_overhead", "\n".join(lines))
+
+    # Disabled tracing must be ~free (generous bound: timing noise on
+    # shared CI machines), and full tracing must not cripple the run.
+    assert null_ratio > 0.80
+    assert full_ratio > 0.25
+    assert rates["full_tracer"]["trace_events"] > 0
+    assert rates["null_tracer"]["trace_events"] == 0

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Trace inspection: where does each node's time go under FCFS vs OURS?
+
+Runs the paper's Scenario 1 under the locality-blind FCFS scheduler and
+under the paper's scheduler (OURS) with full tracing enabled, then
+prints the two per-node time profiles side by side.  The contrast *is*
+the paper's story: under FCFS every node spends most of its pipeline
+stalled on I/O (cache misses force ~512 MiB reads per task), while
+under OURS the same workload renders from warm caches and the I/O
+column collapses to zero.
+
+Optionally writes Chrome trace-event files — load them at
+``chrome://tracing`` or https://ui.perfetto.dev to see the io/render/
+composite spans and the queue-depth / busy-nodes / cache counters.
+
+Run:
+    python examples/trace_inspection.py [--scale 0.2] [--trace-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import Tracer, run_simulation, scenario_1, write_chrome_trace
+
+
+def traced_run(scale: float, scheduler: str):
+    """Run Scenario 1 under ``scheduler`` with a live tracer attached."""
+    tracer = Tracer()
+    result = run_simulation(scenario_1(scale=scale), scheduler, tracer=tracer)
+    return tracer, result
+
+
+def side_by_side(left: str, right: str, gap: str = "   |   ") -> str:
+    """Join two text tables line by line into one two-column block."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    width = max(len(line) for line in left_lines)
+    rows = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (rows - len(left_lines))
+    right_lines += [""] * (rows - len(right_lines))
+    return "\n".join(
+        f"{l:<{width}}{gap}{r}" for l, r in zip(left_lines, right_lines)
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="fraction of the paper's 60 s run to simulate (default 0.2)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="also write Chrome trace JSON files into this directory",
+    )
+    args = parser.parse_args()
+
+    profiles = {}
+    for scheduler in ("FCFS", "OURS"):
+        tracer, result = traced_run(args.scale, scheduler)
+        profiles[scheduler] = result
+        print(
+            f"{scheduler}: {result.jobs_completed} jobs, "
+            f"{result.interactive_fps:.1f} fps, hit rate "
+            f"{result.hit_rate:.1%}, {tracer.span_count} spans, "
+            f"{len(tracer.counter_tracks())} counter tracks"
+        )
+        if args.trace_dir is not None:
+            args.trace_dir.mkdir(parents=True, exist_ok=True)
+            path = write_chrome_trace(
+                args.trace_dir / f"scenario1_{scheduler}.json",
+                tracer,
+                metadata={"scenario": "scenario1", "scheduler": scheduler},
+            )
+            print(f"  trace written to {path}")
+    print()
+
+    print(
+        side_by_side(
+            profiles["FCFS"].profile_table(title="FCFS (locality-blind)"),
+            profiles["OURS"].profile_table(title="OURS (locality-aware)"),
+        )
+    )
+    print()
+
+    fcfs_io = profiles["FCFS"].profile.mean_fractions()["io"]
+    ours_io = profiles["OURS"].profile.mean_fractions()["io"]
+    print(
+        f"Mean I/O-stall fraction: FCFS {fcfs_io:.1%} vs OURS {ours_io:.1%} "
+        f"— the scheduler turns disk time into render (and idle) time."
+    )
+
+
+if __name__ == "__main__":
+    main()

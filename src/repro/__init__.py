@@ -13,8 +13,10 @@ services, with:
 * a real software volume-rendering substrate (NumPy ray caster, sort-
   last compositing via binary swap / 2-3 swap over a simulated
   communicator),
-* workload generators reproducing the four Table II scenarios, and
-* analysis/reporting for every table and figure of the evaluation.
+* workload generators reproducing the four Table II scenarios,
+* analysis/reporting for every table and figure of the evaluation, and
+* a structured observability layer (virtual-time spans/counters, Chrome
+  trace-event export, per-node io/render/composite/idle profiles).
 
 Quickstart::
 
@@ -51,6 +53,13 @@ from repro.core import (
     register_scheduler,
 )
 from repro.metrics import SchedulerSummary, SimulationCollector, comparison_table
+from repro.obs import (
+    ClusterProfile,
+    NodeProfile,
+    NullTracer,
+    Tracer,
+    write_chrome_trace,
+)
 from repro.sim import (
     SimulationResult,
     SystemConfig,
@@ -101,6 +110,11 @@ __all__ = [
     "SchedulerSummary",
     "SimulationCollector",
     "comparison_table",
+    "Tracer",
+    "NullTracer",
+    "write_chrome_trace",
+    "ClusterProfile",
+    "NodeProfile",
     "SimulationResult",
     "SystemConfig",
     "VisualizationService",

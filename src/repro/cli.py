@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.core.registry import SCHEDULER_NAMES
@@ -57,6 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument(
         "--schedulers",
+        "--scheduler",
+        dest="schedulers",
         default="OURS",
         help="comma-separated registry names (or 'all')",
     )
@@ -71,6 +74,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-action",
         action="store_true",
         help="also print per-action delivered framerates",
+    )
+    sim.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a Chrome trace-event JSON of the run (open in "
+            "Perfetto / chrome://tracing); with several schedulers, the "
+            "scheduler name is inserted before the file extension"
+        ),
+    )
+    sim.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-node io/render/composite/idle breakdown",
     )
 
     ren = sub.add_parser("render", help="sort-last render a dataset to PPM")
@@ -118,7 +136,31 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     scenario = make_scenario(args.scenario, scale=args.scale, seed=args.seed)
     print(scenario.summary())
-    results = [run_simulation(scenario, n, drain=args.drain) for n in names]
+    results = []
+    trace_paths = []
+    for name in names:
+        tracer = None
+        if args.trace:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+        results.append(run_simulation(scenario, name, drain=args.drain, tracer=tracer))
+        if tracer is not None:
+            from repro.obs import write_chrome_trace
+
+            path = Path(args.trace)
+            if len(names) > 1:
+                path = path.with_name(f"{path.stem}.{name}{path.suffix or '.json'}")
+            write_chrome_trace(
+                path,
+                tracer,
+                metadata={
+                    "scenario": scenario.name,
+                    "scheduler": name,
+                    "scale": args.scale,
+                },
+            )
+            trace_paths.append(path)
     print(
         comparison_table(
             [r.summary() for r in results],
@@ -134,6 +176,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if args.per_action:
             for action, fps in sorted(result.delivered_framerates().items()):
                 print(f"    action {action:>6}: {fps:7.2f} fps")
+        if args.profile:
+            print(result.profile_table(title=f"\n[{result.scheduler_name}] per-node time breakdown"))
+    for path in trace_paths:
+        print(f"trace written to {path}")
     return 0
 
 

@@ -57,10 +57,15 @@ class GpuMemoryModel:
     ``access`` returns the upload time to charge for a task: zero if the
     chunk is already resident, otherwise the host→device copy time (with
     LRU eviction of older chunks to make room).
+
+    An optional ``observer`` callable — ``observer(kind, chunk)`` with
+    ``kind`` in ``{"upload", "vram-hit"}`` — fires on accesses so the
+    observability layer can emit VRAM instants; ``None`` by default.
     """
 
     def __init__(self, spec: GpuSpec) -> None:
         self.spec = spec
+        self.observer = None
         self._cache = LRUChunkCache(spec.video_memory)
         self._uploads = 0
         self._upload_bytes = 0
@@ -89,10 +94,14 @@ class GpuMemoryModel:
         """Account one rendering access to ``chunk``; return upload seconds."""
         if self._cache.touch(chunk):
             self._hits += 1
+            if self.observer is not None:
+                self.observer("vram-hit", chunk)
             return 0.0
         self._cache.insert(chunk)
         self._uploads += 1
         self._upload_bytes += chunk.size
+        if self.observer is not None:
+            self.observer("upload", chunk)
         return self.spec.upload_time(chunk.size)
 
     def invalidate(self, chunk: Chunk) -> None:

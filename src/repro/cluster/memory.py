@@ -33,12 +33,19 @@ class LRUChunkCache:
     chunk, evicting least-recently-used entries until it fits and
     returning the eviction list (the head node uses it to keep its mirror
     and the ``Cache`` table consistent).
+
+    An optional ``observer`` callable — ``observer(kind, chunk)`` with
+    ``kind`` in ``{"insert", "evict"}`` — fires on mutations, letting the
+    observability layer emit cache instants without the cache knowing
+    about tracers.  It is ``None`` by default (one identity check per
+    mutation; the ``touch`` hot path is untouched).
     """
 
-    __slots__ = ("capacity", "_entries", "_used")
+    __slots__ = ("capacity", "observer", "_entries", "_used")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = int(check_positive("capacity", capacity))
+        self.observer = None
         self._entries: "OrderedDict[Chunk, int]" = OrderedDict()
         self._used = 0
 
@@ -109,6 +116,10 @@ class LRUChunkCache:
             evicted.append(victim)
         self._entries[chunk] = chunk.size
         self._used += chunk.size
+        if self.observer is not None:
+            for victim in evicted:
+                self.observer("evict", victim)
+            self.observer("insert", chunk)
         return evicted
 
     def evict(self, chunk: "Chunk") -> bool:
@@ -117,6 +128,8 @@ class LRUChunkCache:
         if size is None:
             return False
         self._used -= size
+        if self.observer is not None:
+            self.observer("evict", chunk)
         return True
 
     def clear(self) -> None:

@@ -68,11 +68,16 @@ class RenderNode:
         "_rng",
         "_running",
         "_alive",
+        "_tracer",
+        "_pid",
+        "_slot_of",
+        "_free_slots",
         "busy_time",
         "tasks_executed",
         "cache_hits",
         "cache_misses",
         "io_seconds",
+        "composite_seconds",
         "last_finish_time",
     )
 
@@ -106,12 +111,18 @@ class RenderNode:
         self._rng = rng
         self._running: list = []
         self._alive = True
+        # observability (None → zero-cost: one identity check per task)
+        self._tracer = None
+        self._pid = 0
+        self._slot_of: dict = {}
+        self._free_slots: list = []
         # statistics
         self.busy_time = 0.0
         self.tasks_executed = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.io_seconds = 0.0
+        self.composite_seconds = 0.0
         self.last_finish_time = 0.0
 
     # -- inspection --------------------------------------------------------
@@ -156,6 +167,55 @@ class RenderNode:
         if elapsed <= 0:
             return 0.0
         return min(1.0, self.busy_time / (elapsed * self.executors))
+
+    # -- observability -----------------------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.tracer.Tracer` to this node.
+
+        Emits one I/O span per cache-missing load, one render span per
+        executed task (on a per-pipeline lane when the node has several
+        executors), and cache hit/miss/evict instants.  Call before the
+        simulation runs; pass ``None`` to detach.
+        """
+        from repro.obs.tracer import active_tracer, pid_for_node
+
+        self._tracer = active_tracer(tracer)
+        self._pid = pid_for_node(self.node_id)
+        self._slot_of = {}
+        self._free_slots = []
+        self.cache.observer = (
+            self._on_cache_event if self._tracer is not None else None
+        )
+        if self._vram is not None:
+            self._vram.observer = (
+                self._on_vram_event if self._tracer is not None else None
+            )
+
+    def _on_cache_event(self, kind: str, chunk) -> None:
+        """Cache observer: emit eviction instants (inserts are the
+        cache-miss instants already emitted on the task path)."""
+        if kind == "evict":
+            self._tracer.instant(
+                self._pid,
+                "cache",
+                f"evict {chunk.key}",
+                self._events.now,
+                category="cache",
+                args={"bytes": chunk.size},
+            )
+
+    def _on_vram_event(self, kind: str, chunk) -> None:
+        """VRAM observer: emit host→device upload instants."""
+        if kind == "upload":
+            self._tracer.instant(
+                self._pid,
+                "gpu",
+                f"upload {chunk.key}",
+                self._events.now,
+                category="render",
+                args={"bytes": chunk.size},
+            )
 
     # -- execution ---------------------------------------------------------
 
@@ -207,8 +267,69 @@ class RenderNode:
         task.io_time = io_time
         self.io_seconds += io_time
         exec_time = io_time + upload_time + render_time
+        tracer = self._tracer
+        if tracer is not None:
+            self._trace_execution(
+                task, now, hit, io_time, upload_time, render_time
+            )
         self._events.schedule(
             now + exec_time, self._finish, task, priority=PRIORITY_COMPLETION
+        )
+
+    def _trace_execution(
+        self,
+        task: "RenderTask",
+        now: float,
+        hit: bool,
+        io_time: float,
+        upload_time: float,
+        render_time: float,
+    ) -> None:
+        """Emit the task's I/O + render spans and cache instant.
+
+        Spans are recorded at task start — the discrete-event model
+        fixes every duration then, so both spans are fully known.  With
+        multiple executors each pipeline gets its own lane (slots are
+        reused in LIFO order), keeping per-lane timestamps monotonic.
+        """
+        tracer = self._tracer
+        pid = self._pid
+        slot = self._free_slots.pop() if self._free_slots else len(self._slot_of)
+        self._slot_of[task] = slot
+        suffix = f" {slot}" if self.executors > 1 else ""
+        key = task.chunk.key
+        job_id = task.job.job_id
+        tracer.instant(
+            pid,
+            "cache",
+            "hit" if hit else "miss",
+            now,
+            category="cache",
+            args={"chunk": key, "job": job_id},
+        )
+        if not hit:
+            tracer.complete(
+                pid,
+                f"io{suffix}",
+                f"load {key}",
+                now,
+                io_time,
+                category="io",
+                args={"bytes": task.chunk.size, "job": job_id},
+            )
+        tracer.complete(
+            pid,
+            f"render{suffix}",
+            f"render {key}",
+            now + io_time,
+            upload_time + render_time,
+            category="render",
+            args={
+                "job": job_id,
+                "task": task.index,
+                "hit": hit,
+                "upload_s": upload_time,
+            },
         )
 
     def _finish(self, task: RenderTask) -> None:
@@ -223,8 +344,12 @@ class RenderNode:
         self.busy_time += now - task.start_time  # type: ignore[operator]
         self.tasks_executed += 1
         if not task.cache_hit:
-            self._storage.end_load()
+            self._storage.end_load(task.chunk.size)
         self._running.remove(task)
+        if self._tracer is not None:
+            slot = self._slot_of.pop(task, None)
+            if slot is not None:
+                self._free_slots.append(slot)
         if self._on_task_finish is not None:
             self._on_task_finish(self, task)
         while self.queue and not self.saturated and self._alive:
@@ -241,11 +366,21 @@ class RenderNode:
         if not self._alive:
             return []
         self._alive = False
+        if self._tracer is not None:
+            self._tracer.instant(
+                self._pid,
+                "cache",
+                "node failed",
+                self._events.now,
+                category="service",
+            )
+            self._slot_of.clear()
+            self._free_slots.clear()
         orphans = []
         for task in self._running:
             if task.cache_hit is False:
                 # Balance the in-flight load's storage accounting.
-                self._storage.end_load()
+                self._storage.end_load(task.chunk.size)
             orphans.append(task)
         self._running = []
         orphans.extend(self.queue)

@@ -69,6 +69,7 @@ class StorageModel:
     def __init__(self, spec: StorageSpec, *, seed: SeedLike = 0) -> None:
         self.spec = spec
         self._active_loads = 0
+        self._active_bytes = 0
         self._total_loads = 0
         self._total_bytes = 0
         self._rng: np.random.Generator = make_rng(seed)
@@ -79,6 +80,16 @@ class StorageModel:
     def active_loads(self) -> int:
         """Number of loads currently in flight."""
         return self._active_loads
+
+    @property
+    def active_bytes(self) -> int:
+        """Bytes of I/O currently in flight (observability counter).
+
+        Exact when callers pass the load size back to :meth:`end_load`;
+        legacy zero-argument ``end_load`` calls only decrement the load
+        count, so the byte gauge is best-effort for such callers.
+        """
+        return self._active_bytes
 
     @property
     def total_loads(self) -> int:
@@ -117,6 +128,7 @@ class StorageModel:
         """
         check_non_negative("nbytes", nbytes)
         self._active_loads += 1
+        self._active_bytes += nbytes
         self._total_loads += 1
         self._total_bytes += nbytes
         bw = self.effective_bandwidth(self._active_loads)
@@ -127,11 +139,20 @@ class StorageModel:
             )
         return duration
 
-    def end_load(self) -> None:
-        """Mark one in-flight load as finished."""
+    def end_load(self, nbytes: int = 0) -> None:
+        """Mark one in-flight load as finished.
+
+        Args:
+            nbytes: Size of the finished load, used to keep the
+                :attr:`active_bytes` gauge exact.  Callers that don't
+                track sizes may omit it (the gauge then under-reports).
+        """
         if self._active_loads <= 0:
             raise RuntimeError("end_load without matching begin_load")
         self._active_loads -= 1
+        self._active_bytes -= min(nbytes, self._active_bytes)
+        if self._active_loads == 0:
+            self._active_bytes = 0
 
 
 __all__ = ["StorageSpec", "StorageModel"]

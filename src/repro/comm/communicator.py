@@ -47,13 +47,25 @@ class CommunicatorError(RuntimeError):
 
 
 class SimCommunicator:
-    """Mailbox-based message passing between ``size`` simulated ranks."""
+    """Mailbox-based message passing between ``size`` simulated ranks.
+
+    Args:
+        size: Number of simulated ranks.
+        interconnect: Link model for traffic accounting.
+        tracer: Optional :class:`~repro.obs.tracer.Tracer`; each
+            ``begin_stage``/``end_stage`` bracket then emits one span on
+            the communicator's modeled timeline (``elapsed`` seconds),
+            annotated with the stage's message and byte counts.
+        tracer_pid: Track (``pid``) the stage spans are emitted on.
+    """
 
     def __init__(
         self,
         size: int,
         *,
         interconnect: Optional[Interconnect] = None,
+        tracer=None,
+        tracer_pid: int = 0,
     ) -> None:
         if size < 1:
             raise CommunicatorError(f"size must be >= 1, got {size}")
@@ -61,8 +73,14 @@ class SimCommunicator:
         self.interconnect = (
             interconnect if interconnect is not None else Interconnect(LinkSpec())
         )
+        from repro.obs.tracer import active_tracer
+
+        self._tracer = active_tracer(tracer)
+        self._tracer_pid = tracer_pid
         self._mail: Dict[Tuple[int, int, int], Deque[Any]] = {}
         self._stage_recv_cost: Optional[List[float]] = None
+        self._stage_messages = 0
+        self._stage_bytes = 0
         self.elapsed = 0.0
         self.stages = 0
 
@@ -81,12 +99,28 @@ class SimCommunicator:
         if self._stage_recv_cost is not None:
             raise CommunicatorError("begin_stage inside an open stage")
         self._stage_recv_cost = [0.0] * self.size
+        self._stage_messages = 0
+        self._stage_bytes = 0
 
     def end_stage(self) -> None:
         """Close the stage; elapsed advances by the slowest rank."""
         if self._stage_recv_cost is None:
             raise CommunicatorError("end_stage without begin_stage")
-        self.elapsed += max(self._stage_recv_cost)
+        stage_time = max(self._stage_recv_cost)
+        if self._tracer is not None:
+            self._tracer.complete(
+                self._tracer_pid,
+                "comm",
+                f"stage {self.stages}",
+                self.elapsed,
+                stage_time,
+                category="comm",
+                args={
+                    "messages": self._stage_messages,
+                    "bytes": self._stage_bytes,
+                },
+            )
+        self.elapsed += stage_time
         self.stages += 1
         self._stage_recv_cost = None
 
@@ -98,9 +132,12 @@ class SimCommunicator:
         self._check_rank("dst", dst)
         if src == dst:
             raise CommunicatorError("self-sends are not modeled; keep data local")
-        cost = self.interconnect.send(payload_nbytes(payload))
+        nbytes = payload_nbytes(payload)
+        cost = self.interconnect.send(nbytes)
         if self._stage_recv_cost is not None:
             self._stage_recv_cost[dst] += cost
+            self._stage_messages += 1
+            self._stage_bytes += nbytes
         self._mail.setdefault((src, dst, tag), deque()).append(payload)
 
     def recv(self, dst: int, src: int, *, tag: int = 0) -> Any:

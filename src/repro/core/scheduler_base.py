@@ -54,19 +54,27 @@ class SchedulerContext:
     Wraps the cluster (read-only state: time, node count) and the head
     node's tables.  Policies must route *all* placements through
     :meth:`assign` so the tables stay consistent.
+
+    ``tracer`` is the run's observability sink (or ``None`` when tracing
+    is off): the service emits one span per scheduler invocation, and
+    policies may add their own instants/spans for decisions worth seeing
+    on the timeline (guard with ``if ctx.tracer is not None``).
     """
 
-    __slots__ = ("cluster", "tables", "decomposition", "_assignments")
+    __slots__ = ("cluster", "tables", "decomposition", "tracer", "_assignments")
 
     def __init__(
         self,
         cluster: Cluster,
         tables: SchedulerTables,
         decomposition: DecompositionPolicy,
+        *,
+        tracer=None,
     ) -> None:
         self.cluster = cluster
         self.tables = tables
         self.decomposition = decomposition
+        self.tracer = tracer
         self._assignments: List[Assignment] = []
 
     @property

@@ -1,0 +1,82 @@
+"""repro.obs — structured tracing & observability for the simulator.
+
+The subsystem has four pieces:
+
+* :mod:`repro.obs.tracer` — a lightweight virtual-time tracer (nested
+  spans, instant events, counter samples) plus a zero-cost
+  :class:`NullTracer` for disabled runs;
+* :mod:`repro.obs.chrome` — export to Chrome trace-event JSON, viewable
+  in Perfetto / ``chrome://tracing``;
+* :mod:`repro.obs.counters` — built-in pressure counters (queue depth,
+  busy nodes, cache occupancy, in-flight I/O) sampled on the event
+  queue;
+* :mod:`repro.obs.profile` — aggregated per-node time breakdown
+  (io / render / composite / idle fractions).
+
+Typical use::
+
+    from repro import run_simulation, scenario_1
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    result = run_simulation(scenario_1(scale=0.2), "OURS", tracer=tracer)
+    write_chrome_trace("out.json", tracer)
+    print(result.profile.table())
+"""
+
+from repro.obs.chrome import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from repro.obs.counters import (
+    STANDARD_TRACKS,
+    TRACK_BUSY_NODES,
+    TRACK_CACHE,
+    TRACK_IO_INFLIGHT,
+    TRACK_QUEUE,
+    CounterSampler,
+    default_counter_interval,
+)
+from repro.obs.profile import ClusterProfile, NodeProfile
+from repro.obs.tracer import (
+    CAT_CACHE,
+    CAT_COMM,
+    CAT_COMPOSITE,
+    CAT_IO,
+    CAT_RENDER,
+    CAT_SCHED,
+    CAT_SERVICE,
+    PID_HEAD,
+    NullTracer,
+    TraceError,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    pid_for_node,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "TraceEvent",
+    "TraceError",
+    "active_tracer",
+    "pid_for_node",
+    "PID_HEAD",
+    "CAT_IO",
+    "CAT_RENDER",
+    "CAT_COMPOSITE",
+    "CAT_SCHED",
+    "CAT_CACHE",
+    "CAT_SERVICE",
+    "CAT_COMM",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "CounterSampler",
+    "default_counter_interval",
+    "STANDARD_TRACKS",
+    "TRACK_QUEUE",
+    "TRACK_BUSY_NODES",
+    "TRACK_IO_INFLIGHT",
+    "TRACK_CACHE",
+    "ClusterProfile",
+    "NodeProfile",
+]

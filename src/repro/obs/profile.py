@@ -1,0 +1,151 @@
+"""Aggregated per-node time breakdown: I/O / render / composite / idle.
+
+The trace answers "what happened at t=4.2 s"; the profile answers "where
+did node 3's time go overall".  Each rendering node's virtual seconds
+split into four buckets:
+
+* **io** — time the render pipeline stalled loading chunks from storage
+  (the ``t_io`` term of Definition 1; zero on cache hits),
+* **render** — actual rendering (plus host→VRAM upload when the explicit
+  VRAM model is on),
+* **composite** — time the node's compositing thread spent assembling
+  final images for jobs it participated in,
+* **idle** — the remainder of the node's pipeline-seconds.
+
+Fractions are normalized so they sum to exactly 1.0 per node (when a
+node's compositing thread overlaps its render pipeline the busy buckets
+are scaled down proportionally rather than pushing idle negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Time breakdown of one rendering node over a simulation run."""
+
+    node_id: int
+    elapsed: float
+    executors: int
+    io_seconds: float
+    render_seconds: float
+    composite_seconds: float
+    tasks_executed: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def pipeline_seconds(self) -> float:
+        """Total capacity: elapsed wall time × rendering pipelines."""
+        return self.elapsed * self.executors
+
+    @property
+    def busy_seconds(self) -> float:
+        """Accounted non-idle seconds (io + render + composite)."""
+        return self.io_seconds + self.render_seconds + self.composite_seconds
+
+    @property
+    def idle_seconds(self) -> float:
+        """Unaccounted pipeline-seconds (never negative)."""
+        return max(0.0, self.pipeline_seconds - self.busy_seconds)
+
+    def fractions(self) -> Dict[str, float]:
+        """``{"io", "render", "composite", "idle"}`` fractions summing to 1.
+
+        The denominator is the node's pipeline-seconds, or the busy
+        total when oversubscribed (compositing overlapping rendering),
+        so the four buckets always form a exact partition of 1.0.
+        """
+        denom = max(self.pipeline_seconds, self.busy_seconds)
+        if denom <= 0.0:
+            return {"io": 0.0, "render": 0.0, "composite": 0.0, "idle": 1.0}
+        return {
+            "io": self.io_seconds / denom,
+            "render": self.render_seconds / denom,
+            "composite": self.composite_seconds / denom,
+            "idle": self.idle_seconds / denom,
+        }
+
+    @property
+    def utilization(self) -> float:
+        """Non-idle fraction of the node's pipeline-seconds."""
+        return 1.0 - self.fractions()["idle"]
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Per-node profiles for one run, with a text-table renderer."""
+
+    elapsed: float
+    nodes: List[NodeProfile]
+
+    @classmethod
+    def from_cluster(cls, cluster: "Cluster", elapsed: float) -> "ClusterProfile":
+        """Build the profile from a cluster's accumulated node statistics."""
+        elapsed = max(elapsed, 1e-12)
+        profiles = [
+            NodeProfile(
+                node_id=n.node_id,
+                elapsed=elapsed,
+                executors=n.executors,
+                io_seconds=n.io_seconds,
+                render_seconds=max(0.0, n.busy_time - n.io_seconds),
+                composite_seconds=n.composite_seconds,
+                tasks_executed=n.tasks_executed,
+                cache_hits=n.cache_hits,
+                cache_misses=n.cache_misses,
+            )
+            for n in cluster.nodes
+        ]
+        return cls(elapsed=elapsed, nodes=profiles)
+
+    def node(self, node_id: int) -> NodeProfile:
+        """The profile of one node."""
+        return self.nodes[node_id]
+
+    def mean_fractions(self) -> Dict[str, float]:
+        """Cluster-mean of each per-node fraction."""
+        if not self.nodes:
+            return {"io": 0.0, "render": 0.0, "composite": 0.0, "idle": 1.0}
+        acc = {"io": 0.0, "render": 0.0, "composite": 0.0, "idle": 0.0}
+        for p in self.nodes:
+            for key, value in p.fractions().items():
+                acc[key] += value
+        return {key: value / len(self.nodes) for key, value in acc.items()}
+
+    def table(self, *, title: str = "") -> str:
+        """Render the per-node breakdown as an aligned text table."""
+        lines: List[str] = []
+        if title:
+            lines.append(title)
+        header = (
+            f"{'node':>4}  {'io':>7}  {'render':>7}  {'comp':>7}  "
+            f"{'idle':>7}  {'tasks':>7}  {'hit%':>6}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for p in self.nodes:
+            f = p.fractions()
+            total = p.cache_hits + p.cache_misses
+            hit = 100.0 * p.cache_hits / total if total else 0.0
+            lines.append(
+                f"{p.node_id:>4}  {f['io']:>6.1%}  {f['render']:>6.1%}  "
+                f"{f['composite']:>6.1%}  {f['idle']:>6.1%}  "
+                f"{p.tasks_executed:>7}  {hit:>5.1f}%"
+            )
+        mean = self.mean_fractions()
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'mean':>4}  {mean['io']:>6.1%}  {mean['render']:>6.1%}  "
+            f"{mean['composite']:>6.1%}  {mean['idle']:>6.1%}"
+        )
+        return "\n".join(lines)
+
+
+__all__ = ["NodeProfile", "ClusterProfile"]

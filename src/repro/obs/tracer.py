@@ -1,0 +1,372 @@
+"""Virtual-time structured tracer: spans, instants, counter samples.
+
+The simulator's aggregate metrics (framerate, hit rate, latency) say
+*what* happened; the tracer records *where virtual time went* — one
+span per I/O load, render execution, compositing pass, and scheduler
+invocation, plus instant events (cache hits/misses/evictions) and
+counter samples (queue depth, busy nodes, cache occupancy, in-flight
+I/O).  The recorded timeline exports to Chrome trace-event JSON via
+:mod:`repro.obs.chrome` and aggregates into per-node profiles via
+:mod:`repro.obs.profile`.
+
+Addressing follows the Chrome trace model: every event belongs to a
+*track* (``pid`` — the head node or one rendering node) and a *lane*
+within it (``tid`` — named lanes such as ``"render"``, ``"io"``,
+``"composite"``).  Lane names are interned to small integer ``tid``
+values at first use; the export emits the name as thread metadata.
+
+Per-lane timestamps are enforced to be non-decreasing at record time
+(virtual time only moves forward on one lane), so exported traces are
+monotonic per lane by construction.
+
+Disabled runs pay nothing: instrumentation sites hold ``None`` instead
+of a tracer and guard with one identity check; :class:`NullTracer`
+additionally provides the full API as no-ops for call sites that prefer
+an always-valid object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Track (``pid``) of the head node — the service, scheduler, and
+#: cluster-wide counters live here.  Rendering node ``k`` is track
+#: ``PID_HEAD + 1 + k`` (see :func:`pid_for_node`).
+PID_HEAD = 0
+
+#: Standard event categories (Chrome trace ``cat`` field).
+CAT_IO = "io"
+CAT_RENDER = "render"
+CAT_COMPOSITE = "composite"
+CAT_SCHED = "sched"
+CAT_CACHE = "cache"
+CAT_SERVICE = "service"
+CAT_COMM = "comm"
+
+
+def pid_for_node(node_id: int) -> int:
+    """Track id (``pid``) of rendering node ``node_id``."""
+    return PID_HEAD + 1 + node_id
+
+
+class TraceError(RuntimeError):
+    """Tracer protocol misuse: bad nesting or time running backwards."""
+
+
+class TraceEvent:
+    """One recorded trace event.
+
+    Attributes mirror the Chrome trace-event fields: ``phase`` is the
+    event type (``"X"`` complete span, ``"B"``/``"E"`` nested span
+    begin/end, ``"i"`` instant, ``"C"`` counter), ``ts`` is the virtual
+    start time in seconds, ``dur`` the duration in seconds (complete
+    spans only), ``pid``/``tid`` the track and lane, ``args`` an
+    arbitrary payload mapping.
+    """
+
+    __slots__ = ("phase", "name", "category", "ts", "dur", "pid", "tid", "args")
+
+    def __init__(
+        self,
+        phase: str,
+        name: str,
+        category: Optional[str],
+        ts: float,
+        dur: Optional[float],
+        pid: int,
+        tid: int,
+        args: Optional[Mapping[str, Any]],
+    ) -> None:
+        self.phase = phase
+        self.name = name
+        self.category = category
+        self.ts = ts
+        self.dur = dur
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceEvent({self.phase!r}, {self.name!r}, ts={self.ts:.6f}, "
+            f"pid={self.pid}, tid={self.tid})"
+        )
+
+
+class Tracer:
+    """Records spans, instant events, and counter samples in virtual time.
+
+    All methods take an explicit timestamp ``ts`` (virtual seconds) —
+    discrete-event simulations begin and end work at event times, not on
+    the Python call stack, so the familiar context-manager tracing style
+    does not apply.  Three span styles are supported:
+
+    * :meth:`complete` — a span whose duration is already known when it
+      is recorded (the simulator schedules completions ahead of time, so
+      this is the common case; it is also the cheapest: one event).
+    * :meth:`begin` / :meth:`end` — properly nested open/close pairs on
+      one lane, checked for LIFO nesting and forward time.
+    * :meth:`instant` — a zero-duration marker.
+
+    Counter samples (:meth:`counter`) carry a mapping of series name to
+    value and render as stacked counter tracks in Perfetto.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.process_names: Dict[int, str] = {}
+        self._lanes: Dict[Tuple[int, str], int] = {}
+        self._lane_names: Dict[Tuple[int, int], str] = {}
+        self._next_tid: Dict[int, int] = {}
+        self._last_ts: Dict[Tuple[int, int], float] = {}
+        self._open: Dict[Tuple[int, int], List[Tuple[str, float]]] = {}
+
+    # -- naming ------------------------------------------------------------
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Give track ``pid`` a display name (e.g. ``"node 3"``)."""
+        self.process_names[pid] = name
+
+    def lane(self, pid: int, lane: str) -> int:
+        """Intern lane name ``lane`` on track ``pid``; returns its ``tid``."""
+        key = (pid, lane)
+        tid = self._lanes.get(key)
+        if tid is None:
+            tid = self._next_tid.get(pid, 0)
+            self._next_tid[pid] = tid + 1
+            self._lanes[key] = tid
+            self._lane_names[(pid, tid)] = lane
+        return tid
+
+    def lane_name(self, pid: int, tid: int) -> str:
+        """Display name of lane ``tid`` on track ``pid``."""
+        return self._lane_names.get((pid, tid), f"lane {tid}")
+
+    # -- recording ---------------------------------------------------------
+
+    def _check_forward(self, pid: int, tid: int, ts: float) -> None:
+        key = (pid, tid)
+        last = self._last_ts.get(key)
+        if last is not None and ts < last:
+            raise TraceError(
+                f"event at ts={ts:.9f} before ts={last:.9f} on "
+                f"pid={pid} lane={self.lane_name(pid, tid)!r}"
+            )
+        self._last_ts[key] = ts
+
+    def complete(
+        self,
+        pid: int,
+        lane: str,
+        name: str,
+        ts: float,
+        dur: float,
+        *,
+        category: Optional[str] = None,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record a span of known duration ``dur`` starting at ``ts``."""
+        if dur < 0:
+            raise TraceError(f"negative span duration {dur!r} for {name!r}")
+        tid = self.lane(pid, lane)
+        self._check_forward(pid, tid, ts)
+        self.events.append(
+            TraceEvent("X", name, category, ts, dur, pid, tid, args)
+        )
+
+    def begin(
+        self,
+        pid: int,
+        lane: str,
+        name: str,
+        ts: float,
+        *,
+        category: Optional[str] = None,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Open a nested span on ``(pid, lane)``; close with :meth:`end`."""
+        tid = self.lane(pid, lane)
+        self._check_forward(pid, tid, ts)
+        self._open.setdefault((pid, tid), []).append((name, ts))
+        self.events.append(
+            TraceEvent("B", name, category, ts, None, pid, tid, args)
+        )
+
+    def end(
+        self,
+        pid: int,
+        lane: str,
+        ts: float,
+        *,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Close the innermost open span on ``(pid, lane)``."""
+        tid = self.lane(pid, lane)
+        stack = self._open.get((pid, tid))
+        if not stack:
+            raise TraceError(
+                f"end without begin on pid={pid} lane={lane!r} at ts={ts:.9f}"
+            )
+        name, _begin_ts = stack.pop()
+        self._check_forward(pid, tid, ts)
+        self.events.append(TraceEvent("E", name, None, ts, None, pid, tid, args))
+
+    def instant(
+        self,
+        pid: int,
+        lane: str,
+        name: str,
+        ts: float,
+        *,
+        category: Optional[str] = None,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record a zero-duration marker event."""
+        tid = self.lane(pid, lane)
+        self._check_forward(pid, tid, ts)
+        self.events.append(
+            TraceEvent("i", name, category, ts, None, pid, tid, args)
+        )
+
+    def counter(
+        self,
+        pid: int,
+        track: str,
+        ts: float,
+        values: Mapping[str, float],
+    ) -> None:
+        """Record a counter sample: series name → value on track ``track``."""
+        tid = self.lane(pid, track)
+        self._check_forward(pid, tid, ts)
+        self.events.append(
+            TraceEvent("C", track, None, ts, None, pid, tid, dict(values))
+        )
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def span_count(self) -> int:
+        """Number of recorded spans (complete + begin/end pairs opened)."""
+        return sum(1 for e in self.events if e.phase in ("X", "B"))
+
+    def counter_tracks(self) -> List[Tuple[int, str]]:
+        """Distinct counter tracks recorded, as ``(pid, track-name)``."""
+        seen: List[Tuple[int, str]] = []
+        for e in self.events:
+            if e.phase == "C":
+                key = (e.pid, e.name)
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def open_spans(self) -> List[Tuple[int, int, str, float]]:
+        """Begun-but-unclosed spans as ``(pid, tid, name, begin_ts)``."""
+        out: List[Tuple[int, int, str, float]] = []
+        for (pid, tid), stack in self._open.items():
+            for name, ts in stack:
+                out.append((pid, tid, name, ts))
+        return out
+
+    def events_for(self, pid: int, lane: Optional[str] = None) -> List[TraceEvent]:
+        """Events on track ``pid`` (optionally restricted to one lane)."""
+        if lane is None:
+            return [e for e in self.events if e.pid == pid]
+        tid = self._lanes.get((pid, lane))
+        if tid is None:
+            return []
+        return [e for e in self.events if e.pid == pid and e.tid == tid]
+
+
+class NullTracer:
+    """A tracer that records nothing — the disabled-observability object.
+
+    Exposes the same API as :class:`Tracer` so call sites holding a
+    tracer unconditionally still work; the simulator's hot paths instead
+    hold ``None`` and skip the call entirely, which is cheaper still.
+    """
+
+    enabled = False
+    events: List[TraceEvent] = []
+    process_names: Dict[int, str] = {}
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Does nothing (tracing disabled)."""
+
+    def lane(self, pid: int, lane: str) -> int:
+        """Does nothing; returns a dummy ``tid``."""
+        return 0
+
+    def lane_name(self, pid: int, tid: int) -> str:
+        """Does nothing; returns a placeholder name."""
+        return "null"
+
+    def complete(self, pid, lane, name, ts, dur, *, category=None, args=None) -> None:
+        """Does nothing (tracing disabled)."""
+
+    def begin(self, pid, lane, name, ts, *, category=None, args=None) -> None:
+        """Does nothing (tracing disabled)."""
+
+    def end(self, pid, lane, ts, *, args=None) -> None:
+        """Does nothing (tracing disabled)."""
+
+    def instant(self, pid, lane, name, ts, *, category=None, args=None) -> None:
+        """Does nothing (tracing disabled)."""
+
+    def counter(self, pid, track, ts, values) -> None:
+        """Does nothing (tracing disabled)."""
+
+    def __len__(self) -> int:
+        return 0
+
+    @property
+    def span_count(self) -> int:
+        """Always 0."""
+        return 0
+
+    def counter_tracks(self) -> List[Tuple[int, str]]:
+        """Always empty."""
+        return []
+
+    def open_spans(self) -> List[Tuple[int, int, str, float]]:
+        """Always empty."""
+        return []
+
+    def events_for(self, pid: int, lane: Optional[str] = None) -> List[TraceEvent]:
+        """Always empty."""
+        return []
+
+
+def active_tracer(tracer: Optional[object]) -> Optional[Tracer]:
+    """Normalize a tracer argument for hot-path use.
+
+    Returns the tracer itself when it is enabled, else ``None`` — so
+    instrumentation sites can guard with a single ``is not None`` check
+    whether the caller passed ``None``, a :class:`NullTracer`, or a real
+    :class:`Tracer`.
+    """
+    if tracer is None or not getattr(tracer, "enabled", False):
+        return None
+    return tracer  # type: ignore[return-value]
+
+
+__all__ = [
+    "PID_HEAD",
+    "CAT_IO",
+    "CAT_RENDER",
+    "CAT_COMPOSITE",
+    "CAT_SCHED",
+    "CAT_CACHE",
+    "CAT_SERVICE",
+    "CAT_COMM",
+    "pid_for_node",
+    "TraceError",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "active_tracer",
+]

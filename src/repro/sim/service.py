@@ -30,6 +30,7 @@ from repro.core.job import JobType, RenderJob, RenderTask
 from repro.core.scheduler_base import Scheduler, SchedulerContext, Trigger
 from repro.core.tables import SchedulerTables
 from repro.metrics.collectors import SimulationCollector
+from repro.obs.tracer import PID_HEAD, active_tracer, pid_for_node
 from repro.workload.trace import Request
 
 
@@ -41,6 +42,11 @@ class VisualizationService:
         scheduler: The scheduling policy.
         chunk_max: ``Chkmax`` for the scheduler's decomposition policy.
         collector: Optional measurement sink (one is created if absent).
+        tracer: Optional :class:`~repro.obs.tracer.Tracer`.  When given
+            (and enabled), the service emits head-node instants (job
+            submit/complete), one span per scheduler invocation, and one
+            compositing span per job; it is also shared with policies
+            via ``ctx.tracer``.
     """
 
     def __init__(
@@ -50,6 +56,7 @@ class VisualizationService:
         chunk_max: int,
         *,
         collector: Optional[SimulationCollector] = None,
+        tracer=None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
@@ -64,7 +71,10 @@ class VisualizationService:
             cluster.storage,
             executors_per_node=cluster.nodes[0].executors,
         )
-        self.ctx = SchedulerContext(cluster, self.tables, self.decomposition)
+        self.tracer = active_tracer(tracer)
+        self.ctx = SchedulerContext(
+            cluster, self.tables, self.decomposition, tracer=self.tracer
+        )
         self.collector = collector if collector is not None else SimulationCollector()
         cluster.add_task_finish_listener(self._on_task_finish)
 
@@ -118,10 +128,32 @@ class VisualizationService:
                     if chunk.size <= node.cache.free_bytes:
                         node.cache.insert(chunk)
                         self.tables.warm(chunk, k)
+                        if self.tracer is not None:
+                            self._trace_prewarm(chunk, k)
                         loaded += 1
                         cursor = (k + 1) % p
                         break
         return loaded
+
+    def _trace_prewarm(self, chunk, k: int) -> None:
+        """Trace one prewarm load as an io span at t=0 on node ``k``.
+
+        The prewarm models the paper's pre-measurement test run, which
+        really does stream every chunk off storage; the spans overlap at
+        the origin because the warm-up happens before simulated time
+        starts.
+        """
+        from repro.obs.tracer import CAT_IO
+
+        self.tracer.complete(
+            pid_for_node(k),
+            "io",
+            f"prewarm {chunk.dataset}[{chunk.index}]",
+            0.0,
+            self.cluster.storage.estimate_load_time(chunk.size),
+            category=CAT_IO,
+            args={"bytes": chunk.size, "prewarm": True},
+        )
 
     # -- submission ----------------------------------------------------------
 
@@ -141,6 +173,15 @@ class VisualizationService:
         """Queue a rendering job according to the scheduler's trigger."""
         self.jobs_submitted += 1
         self.collector.on_submit(job)
+        if self.tracer is not None:
+            self.tracer.instant(
+                PID_HEAD,
+                "jobs",
+                f"submit {job.job_type.value}",
+                self.cluster.now,
+                category="service",
+                args={"job": job.job_id, "user": job.user, "action": job.action},
+            )
         trigger = self.scheduler.trigger
         if trigger is Trigger.IMMEDIATE:
             self._run_scheduler([job])
@@ -208,6 +249,20 @@ class VisualizationService:
         elapsed = _time.perf_counter() - t0
         assignments = self.ctx.take_assignments()
         self.collector.scheduling.record(elapsed, len(jobs), len(assignments))
+        if self.tracer is not None and (jobs or assignments):
+            # One span per scheduler invocation.  The span starts at the
+            # invocation's virtual instant; its duration is the measured
+            # wall-clock scheduling cost (the Table III quantity), which
+            # makes expensive invocations visibly wider on the timeline.
+            self.tracer.complete(
+                PID_HEAD,
+                "scheduler",
+                f"schedule[{self.scheduler.name}]",
+                self.cluster.now,
+                elapsed,
+                category="sched",
+                args={"jobs": len(jobs), "assignments": len(assignments)},
+            )
         self._dispatch(assignments)
 
     def _dispatch(self, assignments) -> None:
@@ -255,12 +310,48 @@ class VisualizationService:
         del self._remaining[job.job_id]
         # The compositing thread assembles the final image after the last
         # render; it extends job latency but frees the render thread.
-        group = len(job.group_nodes())
-        job.finish_time = now + self.cluster.cost.composite_time(group)
+        group_nodes = job.group_nodes()
+        group = len(group_nodes)
+        composite = self.cluster.cost.composite_time(group)
+        job.finish_time = now + composite
+        for k in group_nodes:
+            # Each participant's compositing thread works for the
+            # exchange's duration (sort-last compositing is collective).
+            self.cluster.nodes[k].composite_seconds += composite
         self.jobs_completed += 1
         self.collector.on_job_complete(job)
+        if self.tracer is not None:
+            self._trace_completion(job, now, composite, group_nodes)
         for listener in self._completion_listeners:
             listener(job)
+
+    def _trace_completion(
+        self, job: RenderJob, now: float, composite: float, group_nodes: List[int]
+    ) -> None:
+        """Emit the job's compositing span and completion instant.
+
+        The span lives on the *root* participant's ``composite`` lane
+        (the lowest node id of the render group — the rank that holds
+        the assembled image in sort-last compositing).
+        """
+        root = min(group_nodes) if group_nodes else 0
+        self.tracer.complete(
+            pid_for_node(root),
+            "composite",
+            f"composite job {job.job_id}",
+            now,
+            composite,
+            category="composite",
+            args={"job": job.job_id, "group": len(group_nodes)},
+        )
+        self.tracer.instant(
+            PID_HEAD,
+            "jobs",
+            f"complete {job.job_type.value}",
+            now,
+            category="service",
+            args={"job": job.job_id, "latency": job.finish_time - job.arrival_time},
+        )
 
     # -- state ---------------------------------------------------------------
 

@@ -32,6 +32,9 @@ from repro.metrics.analysis import (
 )
 from repro.metrics.collectors import JobRecord, SimulationCollector
 from repro.metrics.timeline import TimelineSampler
+from repro.obs.counters import CounterSampler, default_counter_interval
+from repro.obs.profile import ClusterProfile
+from repro.obs.tracer import PID_HEAD, Tracer, active_tracer, pid_for_node
 from repro.sim.service import VisualizationService
 from repro.workload.scenarios import Scenario
 
@@ -55,6 +58,8 @@ class SimulationResult:
     tasks_hit: int = 0
     tasks_missed: int = 0
     timeline: Optional["TimelineSampler"] = None
+    profile: Optional["ClusterProfile"] = None
+    tracer: Optional["Tracer"] = None
 
     # -- job records -----------------------------------------------------------
 
@@ -130,6 +135,24 @@ class SimulationResult:
         """Average scheduling cost per job in µs (Table III)."""
         return self.collector.scheduling.mean_cost_per_job_us
 
+    # -- observability -----------------------------------------------------
+
+    def node_utilization_fractions(self) -> Dict[int, Dict[str, float]]:
+        """Per-node ``{io, render, composite, idle}`` fractions.
+
+        Each node's four fractions sum to 1.0; see
+        :class:`~repro.obs.profile.NodeProfile`.
+        """
+        if self.profile is None:
+            return {}
+        return {p.node_id: p.fractions() for p in self.profile.nodes}
+
+    def profile_table(self, *, title: str = "") -> str:
+        """The per-node time-breakdown text table."""
+        if self.profile is None:
+            return "(no profile recorded)"
+        return self.profile.table(title=title)
+
     def summary(self) -> SchedulerSummary:
         """One comparison row for this run."""
         return summarize(
@@ -151,6 +174,8 @@ def run_simulation(
     storage_seed: int = 0,
     timeline_interval: Optional[float] = None,
     node_failures: Optional[Sequence[Tuple[float, int]]] = None,
+    tracer: Optional["Tracer"] = None,
+    counter_interval: Optional[float] = None,
 ) -> SimulationResult:
     """Run one scenario under one scheduler.
 
@@ -170,9 +195,19 @@ def run_simulation(
         node_failures: Optional crash schedule — ``(time, node_id)``
             pairs; each node fails at its time and its workload is
             recovered per the paper's §VI-D fault-tolerance design.
+        tracer: Optional :class:`~repro.obs.tracer.Tracer`.  When given
+            (and enabled), the run records spans (I/O loads, renders,
+            compositing, scheduler invocations), cache instants, and
+            the built-in counter tracks; export with
+            :func:`repro.obs.write_chrome_trace`.  ``None`` (default)
+            or a :class:`~repro.obs.tracer.NullTracer` costs nothing.
+        counter_interval: Sampling period of the built-in counter
+            tracks, in simulated seconds (defaults to ~256 samples over
+            the horizon).  Only used when tracing.
 
     Returns:
-        A :class:`SimulationResult`.
+        A :class:`SimulationResult` (``result.profile`` carries the
+        per-node io/render/composite/idle breakdown).
     """
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler)
@@ -180,7 +215,31 @@ def run_simulation(
 
     events = EventQueue()
     cluster = scenario.system.build_cluster(events=events, storage_seed=storage_seed)
-    service = VisualizationService(cluster, scheduler, scenario.system.chunk_max)
+    live_tracer = active_tracer(tracer)
+    service = VisualizationService(
+        cluster, scheduler, scenario.system.chunk_max, tracer=live_tracer
+    )
+    counter_sampler: Optional[CounterSampler] = None
+    if live_tracer is not None:
+        live_tracer.name_process(PID_HEAD, "head node")
+        for node in cluster.nodes:
+            live_tracer.name_process(
+                pid_for_node(node.node_id), f"render node {node.node_id}"
+            )
+            node.set_tracer(live_tracer)
+        horizon_hint = scenario.trace.duration
+        interval = (
+            counter_interval
+            if counter_interval is not None
+            else default_counter_interval(horizon_hint)
+        )
+        counter_sampler = CounterSampler(
+            live_tracer,
+            interval,
+            horizon=None if drain else horizon_hint,
+            per_node_cache=cluster.node_count <= 16,
+        )
+        counter_sampler.attach(service)
     if scenario.prewarm:
         service.prewarm(scenario.trace.datasets)
     sampler: Optional[TimelineSampler] = None
@@ -238,6 +297,8 @@ def run_simulation(
         tasks_hit=sum(n.cache_hits for n in cluster.nodes),
         tasks_missed=sum(n.cache_misses for n in cluster.nodes),
         timeline=sampler,
+        profile=ClusterProfile.from_cluster(cluster, max(events.now, 1e-9)),
+        tracer=live_tracer,
     )
 
 

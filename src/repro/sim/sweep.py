@@ -4,11 +4,21 @@ The Fig. 8/9-style studies are parameter sweeps (vary one knob, run the
 simulation, tabulate metrics), and rigorous comparisons need
 replication over workload seeds.  This module packages both patterns so
 benches, examples, and downstream studies don't re-implement the loop.
+
+Both :func:`sweep` and :func:`replicate` accept an opt-in ``workers=N``
+to fan the independent runs out over a process pool.  Results are
+keyed deterministically — ``(value, scheduler)`` for sweeps, seed order
+for replication — so the parallel path returns exactly what the serial
+path would (the simulator itself is deterministic).  Parallel execution
+requires the scenario factory, schedulers, and ``run_kwargs`` to be
+picklable (module-level functions and registry names are; lambdas and
+closures are not).
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -23,6 +33,52 @@ SchedulerLike = Union[str, Callable[[], Scheduler]]
 
 def _instantiate(scheduler: SchedulerLike) -> Union[str, Scheduler]:
     return scheduler() if callable(scheduler) else scheduler
+
+
+def _run_point(
+    scenario_factory: Callable,
+    point,
+    scheduler: SchedulerLike,
+    run_kwargs: dict,
+) -> SimulationResult:
+    """Worker body for one (sweep point | seed) × scheduler run.
+
+    Module-level so it is picklable for :class:`ProcessPoolExecutor`;
+    detaches the timeline sampler's service reference (a cycle through
+    the whole cluster) before the result crosses the process boundary.
+    """
+    result = run_simulation(
+        scenario_factory(point), _instantiate(scheduler), **run_kwargs
+    )
+    if result.timeline is not None:
+        result.timeline._service = None
+    return result
+
+
+def _run_grid(
+    scenario_factory: Callable,
+    points: Sequence,
+    schedulers: Sequence[SchedulerLike],
+    workers: Optional[int],
+    run_kwargs: dict,
+) -> List[SimulationResult]:
+    """Run every (point, scheduler) pair, serially or on a process pool.
+
+    Results come back in grid order (points outer, schedulers inner)
+    either way, so callers key them identically on both paths.
+    """
+    pairs = [(point, sched) for point in points for sched in schedulers]
+    if workers is not None and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_point, scenario_factory, point, sched, run_kwargs)
+                for point, sched in pairs
+            ]
+            return [f.result() for f in futures]
+    return [
+        _run_point(scenario_factory, point, sched, run_kwargs)
+        for point, sched in pairs
+    ]
 
 
 @dataclass
@@ -65,6 +121,8 @@ def sweep(
     values: Sequence[float],
     scenario_factory: Callable[[float], Scenario],
     schedulers: Sequence[SchedulerLike],
+    *,
+    workers: Optional[int] = None,
     **run_kwargs,
 ) -> SweepResult:
     """Run ``scenario_factory(value)`` under each scheduler per value.
@@ -74,6 +132,10 @@ def sweep(
         values: Sweep points (passed to the factory).
         scenario_factory: Builds the scenario for one sweep point.
         schedulers: Registry names or zero-arg factories.
+        workers: Fan the independent runs out over a process pool of
+            this size (``None``/``1`` = serial).  Requires picklable
+            factory/schedulers/kwargs; results are identical to the
+            serial path.
         **run_kwargs: Forwarded to :func:`run_simulation`.
     """
     if not values:
@@ -82,11 +144,12 @@ def sweep(
         raise ValueError("sweep needs at least one scheduler")
     out = SweepResult(parameter=parameter, values=list(values), schedulers=[])
     names: List[str] = []
+    grid = _run_grid(scenario_factory, values, schedulers, workers, run_kwargs)
+    index = 0
     for value in values:
-        scenario = scenario_factory(value)
-        for scheduler in schedulers:
-            instance = _instantiate(scheduler)
-            result = run_simulation(scenario, instance, **run_kwargs)
+        for _scheduler in schedulers:
+            result = grid[index]
+            index += 1
             out.results[(value, result.scheduler_name)] = result
             if result.scheduler_name not in names:
                 names.append(result.scheduler_name)
@@ -149,22 +212,21 @@ def replicate(
     scenario_factory: Callable[[int], Scenario],
     scheduler: SchedulerLike,
     seeds: Sequence[int],
+    *,
+    workers: Optional[int] = None,
     **run_kwargs,
 ) -> ReplicationResult:
     """Run ``scenario_factory(seed)`` once per seed under one scheduler.
 
     Quantifies the workload-seed sensitivity that single-trace
     comparisons (the paper's, and this repo's scenario benches) cannot.
+    ``workers=N`` runs the seeds on a process pool (results keyed by
+    seed order, identical to the serial path).
     """
     if not seeds:
         raise ValueError("replicate needs at least one seed")
-    results: List[SimulationResult] = []
-    name: Optional[str] = None
-    for seed in seeds:
-        instance = _instantiate(scheduler)
-        result = run_simulation(scenario_factory(seed), instance, **run_kwargs)
-        results.append(result)
-        name = result.scheduler_name
+    results = _run_grid(scenario_factory, seeds, [scheduler], workers, run_kwargs)
+    name: Optional[str] = results[-1].scheduler_name if results else None
     return ReplicationResult(
         scheduler=name or "?", seeds=list(seeds), results=results
     )

@@ -1,0 +1,126 @@
+"""End-to-end observability: traced Scenario 1 runs and the CLI flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.chrome import to_chrome_trace
+from repro.obs.tracer import PID_HEAD, NullTracer, Tracer, pid_for_node
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import scenario_1
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced Scenario 1 / OURS run shared by the module's tests."""
+    tracer = Tracer()
+    result = run_simulation(scenario_1(scale=0.1), "OURS", tracer=tracer)
+    return tracer, result
+
+
+class TestTracedRun:
+    def test_pipeline_spans_present(self, traced):
+        tracer, _ = traced
+        categories = {e.category for e in tracer.events if e.phase == "X"}
+        assert {"io", "render", "composite", "sched"} <= categories
+
+    def test_render_spans_on_node_tracks(self, traced):
+        tracer, _ = traced
+        for node_id in range(8):
+            spans = tracer.events_for(pid_for_node(node_id), "render")
+            assert spans, f"node {node_id} recorded no render spans"
+
+    def test_scheduler_spans_on_head(self, traced):
+        tracer, _ = traced
+        sched = tracer.events_for(PID_HEAD, "scheduler")
+        assert sched
+        assert all(e.name == "schedule[OURS]" for e in sched)
+
+    def test_counter_tracks(self, traced):
+        tracer, _ = traced
+        assert len(tracer.counter_tracks()) >= 3
+
+    def test_no_dangling_spans(self, traced):
+        tracer, _ = traced
+        assert tracer.open_spans() == []
+
+    def test_profile_fractions_sum_to_one(self, traced):
+        _, result = traced
+        for node_id, fractions in result.node_utilization_fractions().items():
+            assert sum(fractions.values()) == pytest.approx(1.0), (
+                f"node {node_id} fractions do not partition the run"
+            )
+
+    def test_chrome_export_of_full_run(self, traced):
+        tracer, _ = traced
+        doc = to_chrome_trace(tracer)
+        json.dumps(doc)  # must be serializable without a custom encoder
+        names = {
+            r["args"]["name"]
+            for r in doc["traceEvents"]
+            if r["ph"] == "M" and r["name"] == "process_name"
+        }
+        assert "head node" in names
+        assert "render node 0" in names
+
+
+class TestDisabledTracer:
+    def test_disabled_run_matches_untracked(self, traced):
+        _, traced_result = traced
+        plain = run_simulation(scenario_1(scale=0.1), "OURS")
+        null = NullTracer()
+        nulled = run_simulation(scenario_1(scale=0.1), "OURS", tracer=null)
+        assert len(null) == 0
+        for result in (plain, nulled):
+            assert result.tracer is None
+            assert result.jobs_completed == traced_result.jobs_completed
+            assert result.interactive_fps == pytest.approx(
+                traced_result.interactive_fps
+            )
+            assert result.hit_rate == pytest.approx(traced_result.hit_rate)
+
+    def test_profile_available_without_tracer(self):
+        result = run_simulation(scenario_1(scale=0.05), "FCFS")
+        assert result.profile is not None
+        assert "mean" in result.profile_table()
+
+
+class TestCliTrace:
+    def test_trace_flag_writes_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        main(
+            [
+                "simulate", "--scenario", "1", "--scheduler", "OURS",
+                "--scale", "0.05", "--trace", str(out),
+            ]
+        )
+        doc = json.loads(out.read_text())
+        phases = {r["ph"] for r in doc["traceEvents"]}
+        assert {"X", "i", "C", "M"} <= phases
+        assert doc["otherData"]["scheduler"] == "OURS"
+        assert str(out) in capsys.readouterr().out
+
+    def test_trace_with_multiple_schedulers_splits_files(self, tmp_path):
+        out = tmp_path / "trace.json"
+        main(
+            [
+                "simulate", "--scenario", "1", "--schedulers", "FCFS,OURS",
+                "--scale", "0.05", "--trace", str(out),
+            ]
+        )
+        for name in ("FCFS", "OURS"):
+            per = tmp_path / f"trace.{name}.json"
+            assert per.exists(), f"missing per-scheduler trace {per.name}"
+            assert json.loads(per.read_text())["otherData"]["scheduler"] == name
+
+    def test_profile_flag_prints_table(self, capsys):
+        main(
+            [
+                "simulate", "--scenario", "1", "--scheduler", "OURS",
+                "--scale", "0.05", "--profile",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "render" in out
+        assert "mean" in out

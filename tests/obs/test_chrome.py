@@ -1,0 +1,92 @@
+"""Chrome trace-event export: JSON schema and per-lane monotonicity."""
+
+import json
+from collections import defaultdict
+
+from repro.obs.chrome import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from repro.obs.tracer import Tracer
+
+VALID_PHASES = {"X", "B", "E", "i", "C", "M"}
+
+
+def small_tracer() -> Tracer:
+    tr = Tracer()
+    tr.name_process(0, "head node")
+    tr.name_process(1, "render node 0")
+    tr.complete(0, "scheduler", "schedule[OURS]", 0.0, 0.0002, category="sched")
+    tr.begin(1, "render", "render c0", 0.1, category="render")
+    tr.end(1, "render", 0.4)
+    tr.complete(1, "io", "load c1", 0.1, 0.25, category="io", args={"bytes": 42})
+    tr.instant(1, "cache", "miss", 0.1, category="cache")
+    tr.counter(0, "queue depth", 0.0, {"jobs": 3.0})
+    tr.counter(0, "queue depth", 0.5, {"jobs": 1.0})
+    return tr
+
+
+class TestSchema:
+    def test_every_event_has_required_fields(self):
+        rows = chrome_trace_events(small_tracer())
+        assert rows, "export produced no events"
+        for row in rows:
+            assert row["ph"] in VALID_PHASES
+            assert isinstance(row["name"], str)
+            assert isinstance(row["pid"], int)
+            assert isinstance(row["tid"], int)
+            if row["ph"] != "M":
+                assert isinstance(row["ts"], (int, float))
+                assert row["ts"] >= 0
+            if row["ph"] == "X":
+                assert isinstance(row["dur"], (int, float))
+                assert row["dur"] >= 0
+            if row["ph"] == "C":
+                assert isinstance(row["args"], dict)
+
+    def test_metadata_names_processes_and_threads(self):
+        rows = chrome_trace_events(small_tracer())
+        meta = [r for r in rows if r["ph"] == "M"]
+        process_names = {
+            r["pid"]: r["args"]["name"]
+            for r in meta
+            if r["name"] == "process_name"
+        }
+        assert process_names == {0: "head node", 1: "render node 0"}
+        thread_names = {
+            (r["pid"], r["tid"]): r["args"]["name"]
+            for r in meta
+            if r["name"] == "thread_name"
+        }
+        assert thread_names[(1, 0)] == "render"
+        assert thread_names[(1, 1)] == "io"
+
+    def test_timestamps_are_microseconds(self):
+        rows = chrome_trace_events(small_tracer())
+        load = next(r for r in rows if r["name"] == "load c1")
+        assert load["ts"] == 100000.0
+        assert load["dur"] == 250000.0
+
+    def test_per_lane_timestamps_monotonic(self):
+        rows = chrome_trace_events(small_tracer())
+        last = defaultdict(lambda: -1.0)
+        for row in rows:
+            if row["ph"] == "M":
+                continue
+            key = (row["pid"], row["tid"])
+            assert row["ts"] >= last[key], f"lane {key} went backwards"
+            last[key] = row["ts"]
+
+    def test_json_serializable_roundtrip(self):
+        doc = to_chrome_trace(small_tracer(), metadata={"scenario": "s1"})
+        blob = json.dumps(doc)
+        back = json.loads(blob)
+        assert back["displayTimeUnit"] == "ms"
+        assert back["otherData"] == {"scenario": "s1"}
+        assert len(back["traceEvents"]) == len(doc["traceEvents"])
+
+
+class TestWrite:
+    def test_write_chrome_trace(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "out.json", small_tracer())
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        phases = {r["ph"] for r in doc["traceEvents"]}
+        assert {"X", "B", "E", "i", "C", "M"} <= phases

@@ -1,0 +1,97 @@
+"""NodeProfile / ClusterProfile: fraction math and table rendering."""
+
+import pytest
+
+from repro.obs.profile import ClusterProfile, NodeProfile
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import scenario_1
+
+
+def make_profile(**overrides) -> NodeProfile:
+    base = dict(
+        node_id=0,
+        elapsed=10.0,
+        executors=1,
+        io_seconds=2.0,
+        render_seconds=5.0,
+        composite_seconds=1.0,
+        tasks_executed=40,
+        cache_hits=30,
+        cache_misses=10,
+    )
+    base.update(overrides)
+    return NodeProfile(**base)
+
+
+class TestNodeProfile:
+    def test_fractions_sum_to_one(self):
+        f = make_profile().fractions()
+        assert f["io"] == pytest.approx(0.2)
+        assert f["render"] == pytest.approx(0.5)
+        assert f["composite"] == pytest.approx(0.1)
+        assert f["idle"] == pytest.approx(0.2)
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_multi_executor_capacity(self):
+        p = make_profile(executors=2)
+        assert p.pipeline_seconds == 20.0
+        f = p.fractions()
+        assert f["render"] == pytest.approx(0.25)
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_oversubscribed_node_never_negative_idle(self):
+        # composite thread overlapping the render pipeline: busy > elapsed
+        p = make_profile(io_seconds=4.0, render_seconds=6.0, composite_seconds=5.0)
+        f = p.fractions()
+        assert f["idle"] == 0.0
+        assert all(v >= 0.0 for v in f.values())
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_empty_node_is_all_idle(self):
+        p = make_profile(
+            elapsed=0.0, io_seconds=0.0, render_seconds=0.0,
+            composite_seconds=0.0, tasks_executed=0, cache_hits=0, cache_misses=0,
+        )
+        assert p.fractions() == {
+            "io": 0.0, "render": 0.0, "composite": 0.0, "idle": 1.0,
+        }
+
+    def test_utilization(self):
+        assert make_profile().utilization == pytest.approx(0.8)
+
+
+class TestClusterProfile:
+    def test_from_simulation(self):
+        result = run_simulation(scenario_1(scale=0.05), "OURS")
+        profile = result.profile
+        assert profile is not None
+        assert len(profile.nodes) == 8
+        for p in profile.nodes:
+            assert sum(p.fractions().values()) == pytest.approx(1.0)
+        mean = profile.mean_fractions()
+        assert sum(mean.values()) == pytest.approx(1.0)
+
+    def test_node_lookup(self):
+        result = run_simulation(scenario_1(scale=0.05), "OURS")
+        assert result.profile.node(3).node_id == 3
+
+    def test_table_renders_all_nodes(self):
+        result = run_simulation(scenario_1(scale=0.05), "FCFS")
+        text = result.profile_table(title="scenario 1 / FCFS")
+        assert "scenario 1 / FCFS" in text
+        lines = text.splitlines()
+        assert any("render" in line for line in lines)
+        assert any(line.lstrip().startswith("7 ") for line in lines)
+        assert lines[-1].lstrip().startswith("mean")
+
+    def test_empty_cluster_profile(self):
+        profile = ClusterProfile(elapsed=1.0, nodes=[])
+        assert profile.mean_fractions()["idle"] == 1.0
+        assert "node" in profile.table()
+
+    def test_result_utilization_helper(self):
+        result = run_simulation(scenario_1(scale=0.05), "OURS")
+        fractions = result.node_utilization_fractions()
+        assert set(fractions) == set(range(8))
+        for f in fractions.values():
+            assert sum(f.values()) == pytest.approx(1.0)

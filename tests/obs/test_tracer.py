@@ -1,0 +1,140 @@
+"""Tests for the virtual-time tracer: spans, nesting, ordering, counters."""
+
+import pytest
+
+from repro.obs.tracer import (
+    PID_HEAD,
+    NullTracer,
+    TraceError,
+    Tracer,
+    active_tracer,
+    pid_for_node,
+)
+
+
+class TestLanes:
+    def test_lane_interning_is_stable(self):
+        tr = Tracer()
+        a = tr.lane(0, "render")
+        b = tr.lane(0, "io")
+        assert a != b
+        assert tr.lane(0, "render") == a
+        assert tr.lane_name(0, a) == "render"
+
+    def test_lanes_are_per_track(self):
+        tr = Tracer()
+        assert tr.lane(0, "render") == tr.lane(1, "render") == 0
+        assert tr.lane(0, "io") == 1
+
+    def test_pid_for_node(self):
+        assert pid_for_node(0) == PID_HEAD + 1
+        assert pid_for_node(7) == PID_HEAD + 8
+
+
+class TestSpans:
+    def test_complete_span_recorded(self):
+        tr = Tracer()
+        tr.complete(1, "io", "load c0", 2.0, 0.5, category="io", args={"bytes": 4})
+        (e,) = tr.events
+        assert (e.phase, e.name, e.ts, e.dur) == ("X", "load c0", 2.0, 0.5)
+        assert e.args == {"bytes": 4}
+        assert tr.span_count == 1
+
+    def test_negative_duration_rejected(self):
+        tr = Tracer()
+        with pytest.raises(TraceError):
+            tr.complete(0, "x", "bad", 1.0, -0.1)
+
+    def test_nesting_in_virtual_time(self):
+        tr = Tracer()
+        tr.begin(0, "sched", "outer", 1.0)
+        tr.begin(0, "sched", "inner", 1.2)
+        tr.end(0, "sched", 1.5)
+        tr.end(0, "sched", 2.0)
+        phases = [(e.phase, e.name, e.ts) for e in tr.events]
+        assert phases == [
+            ("B", "outer", 1.0),
+            ("B", "inner", 1.2),
+            ("E", "inner", 1.5),
+            ("E", "outer", 2.0),
+        ]
+        assert tr.open_spans() == []
+
+    def test_unclosed_spans_reported(self):
+        tr = Tracer()
+        tr.begin(0, "sched", "outer", 1.0)
+        assert tr.open_spans() == [(0, tr.lane(0, "sched"), "outer", 1.0)]
+
+    def test_end_without_begin_raises(self):
+        tr = Tracer()
+        with pytest.raises(TraceError):
+            tr.end(0, "sched", 1.0)
+
+    def test_time_running_backwards_raises(self):
+        tr = Tracer()
+        tr.instant(0, "jobs", "a", 5.0)
+        with pytest.raises(TraceError):
+            tr.instant(0, "jobs", "b", 4.0)
+
+    def test_equal_timestamps_allowed(self):
+        tr = Tracer()
+        tr.instant(0, "jobs", "a", 5.0)
+        tr.instant(0, "jobs", "b", 5.0)
+        assert len(tr) == 2
+
+    def test_lanes_are_independent_clocks(self):
+        tr = Tracer()
+        tr.instant(0, "a", "x", 5.0)
+        tr.instant(0, "b", "y", 1.0)  # different lane: fine
+        tr.instant(1, "a", "z", 0.5)  # different track: fine
+        assert len(tr) == 3
+
+
+class TestCounters:
+    def test_counter_tracks_collected(self):
+        tr = Tracer()
+        tr.counter(0, "queue", 0.0, {"jobs": 1.0})
+        tr.counter(0, "queue", 1.0, {"jobs": 2.0})
+        tr.counter(2, "cache", 0.5, {"used": 7.0})
+        assert tr.counter_tracks() == [(0, "queue"), (2, "cache")]
+
+    def test_counter_values_are_copied(self):
+        tr = Tracer()
+        values = {"jobs": 1.0}
+        tr.counter(0, "queue", 0.0, values)
+        values["jobs"] = 99.0
+        assert tr.events[0].args == {"jobs": 1.0}
+
+
+class TestEventsFor:
+    def test_filter_by_track_and_lane(self):
+        tr = Tracer()
+        tr.instant(0, "jobs", "a", 0.0)
+        tr.instant(1, "render", "b", 0.0)
+        tr.instant(1, "io", "c", 0.0)
+        assert [e.name for e in tr.events_for(1)] == ["b", "c"]
+        assert [e.name for e in tr.events_for(1, "io")] == ["c"]
+        assert tr.events_for(1, "unknown-lane") == []
+
+
+class TestNullTracer:
+    def test_disabled_and_empty(self):
+        null = NullTracer()
+        assert null.enabled is False
+        null.complete(0, "io", "x", 0.0, 1.0)
+        null.begin(0, "io", "x", 0.0)
+        null.end(0, "io", 1.0)
+        null.instant(0, "io", "x", 0.0)
+        null.counter(0, "c", 0.0, {"v": 1.0})
+        null.name_process(0, "head")
+        assert len(null) == 0
+        assert null.span_count == 0
+        assert null.counter_tracks() == []
+        assert null.open_spans() == []
+        assert null.events_for(0) == []
+
+    def test_active_tracer_normalization(self):
+        tr = Tracer()
+        assert active_tracer(None) is None
+        assert active_tracer(NullTracer()) is None
+        assert active_tracer(tr) is tr

@@ -1,5 +1,7 @@
 """Tests for the sweep/replication experiment harness."""
 
+import functools
+
 import pytest
 
 from repro.core.chunks import dataset_suite
@@ -62,6 +64,49 @@ class TestSweep:
             sweep("x", [], scenario_with_actions, ["OURS"])
         with pytest.raises(ValueError):
             sweep("x", [1], scenario_with_actions, [])
+
+
+class TestParallelWorkers:
+    """workers=N must reproduce the serial results exactly."""
+
+    def test_sweep_parity(self):
+        serial = sweep("#actions", [1, 2], scenario_with_actions, ["OURS", "FCFS"])
+        parallel = sweep(
+            "#actions",
+            [1, 2],
+            scenario_with_actions,
+            ["OURS", "FCFS"],
+            workers=2,
+        )
+        assert set(parallel.results) == set(serial.results)
+        assert parallel.schedulers == serial.schedulers
+        for key, serial_result in serial.results.items():
+            parallel_result = parallel.results[key]
+            assert parallel_result.jobs_completed == serial_result.jobs_completed
+            assert parallel_result.interactive_fps == serial_result.interactive_fps
+            assert parallel_result.hit_rate == serial_result.hit_rate
+
+    def test_replicate_parity(self):
+        factory = functools.partial(scenario_with_actions, 2)
+        serial = replicate(factory, "OURS", seeds=[0, 1, 2])
+        parallel = replicate(factory, "OURS", seeds=[0, 1, 2], workers=2)
+        assert parallel.scheduler == serial.scheduler
+        assert parallel.fps.values == serial.fps.values
+        assert parallel.hit_rate.values == serial.hit_rate.values
+
+    def test_workers_one_is_serial(self):
+        result = sweep(
+            "#actions", [1], scenario_with_actions, ["OURS"], workers=1
+        )
+        assert set(result.results) == {(1, "OURS")}
+
+    def test_parallel_results_keep_profiles(self):
+        result = sweep(
+            "#actions", [1], scenario_with_actions, ["OURS"], workers=2
+        )
+        profile = result.result(1, "OURS").profile
+        assert profile is not None
+        assert len(profile.nodes) == 4
 
 
 class TestMetricStats:

@@ -21,6 +21,19 @@ class TestParser:
         assert args.dataset == "supernova"
         assert args.algorithm == "2-3-swap"
 
+    def test_scheduler_alias_and_obs_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--scheduler", "OURS", "--trace", "t.json", "--profile"]
+        )
+        assert args.schedulers == "OURS"
+        assert args.trace == "t.json"
+        assert args.profile is True
+
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.trace is None
+        assert args.profile is False
+
 
 class TestCommands:
     def test_schedulers_lists_all(self, capsys):

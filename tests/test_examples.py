@@ -69,3 +69,14 @@ class TestExamples:
         out = run_example("fault_tolerance.py", "--scale", "0.15")
         assert "with crashes" in out
         assert "busy nodes" in out
+
+    def test_trace_inspection(self, tmp_path):
+        out = run_example(
+            "trace_inspection.py", "--scale", "0.05",
+            "--trace-dir", str(tmp_path),
+        )
+        assert "FCFS (locality-blind)" in out
+        assert "OURS (locality-aware)" in out
+        assert "I/O-stall fraction" in out
+        assert (tmp_path / "scenario1_FCFS.json").exists()
+        assert (tmp_path / "scenario1_OURS.json").exists()
