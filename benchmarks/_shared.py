@@ -14,6 +14,7 @@ full duration.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -43,6 +44,23 @@ SCENARIO_SCALES: Dict[int, float] = {
     3: bench_scale(0.4),
     4: bench_scale(0.2),
 }
+
+#: The tuned per-scenario defaults (before any REPRO_BENCH_SCALE
+#: override) at which the Fig. 4-7 paper-shape assertions are known to
+#: hold.
+_PAPER_SHAPE_SCALES: Dict[int, float] = {1: 1.0, 2: 1.0, 3: 0.4, 4: 0.2}
+
+
+def asserts_paper_shape(number: int) -> bool:
+    """Whether the bench scale is large enough to assert paper shape.
+
+    The memory-pressure and backlog dynamics behind Figs. 4-7 need
+    enough simulated time to emerge; smoke-scale runs (CI's
+    ``REPRO_BENCH_SCALE=0.05``) only regenerate the ``BENCH_*.json``
+    numbers for the regression gate and skip the shape assertions.
+    """
+    return SCENARIO_SCALES[number] >= _PAPER_SHAPE_SCALES[number] - 1e-9
+
 
 _CACHE: Dict[Tuple[int, float, str], SimulationResult] = {}
 _SCENARIOS: Dict[Tuple[int, float], Scenario] = {}
@@ -85,3 +103,44 @@ def emit_report(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     return path
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist machine-readable bench numbers as ``BENCH_<name>.json``.
+
+    These files are what ``benchmarks/check_regressions.py`` diffs
+    against the committed baselines in ``benchmarks/baselines/`` — every
+    bench that reproduces a paper number should emit one.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def summary_payload(
+    summaries: List[SchedulerSummary], *, scenario: int, scale: float
+) -> dict:
+    """BENCH json payload from comparison rows.
+
+    Includes only simulator-deterministic quantities; wall-clock numbers
+    (``sched_cost_us``) are reported in the text tables but excluded
+    here so the regression gate never trips on machine speed.
+    """
+    return {
+        "scenario": scenario,
+        "scale": scale,
+        "schedulers": {
+            s.scheduler: {
+                "interactive_fps": s.interactive_fps,
+                "interactive_latency": s.interactive_latency,
+                "interactive_p99": s.interactive_p99,
+                "batch_latency": s.batch_latency,
+                "batch_working_time": s.batch_working_time,
+                "interactive_completed": s.interactive_completed,
+                "batch_completed": s.batch_completed,
+                "hit_rate": s.hit_rate,
+            }
+            for s in summaries
+        },
+    }

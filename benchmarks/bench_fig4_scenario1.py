@@ -10,7 +10,16 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._shared import ALL_SCHEDULERS, emit_report, run_cached, summaries_for
+from benchmarks._shared import (
+    ALL_SCHEDULERS,
+    SCENARIO_SCALES,
+    asserts_paper_shape,
+    emit_json,
+    emit_report,
+    run_cached,
+    summaries_for,
+    summary_payload,
+)
 from repro.metrics.report import comparison_table
 
 SCENARIO = 1
@@ -39,7 +48,15 @@ def test_fig4_report(benchmark):
         "OURS ~= FCFSL ~= target with lowest latencies."
     )
     emit_report("fig4_scenario1", text)
+    emit_json(
+        "fig4",
+        summary_payload(
+            summaries, scenario=SCENARIO, scale=SCENARIO_SCALES[SCENARIO]
+        ),
+    )
 
+    if not asserts_paper_shape(SCENARIO):
+        return  # smoke scale: numbers regenerated, shape not asserted
     target = 100.0 / 3.0
     assert by_name["OURS"].interactive_fps > 0.95 * target
     assert by_name["FCFSL"].interactive_fps > 0.95 * target

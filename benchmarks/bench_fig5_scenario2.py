@@ -12,7 +12,16 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._shared import ALL_SCHEDULERS, emit_report, run_cached, summaries_for
+from benchmarks._shared import (
+    ALL_SCHEDULERS,
+    SCENARIO_SCALES,
+    asserts_paper_shape,
+    emit_json,
+    emit_report,
+    run_cached,
+    summaries_for,
+    summary_payload,
+)
 from repro.metrics.report import comparison_table
 
 SCENARIO = 2
@@ -45,7 +54,15 @@ def test_fig5_report(benchmark):
         "batch latency."
     )
     emit_report("fig5_scenario2", text)
+    emit_json(
+        "fig5",
+        summary_payload(
+            summaries, scenario=SCENARIO, scale=SCENARIO_SCALES[SCENARIO]
+        ),
+    )
 
+    if not asserts_paper_shape(SCENARIO):
+        return  # smoke scale: numbers regenerated, shape not asserted
     target = 100.0 / 3.0
     ours = by_name["OURS"]
     assert ours.interactive_fps > 0.5 * target

@@ -12,7 +12,16 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._shared import ALL_SCHEDULERS, emit_report, run_cached, summaries_for
+from benchmarks._shared import (
+    ALL_SCHEDULERS,
+    SCENARIO_SCALES,
+    asserts_paper_shape,
+    emit_json,
+    emit_report,
+    run_cached,
+    summaries_for,
+    summary_payload,
+)
 from repro.metrics.report import comparison_table
 
 SCENARIO = 3
@@ -44,7 +53,15 @@ def test_fig6_report(benchmark):
         "interactive latency; FCFSU ~11.25 fps; FCFSL better on batch."
     )
     emit_report("fig6_scenario3", text)
+    emit_json(
+        "fig6",
+        summary_payload(
+            summaries, scenario=SCENARIO, scale=SCENARIO_SCALES[SCENARIO]
+        ),
+    )
 
+    if not asserts_paper_shape(SCENARIO):
+        return  # smoke scale: numbers regenerated, shape not asserted
     target = 100.0 / 3.0
     assert by_name["OURS"].interactive_fps > 0.8 * target
     assert by_name["OURS"].interactive_fps >= by_name["FCFSL"].interactive_fps

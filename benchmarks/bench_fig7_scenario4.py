@@ -12,7 +12,16 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._shared import ALL_SCHEDULERS, emit_report, run_cached, summaries_for
+from benchmarks._shared import (
+    ALL_SCHEDULERS,
+    SCENARIO_SCALES,
+    asserts_paper_shape,
+    emit_json,
+    emit_report,
+    run_cached,
+    summaries_for,
+    summary_payload,
+)
 from repro.metrics.report import comparison_table
 
 SCENARIO = 4
@@ -51,7 +60,15 @@ def test_fig7_report(benchmark):
         "in the paper) but OURS keeps a high interactive framerate."
     )
     emit_report("fig7_scenario4", text)
+    emit_json(
+        "fig7",
+        summary_payload(
+            summaries, scenario=SCENARIO, scale=SCENARIO_SCALES[SCENARIO]
+        ),
+    )
 
+    if not asserts_paper_shape(SCENARIO):
+        return  # smoke scale: numbers regenerated, shape not asserted
     assert ours.interactive_fps > 1.4 * fcfsl.interactive_fps
     assert ours.interactive_fps > 1.5 * fcfsu.interactive_fps
     assert ours.interactive_fps > 15.0

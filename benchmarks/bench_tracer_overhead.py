@@ -3,10 +3,11 @@
 The observability layer must be free when off — hot paths hold ``None``
 and skip instrumentation with one identity check — and cheap enough
 when on that traced runs stay practical.  This bench measures the
-simulator's event-processing rate three ways (untraced, ``NullTracer``,
-full ``Tracer`` + counter sampling) on Scenario 1 and emits the numbers
-both as a text report and as machine-readable
-``benchmarks/results/BENCH_tracer.json`` for regression tracking.
+simulator's event-processing rate four ways (untraced, ``NullTracer``,
+full ``Tracer`` + counter sampling, metrics registry + window sampler)
+on Scenario 1 and emits the numbers both as a text report and as
+machine-readable ``benchmarks/results/BENCH_tracer.json`` for
+regression tracking.
 """
 
 from __future__ import annotations
@@ -20,18 +21,21 @@ from repro.obs.tracer import NullTracer, Tracer
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_1
 
-SCALE = bench_scale(0.25)
+# Overhead ratios need enough events to be signal rather than timing
+# noise, so smoke-scale overrides (CI's REPRO_BENCH_SCALE=0.05) are
+# floored; larger overrides still apply.
+SCALE = max(bench_scale(0.25), 0.25)
 ROUNDS = 3
 
 
-def _measure(tracer_factory) -> Dict[str, float]:
-    """Best-of-N events/sec for one tracer configuration."""
+def _measure(tracer_factory, metrics: bool = False) -> Dict[str, float]:
+    """Best-of-N events/sec for one observability configuration."""
     best: Optional[Dict[str, float]] = None
     for _ in range(ROUNDS):
         scenario = scenario_1(scale=SCALE)
         tracer = tracer_factory() if tracer_factory else None
         start = time.perf_counter()
-        result = run_simulation(scenario, "OURS", tracer=tracer)
+        result = run_simulation(scenario, "OURS", tracer=tracer, metrics=metrics)
         wall = time.perf_counter() - start
         sample = {
             "events": float(result.events_processed),
@@ -53,12 +57,17 @@ def test_tracer_overhead(benchmark):
             "untraced": _measure(None),
             "null_tracer": _measure(NullTracer),
             "full_tracer": _measure(Tracer),
+            "metrics_registry": _measure(None, metrics=True),
         }
 
     rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
     base = rates["untraced"]["events_per_sec"]
     null_ratio = rates["null_tracer"]["events_per_sec"] / base
     full_ratio = rates["full_tracer"]["events_per_sec"] / base
+    metrics_ratio = (
+        rates["metrics_registry"]["events_per_sec"]
+        / rates["null_tracer"]["events_per_sec"]
+    )
 
     payload = {
         "bench": "tracer_overhead",
@@ -69,6 +78,7 @@ def test_tracer_overhead(benchmark):
         "results": rates,
         "null_tracer_relative_rate": null_ratio,
         "full_tracer_relative_rate": full_ratio,
+        "metrics_registry_relative_rate": metrics_ratio,
     }
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     out = RESULTS_DIR / "BENCH_tracer.json"
@@ -85,6 +95,7 @@ def test_tracer_overhead(benchmark):
     lines.append("")
     lines.append(f"null tracer relative rate: {null_ratio:.3f}")
     lines.append(f"full tracer relative rate: {full_ratio:.3f}")
+    lines.append(f"metrics registry relative rate (vs null): {metrics_ratio:.3f}")
     lines.append(f"machine-readable: {out}")
     emit_report("tracer_overhead", "\n".join(lines))
 
@@ -94,3 +105,6 @@ def test_tracer_overhead(benchmark):
     assert full_ratio > 0.25
     assert rates["full_tracer"]["trace_events"] > 0
     assert rates["null_tracer"]["trace_events"] == 0
+    # The metrics registry (counters/histograms + window sampler) must
+    # cost at most ~10 % of the event-processing rate.
+    assert metrics_ratio >= 0.90

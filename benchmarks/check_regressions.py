@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff fresh BENCH_*.json against baselines.
+
+Every figure/table bench emits a machine-readable
+``benchmarks/results/BENCH_<name>.json``; this script compares each of
+them against the committed counterpart in ``benchmarks/baselines/``
+using per-metric relative tolerances and exits nonzero when any number
+drifted beyond its budget.  It runs in CI after the smoke-scale bench
+pass, so scheduler changes that silently degrade a paper number fail
+the build instead of landing.
+
+Rules:
+
+* Metrics are matched leaf-by-leaf (dotted paths into the JSON).
+* Wall-clock quantities (``wall_s``, ``events_per_sec``,
+  ``sched_cost_us``, trace-event counts, rounds) are machine-dependent
+  and are never compared.
+* Relative-rate ratios from the overhead bench get loose tolerances —
+  they bound overhead, they do not reproduce paper numbers.
+* A results file whose ``scale`` differs from the baseline's is skipped
+  with a warning: numbers at different scenario scales are not
+  comparable.
+* Baselines without a fresh result (bench not run) are skipped with a
+  warning; fresh results without a baseline are reported as new.
+
+Usage::
+
+    python benchmarks/check_regressions.py               # gate CI
+    python benchmarks/check_regressions.py --update      # refresh baselines
+
+Exit codes: 0 ok, 1 regression detected, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+BENCH_DIR = Path(__file__).parent
+DEFAULT_RESULTS = BENCH_DIR / "results"
+DEFAULT_BASELINES = BENCH_DIR / "baselines"
+
+#: Leaf keys that are machine-dependent (wall clock, host speed) and
+#: must never gate a build.  The overhead *ratios* are wall-clock
+#: derived too — their hard bounds live as asserts inside
+#: ``bench_tracer_overhead.py``, not here.
+SKIP_KEYS = {
+    "wall_s",
+    "events",
+    "events_per_sec",
+    "trace_events",
+    "sched_cost_us",
+    "cost_us",
+    "rounds",
+    "null_tracer_relative_rate",
+    "full_tracer_relative_rate",
+    "metrics_registry_relative_rate",
+}
+
+#: (relative tolerance, absolute floor) per leaf key.  The absolute
+#: floor absorbs near-zero baselines where a relative check is
+#: meaningless (e.g. a 1 ms latency moving to 2 ms).
+DEFAULT_TOLERANCE = (0.05, 1e-9)
+TOLERANCES: Dict[str, Tuple[float, float]] = {
+    # Simulator-deterministic paper numbers: tight.
+    "interactive_fps": (0.02, 0.05),
+    "interactive_latency": (0.05, 0.005),
+    "interactive_p99": (0.10, 0.01),
+    "batch_latency": (0.05, 0.01),
+    "batch_working_time": (0.05, 0.01),
+    "interactive_completed": (0.02, 1.0),
+    "batch_completed": (0.05, 1.0),
+    "hit_rate": (0.01, 0.002),
+}
+
+
+def iter_leaves(node, path: str = "") -> Iterator[Tuple[str, object]]:
+    """Yield (dotted path, value) for every scalar leaf of a JSON tree."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            child = f"{path}.{key}" if path else str(key)
+            yield from iter_leaves(node[key], child)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            yield from iter_leaves(item, f"{path}[{index}]")
+    else:
+        yield path, node
+
+
+def leaf_key(path: str) -> str:
+    """Last dotted component of a leaf path (the metric name)."""
+    return path.rsplit(".", 1)[-1]
+
+
+def compare_file(
+    name: str, baseline: dict, fresh: dict
+) -> Tuple[List[str], List[str]]:
+    """Compare one BENCH file; returns (regressions, warnings)."""
+    regressions: List[str] = []
+    warnings: List[str] = []
+
+    base_scale = baseline.get("scale")
+    fresh_scale = fresh.get("scale")
+    if base_scale is not None and fresh_scale is not None:
+        if not math.isclose(float(base_scale), float(fresh_scale), rel_tol=1e-9):
+            warnings.append(
+                f"{name}: scale mismatch (baseline {base_scale}, fresh "
+                f"{fresh_scale}) — skipping; regenerate the baseline at "
+                "the CI scale or set REPRO_BENCH_SCALE to match"
+            )
+            return regressions, warnings
+
+    base_leaves = dict(iter_leaves(baseline))
+    fresh_leaves = dict(iter_leaves(fresh))
+    for path, base_value in base_leaves.items():
+        key = leaf_key(path)
+        if key in SKIP_KEYS or key == "scale" or key.startswith("scales"):
+            continue
+        if path not in fresh_leaves:
+            warnings.append(f"{name}: {path} missing from fresh results")
+            continue
+        fresh_value = fresh_leaves[path]
+        if not isinstance(base_value, (int, float)) or isinstance(
+            base_value, bool
+        ):
+            if base_value != fresh_value:
+                warnings.append(
+                    f"{name}: {path} changed: {base_value!r} -> {fresh_value!r}"
+                )
+            continue
+        rtol, atol = TOLERANCES.get(key, DEFAULT_TOLERANCE)
+        delta = abs(float(fresh_value) - float(base_value))
+        budget = max(rtol * abs(float(base_value)), atol)
+        if delta > budget:
+            drift = (
+                delta / abs(float(base_value)) * 100.0
+                if base_value
+                else float("inf")
+            )
+            regressions.append(
+                f"{name}: {path} = {fresh_value:.6g} vs baseline "
+                f"{base_value:.6g} ({drift:.1f}% drift, budget "
+                f"rtol={rtol:.0%} atol={atol:g})"
+            )
+    for path in fresh_leaves:
+        if path not in base_leaves and leaf_key(path) not in SKIP_KEYS:
+            warnings.append(f"{name}: new metric {path} (not in baseline)")
+    return regressions, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=DEFAULT_RESULTS,
+        help="directory with fresh BENCH_*.json (default benchmarks/results)",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=DEFAULT_BASELINES,
+        help="directory with committed baselines (default benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy fresh results over the baselines instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baselines.is_dir():
+        print(f"baseline directory not found: {args.baselines}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        if not args.results.is_dir():
+            print(f"results directory not found: {args.results}", file=sys.stderr)
+            return 2
+        updated = 0
+        for fresh_path in sorted(args.results.glob("BENCH_*.json")):
+            shutil.copy(fresh_path, args.baselines / fresh_path.name)
+            print(f"updated {args.baselines / fresh_path.name}")
+            updated += 1
+        if not updated:
+            print(f"no BENCH_*.json under {args.results}", file=sys.stderr)
+            return 2
+        return 0
+
+    baseline_paths = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_paths:
+        print(f"no BENCH_*.json baselines under {args.baselines}", file=sys.stderr)
+        return 2
+
+    all_regressions: List[str] = []
+    all_warnings: List[str] = []
+    compared = 0
+    for baseline_path in baseline_paths:
+        name = baseline_path.name
+        fresh_path = args.results / name
+        if not fresh_path.is_file():
+            all_warnings.append(f"{name}: no fresh results (bench not run)")
+            continue
+        try:
+            baseline = json.loads(baseline_path.read_text())
+            fresh = json.loads(fresh_path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"{name}: invalid JSON: {exc}", file=sys.stderr)
+            return 2
+        regressions, warnings = compare_file(name, baseline, fresh)
+        if not any("scale mismatch" in w for w in warnings):
+            compared += 1
+        all_regressions.extend(regressions)
+        all_warnings.extend(warnings)
+
+    for warning in all_warnings:
+        print(f"warning: {warning}")
+    if all_regressions:
+        print()
+        print(f"{len(all_regressions)} regression(s) vs baselines:")
+        for regression in all_regressions:
+            print(f"  REGRESSION {regression}")
+        return 1
+    print(
+        f"ok: {compared}/{len(baseline_paths)} baseline file(s) compared, "
+        "no regressions"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""SLO report: where, for how long, and how badly objectives were missed.
+
+The paper's Fig. 5 compares schedulers by *mean* framerate, but a
+visualization service commits to per-user objectives: "every user sees
+>= 33.33 fps" (Definition 4) and "p95 interaction latency stays under
+250 ms" (Definition 3).  This example runs Scenario 2 — interactive
+exploration plus batch movie rendering under memory pressure — with the
+paper's scheduler (OURS) and the immediate-dispatch FCFS variants, then
+evaluates both objectives over sliding windows.  OURS defers batch work
+away from interactive bursts, so it accumulates strictly less
+framerate-SLO violation time than the FCFS family.
+
+Run:
+    python examples/slo_report.py [--scale 0.25] [--fps 33.33]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.obs import SLObjective, SLOMonitor, slo_table
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import scenario_2
+
+SCHEDULERS = ["OURS", "FCFSL", "FCFSU"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="fraction of the paper's 120 s run to simulate (default 0.25)",
+    )
+    parser.add_argument(
+        "--fps",
+        type=float,
+        default=100.0 / 3.0,
+        help="framerate objective in frames/s (default 33.33)",
+    )
+    parser.add_argument(
+        "--latency",
+        type=float,
+        default=0.25,
+        help="p95 latency objective in seconds (default 0.25)",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=1.0,
+        help="sliding-window length in simulated seconds (default 1.0)",
+    )
+    args = parser.parse_args()
+
+    scenario = scenario_2(scale=args.scale)
+    print(scenario.summary())
+    print()
+
+    monitor = SLOMonitor(
+        [
+            SLObjective(kind="fps", target=args.fps, window=args.window),
+            SLObjective(
+                kind="latency",
+                target=args.latency,
+                window=args.window,
+                quantile=95.0,
+            ),
+        ]
+    )
+    reports = {
+        name: monitor.evaluate(run_simulation(scenario, name))
+        for name in SCHEDULERS
+    }
+
+    for index, objective in enumerate(monitor.objectives):
+        rows = [reports[name][index] for name in SCHEDULERS]
+        print(slo_table(rows, title="SLO report"))
+        print()
+
+    ours, fcfsl = reports["OURS"][0], reports["FCFSL"][0]
+    print(
+        f"framerate-SLO violation time: OURS {ours.total_violation_time:.1f} s "
+        f"vs FCFSL {fcfsl.total_violation_time:.1f} s — deferring batch "
+        "jobs keeps interactive users inside their objective for "
+        f"{(fcfsl.total_violation_time - ours.total_violation_time):.1f} s "
+        "longer of user time."
+    )
+
+
+if __name__ == "__main__":
+    main()

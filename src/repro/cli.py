@@ -90,6 +90,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-node io/render/composite/idle breakdown",
     )
+    sim.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable the metrics registry and write structured JSONL "
+            "(one event per window sample / SLO violation) to PATH, "
+            "plus a Prometheus text exposition next to it (.prom); "
+            "with several schedulers, the scheduler name is inserted "
+            "before the file extension"
+        ),
+    )
+    sim.add_argument(
+        "--slo",
+        metavar="SPEC",
+        action="append",
+        default=None,
+        help=(
+            "evaluate a service-level objective and print the violation "
+            "report; SPEC is fps=TARGET, latency=SECONDS, or "
+            "latency:p99=SECONDS (repeatable)"
+        ),
+    )
+    sim.add_argument(
+        "--slo-window",
+        type=float,
+        default=1.0,
+        help="SLO sliding-window length in simulated seconds (default 1.0)",
+    )
 
     ren = sub.add_parser("render", help="sort-last render a dataset to PPM")
     ren.add_argument("--dataset", choices=DATASET_NAMES, default="supernova")
@@ -134,17 +163,51 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    objectives = []
+    if args.slo:
+        from repro.obs import SLObjective
+
+        try:
+            objectives = [
+                SLObjective.parse(spec, window=args.slo_window)
+                for spec in args.slo
+            ]
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     scenario = make_scenario(args.scenario, scale=args.scale, seed=args.seed)
     print(scenario.summary())
     results = []
     trace_paths = []
+    metrics_paths = []
+    slo_reports = {name: [] for name in names}
     for name in names:
         tracer = None
         if args.trace:
             from repro.obs import Tracer
 
             tracer = Tracer()
-        results.append(run_simulation(scenario, name, drain=args.drain, tracer=tracer))
+        results.append(
+            run_simulation(
+                scenario,
+                name,
+                drain=args.drain,
+                tracer=tracer,
+                metrics=bool(args.metrics),
+            )
+        )
+        if objectives:
+            from repro.obs import SLOMonitor
+
+            slo_reports[name] = SLOMonitor(objectives).evaluate(results[-1])
+        if args.metrics:
+            path = Path(args.metrics)
+            if len(names) > 1:
+                path = path.with_name(f"{path.stem}.{name}{path.suffix or '.jsonl'}")
+            run_metrics = results[-1].metrics
+            run_metrics.write_jsonl(path, slo_reports=slo_reports[name])
+            run_metrics.write_prometheus(path.with_suffix(".prom"))
+            metrics_paths.append(path)
         if tracer is not None:
             from repro.obs import write_chrome_trace
 
@@ -178,6 +241,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 print(f"    action {action:>6}: {fps:7.2f} fps")
         if args.profile:
             print(result.profile_table(title=f"\n[{result.scheduler_name}] per-node time breakdown"))
+    if objectives:
+        from repro.obs import slo_table
+
+        for index, objective in enumerate(objectives):
+            rows = [slo_reports[name][index] for name in names]
+            print()
+            print(slo_table(rows, title="SLO report"))
+    for path in metrics_paths:
+        print(f"metrics written to {path} (+ {path.with_suffix('.prom').name})")
     for path in trace_paths:
         print(f"trace written to {path}")
     return 0

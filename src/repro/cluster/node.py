@@ -69,6 +69,7 @@ class RenderNode:
         "_running",
         "_alive",
         "_tracer",
+        "_metrics",
         "_pid",
         "_slot_of",
         "_free_slots",
@@ -113,6 +114,7 @@ class RenderNode:
         self._alive = True
         # observability (None → zero-cost: one identity check per task)
         self._tracer = None
+        self._metrics = None
         self._pid = 0
         self._slot_of: dict = {}
         self._free_slots: list = []
@@ -192,6 +194,32 @@ class RenderNode:
                 self._on_vram_event if self._tracer is not None else None
             )
 
+    def set_metrics(self, registry) -> None:
+        """Publish this node's task/cache/I/O counters into ``registry``.
+
+        The bound counters are cluster aggregates (all nodes increment
+        the same series) — per-node breakdowns stay the tracer's job.
+        Pass ``None`` to detach (the hot path then pays one identity
+        check, like a detached tracer).
+        """
+        if registry is None:
+            self._metrics = None
+            return
+        self._metrics = (
+            registry.counter(
+                "repro_tasks_executed", "render tasks begun executing"
+            ),
+            registry.counter(
+                "repro_cache_hits", "tasks whose chunk was memory-resident"
+            ),
+            registry.counter(
+                "repro_cache_misses", "tasks that paid a storage load"
+            ),
+            registry.counter(
+                "repro_io_seconds", "simulated seconds spent loading chunks"
+            ),
+        )
+
     def _on_cache_event(self, kind: str, chunk) -> None:
         """Cache observer: emit eviction instants (inserts are the
         cache-miss instants already emitted on the task path)."""
@@ -266,6 +294,15 @@ class RenderNode:
         task.cache_hit = hit
         task.io_time = io_time
         self.io_seconds += io_time
+        metrics = self._metrics
+        if metrics is not None:
+            m_tasks, m_hits, m_misses, m_io = metrics
+            m_tasks.inc()
+            if hit:
+                m_hits.inc()
+            else:
+                m_misses.inc()
+                m_io.inc(io_time)
         exec_time = io_time + upload_time + render_time
         tracer = self._tracer
         if tracer is not None:

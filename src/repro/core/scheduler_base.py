@@ -59,9 +59,20 @@ class SchedulerContext:
     is off): the service emits one span per scheduler invocation, and
     policies may add their own instants/spans for decisions worth seeing
     on the timeline (guard with ``if ctx.tracer is not None``).
+    ``metrics`` is likewise the run's
+    :class:`~repro.obs.metrics.MetricsRegistry` (or ``None`` when the
+    metrics layer is off): policies may publish their own counters or
+    histograms (guard with ``if ctx.metrics is not None``).
     """
 
-    __slots__ = ("cluster", "tables", "decomposition", "tracer", "_assignments")
+    __slots__ = (
+        "cluster",
+        "tables",
+        "decomposition",
+        "tracer",
+        "metrics",
+        "_assignments",
+    )
 
     def __init__(
         self,
@@ -70,11 +81,13 @@ class SchedulerContext:
         decomposition: DecompositionPolicy,
         *,
         tracer=None,
+        metrics=None,
     ) -> None:
         self.cluster = cluster
         self.tables = tables
         self.decomposition = decomposition
         self.tracer = tracer
+        self.metrics = metrics
         self._assignments: List[Assignment] = []
 
     @property

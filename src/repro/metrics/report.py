@@ -13,7 +13,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.metrics.analysis import SchedulerSummary
 
 _HEADER = (
-    f"{'sched':<7} {'fps':>8} {'int-lat(s)':>12} {'bat-lat(s)':>12} "
+    f"{'sched':<7} {'fps':>8} {'int-lat(s)':>12} {'p99-lat(s)':>12} "
+    f"{'bat-lat(s)':>12} "
     f"{'bat-work(s)':>12} {'hit-rate':>9} {'cost(us)':>10}"
 )
 

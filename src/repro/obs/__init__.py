@@ -1,6 +1,6 @@
-"""repro.obs — structured tracing & observability for the simulator.
+"""repro.obs — structured tracing, metrics & SLOs for the simulator.
 
-The subsystem has four pieces:
+The subsystem has six pieces:
 
 * :mod:`repro.obs.tracer` — a lightweight virtual-time tracer (nested
   spans, instant events, counter samples) plus a zero-cost
@@ -11,21 +11,32 @@ The subsystem has four pieces:
   busy nodes, cache occupancy, in-flight I/O) sampled on the event
   queue;
 * :mod:`repro.obs.profile` — aggregated per-node time breakdown
-  (io / render / composite / idle fractions).
+  (io / render / composite / idle fractions);
+* :mod:`repro.obs.metrics` — a virtual-time metrics registry (counters,
+  gauges, log-bucketed histograms), windowed time-series aggregation,
+  Prometheus text exposition and JSONL export;
+* :mod:`repro.obs.slo` — service-level-objective monitors evaluating
+  framerate/latency targets (Definitions 3-4) over sliding windows.
 
 Typical use::
 
     from repro import run_simulation, scenario_1
-    from repro.obs import Tracer, write_chrome_trace
+    from repro.obs import SLObjective, SLOMonitor, Tracer, write_chrome_trace
 
     tracer = Tracer()
-    result = run_simulation(scenario_1(scale=0.2), "OURS", tracer=tracer)
+    result = run_simulation(
+        scenario_1(scale=0.2), "OURS", tracer=tracer, metrics=True
+    )
     write_chrome_trace("out.json", tracer)
     print(result.profile.table())
+    print(result.metrics.to_prometheus())
+    report = SLOMonitor([SLObjective("fps", 33.3)]).evaluate(result)[0]
+    print(f"violation time: {report.total_violation_time:.2f}s")
 """
 
 from repro.obs.chrome import chrome_trace_events, to_chrome_trace, write_chrome_trace
 from repro.obs.counters import (
+    PER_NODE_TRACKS,
     STANDARD_TRACKS,
     TRACK_BUSY_NODES,
     TRACK_CACHE,
@@ -34,7 +45,25 @@ from repro.obs.counters import (
     CounterSampler,
     default_counter_interval,
 )
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSampler,
+    MetricWindow,
+    RunMetrics,
+    default_window_interval,
+    log_buckets,
+)
 from repro.obs.profile import ClusterProfile, NodeProfile
+from repro.obs.slo import (
+    SLObjective,
+    SLOMonitor,
+    SLOReport,
+    ViolationWindow,
+    slo_table,
+)
 from repro.obs.tracer import (
     CAT_CACHE,
     CAT_COMM,
@@ -73,10 +102,25 @@ __all__ = [
     "CounterSampler",
     "default_counter_interval",
     "STANDARD_TRACKS",
+    "PER_NODE_TRACKS",
     "TRACK_QUEUE",
     "TRACK_BUSY_NODES",
     "TRACK_IO_INFLIGHT",
     "TRACK_CACHE",
     "ClusterProfile",
     "NodeProfile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "log_buckets",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "MetricWindow",
+    "RunMetrics",
+    "default_window_interval",
+    "SLObjective",
+    "SLOMonitor",
+    "SLOReport",
+    "ViolationWindow",
+    "slo_table",
 ]

@@ -30,8 +30,17 @@ TRACK_IO_INFLIGHT = "io in-flight"
 #: Per-node track: bytes resident in the node's chunk cache.
 TRACK_CACHE = "cache bytes"
 
-#: The standard cluster-wide counter tracks (all on ``PID_HEAD``).
+#: The standard *head-node* counter tracks.  These live on ``PID_HEAD``
+#: because they describe cluster-wide pressure the head node observes
+#: (its queue, the busy-node count, the storage subsystem); per-node
+#: tracks are listed separately in :data:`PER_NODE_TRACKS`.
 STANDARD_TRACKS = (TRACK_QUEUE, TRACK_BUSY_NODES, TRACK_IO_INFLIGHT)
+
+#: Counter tracks emitted once per rendering node (on the node's own
+#: ``pid``, see :func:`~repro.obs.tracer.pid_for_node`).  Consumers
+#: iterating a trace's cache occupancy should use this constant rather
+#: than hard-coding the track string.
+PER_NODE_TRACKS = (TRACK_CACHE,)
 
 
 class CounterSampler:
@@ -129,6 +138,7 @@ __all__ = [
     "TRACK_IO_INFLIGHT",
     "TRACK_CACHE",
     "STANDARD_TRACKS",
+    "PER_NODE_TRACKS",
     "CounterSampler",
     "default_counter_interval",
 ]

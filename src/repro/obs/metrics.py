@@ -1,0 +1,594 @@
+"""Virtual-time metrics registry: counters, gauges, histograms, windows.
+
+The tracer (:mod:`repro.obs.tracer`) answers *where did virtual time
+go*; this module answers *is the service meeting its targets* — the
+continuously-measured quantities behind the paper's evaluation
+(Definitions 1-4) in a form that exports to monitoring tooling:
+
+* :class:`Counter` — a monotonically increasing total (jobs completed,
+  cache hits, bytes read);
+* :class:`Gauge` — a point-in-time level (queue depth, busy nodes,
+  resident cache bytes);
+* :class:`Histogram` — a log-bucketed distribution with p50/p95/p99
+  extraction (job latency, scheduler invocation cost);
+* :class:`MetricsRegistry` — the namespace all of the above live in,
+  with Prometheus-style text exposition and structured JSONL export;
+* :class:`MetricsSampler` — rides the event queue at a fixed interval
+  (exactly like :class:`~repro.obs.counters.CounterSampler`) and turns
+  counter deltas into per-window :class:`MetricWindow` rows: delivered
+  fps, latency quantiles, cache hit rate, I/O bytes per interval;
+* :class:`RunMetrics` — the bundle attached to
+  :class:`~repro.sim.simulator.SimulationResult` as ``.metrics``.
+
+Disabled runs pay nothing: instrumentation sites hold ``None`` and
+guard with one identity check, the same discipline the tracer uses.
+When enabled, publishing is bound-attribute counter increments — the
+enabled-registry overhead is bounded by the tracer-overhead bench
+(``benchmarks/bench_tracer_overhead.py``) at <= 10% versus a
+:class:`~repro.obs.tracer.NullTracer` run.
+
+Typical use::
+
+    from repro import run_simulation, scenario_2
+
+    result = run_simulation(scenario_2(scale=0.2), "OURS", metrics=True)
+    print(result.metrics.registry.to_prometheus())
+    result.metrics.write_jsonl("metrics.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.cost_model import percentile
+from repro.core.job import JobType
+from repro.util.validation import check_positive
+
+#: Label sets are stored canonically as sorted ``(key, value)`` tuples.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(labels: LabelKey) -> str:
+    """Prometheus-style ``{k="v",...}`` rendering (empty for no labels)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonic total.  Negative increments are a protocol error."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A level that can move in both directions."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current level."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the level up by ``amount``."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the level down by ``amount``."""
+        self.value -= amount
+
+
+def log_buckets(
+    lowest: float = 1e-4, highest: float = 1e3, per_decade: int = 4
+) -> List[float]:
+    """Geometric bucket upper bounds spanning ``[lowest, highest]``.
+
+    ``per_decade`` bounds per factor of ten; the implicit final bucket
+    is ``+inf``.  The defaults cover 100 µs .. ~17 min in 29 buckets —
+    wide enough for every latency/cost quantity the simulator records.
+    """
+    check_positive("lowest", lowest)
+    if highest <= lowest:
+        raise ValueError(f"highest ({highest}) must exceed lowest ({lowest})")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    ratio = 10.0 ** (1.0 / per_decade)
+    bounds = [lowest]
+    while bounds[-1] < highest * (1 - 1e-12):
+        bounds.append(bounds[-1] * ratio)
+    return bounds
+
+
+class Histogram:
+    """A log-bucketed distribution with quantile extraction.
+
+    Observations land in geometric buckets (``le`` upper bounds plus an
+    implicit ``+inf`` overflow bucket).  Quantiles are estimated by
+    linear interpolation inside the covering bucket, clamped to the
+    observed min/max so single-value and extreme quantiles stay exact.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name",
+        "labels",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "sum",
+        "minimum",
+        "maximum",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        *,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: List[float] = list(bounds) if bounds is not None else log_buckets()
+        if any(b <= a for a, b in zip(self.bounds, self.bounds[1:])):
+            raise ValueError(f"histogram {name!r} bounds must be increasing")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # + overflow
+        self.count = 0
+        self.sum = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated percentile ``q`` in [0, 100] (0.0 when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = 0.0 if i == 0 else self.bounds[i - 1]
+                hi = self.bounds[i] if i < len(self.bounds) else self.maximum
+                frac = (rank - cumulative) / n
+                value = lo + (hi - lo) * max(0.0, min(1.0, frac))
+                return max(self.minimum, min(self.maximum, value))
+            cumulative += n
+        return self.maximum
+
+    @property
+    def p50(self) -> float:
+        """Estimated median."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """Estimated 95th percentile."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """Estimated 99th percentile."""
+        return self.percentile(99)
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Namespace of metrics, keyed by ``(name, labels)``.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call defines the metric (and, for histograms, its buckets), later
+    calls return the same object — so publishers can bind metric
+    references once and increment bound attributes on the hot path.
+    Registering the same name as two different kinds is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelKey], Metric] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _get(self, cls, name: str, help: str, labels, **kwargs) -> Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if metric.kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
+        known = self._kinds.get(name)
+        if known is not None and known != cls.kind:
+            raise ValueError(f"metric {name!r} is a {known}, not a {cls.kind}")
+        metric = cls(name, key[1], **kwargs)
+        self._metrics[key] = metric
+        self._kinds[name] = cls.kind
+        if help and name not in self._help:
+            self._help[name] = help
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get(Counter, name, help, labels)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get(Gauge, name, help, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        *,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get(  # type: ignore[return-value]
+            Histogram, name, help, labels, bounds=bounds
+        )
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable[Metric]:
+        return iter(self._metrics.values())
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[Metric]:
+        """Look up a metric without creating it."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, labels: Optional[Mapping[str, str]] = None) -> float:
+        """Current value of a counter/gauge (0.0 when absent)."""
+        metric = self.get(name, labels)
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; use .get()")
+        return metric.value
+
+    # -- export ------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (OpenMetrics-compatible subset).
+
+        Counters get a ``_total`` suffix; histograms expose cumulative
+        ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+        """
+        by_name: Dict[str, List[Metric]] = {}
+        for metric in self._metrics.values():
+            by_name.setdefault(metric.name, []).append(metric)
+        lines: List[str] = []
+        for name, metrics in by_name.items():
+            kind = metrics[0].kind
+            exposed = f"{name}_total" if kind == "counter" else name
+            help_text = self._help.get(name)
+            if help_text:
+                lines.append(f"# HELP {exposed} {help_text}")
+            lines.append(f"# TYPE {exposed} {kind}")
+            for m in metrics:
+                suffix = _label_suffix(m.labels)
+                if isinstance(m, Histogram):
+                    cumulative = 0
+                    for bound, n in zip(m.bounds, m.bucket_counts):
+                        cumulative += n
+                        le = _label_suffix(m.labels + (("le", f"{bound:g}"),))
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    le = _label_suffix(m.labels + (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{le} {m.count}")
+                    lines.append(f"{name}_sum{suffix} {m.sum:g}")
+                    lines.append(f"{name}_count{suffix} {m.count}")
+                else:
+                    lines.append(f"{exposed}{suffix} {m.value:g}")
+        return "\n".join(lines) + "\n"
+
+    def write_prometheus(self, path) -> Path:
+        """Write :meth:`to_prometheus` to ``path``."""
+        path = Path(path)
+        path.write_text(self.to_prometheus())
+        return path
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """One JSON-ready dict per metric (histograms include quantiles)."""
+        out: List[Dict[str, Any]] = []
+        for m in self._metrics.values():
+            row: Dict[str, Any] = {
+                "name": m.name,
+                "kind": m.kind,
+                "labels": dict(m.labels),
+            }
+            if isinstance(m, Histogram):
+                row.update(
+                    count=m.count,
+                    sum=m.sum,
+                    mean=m.mean,
+                    p50=m.p50,
+                    p95=m.p95,
+                    p99=m.p99,
+                )
+            else:
+                row["value"] = m.value
+            out.append(row)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Windowed time-series aggregation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricWindow:
+    """Aggregates over one sampling interval of simulated time."""
+
+    start: float
+    end: float
+    jobs_completed: int
+    interactive_completed: int
+    batch_completed: int
+    fps: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    cache_hits: int
+    cache_misses: int
+    hit_rate: float
+    io_bytes: int
+
+    @property
+    def duration(self) -> float:
+        """Window length in simulated seconds."""
+        return self.end - self.start
+
+    def to_event(self) -> Dict[str, Any]:
+        """JSONL event payload for this window."""
+        return {
+            "type": "window",
+            "start": self.start,
+            "end": self.end,
+            "jobs_completed": self.jobs_completed,
+            "interactive_completed": self.interactive_completed,
+            "batch_completed": self.batch_completed,
+            "fps": self.fps,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "io_bytes": self.io_bytes,
+        }
+
+
+def default_window_interval(horizon: float, *, windows: int = 64) -> float:
+    """A window length giving ~``windows`` intervals over ``horizon``."""
+    return max(horizon / max(windows, 1), 1e-3)
+
+
+class MetricsSampler:
+    """Turns cumulative service/cluster state into per-window rows.
+
+    Rides the event queue at a fixed interval; each tick closes one
+    :class:`MetricWindow` from the deltas since the previous tick
+    (completions, latencies, cache hits, I/O bytes) and refreshes the
+    registry's pressure gauges.  Latency quantiles are computed exactly
+    from the jobs completed inside the window (the registry's latency
+    histogram keeps the whole-run distribution).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval: float,
+        *,
+        horizon: Optional[float] = None,
+    ) -> None:
+        check_positive("interval", interval)
+        self.registry = registry
+        self.interval = interval
+        self.horizon = horizon
+        self.windows: List[MetricWindow] = []
+        self._service = None
+        self._last_time = 0.0
+        self._last_records = 0
+        self._last_hits = 0
+        self._last_misses = 0
+        self._last_io_bytes = 0
+        self._g_queue = registry.gauge(
+            "repro_queue_depth", "jobs queued at the head node"
+        )
+        self._g_busy = registry.gauge(
+            "repro_busy_nodes", "rendering nodes with a busy pipeline"
+        )
+        self._g_cache = registry.gauge(
+            "repro_cache_used_bytes", "bytes resident across node chunk caches"
+        )
+
+    def attach(self, service) -> "MetricsSampler":
+        """Start sampling ``service`` (call before running events)."""
+        self._service = service
+        service.cluster.events.schedule(0.0, self._tick)
+        return self
+
+    def _tick(self) -> None:
+        service = self._service
+        cluster = service.cluster
+        now = cluster.events.now
+        records = service.collector.records
+        hits = sum(n.cache_hits for n in cluster.nodes)
+        misses = sum(n.cache_misses for n in cluster.nodes)
+        io_bytes = cluster.storage.total_bytes
+
+        if now > self._last_time:
+            fresh = records[self._last_records :]
+            latencies = sorted(r.latency for r in fresh)
+            interactive = sum(
+                1 for r in fresh if r.job_type is JobType.INTERACTIVE
+            )
+            d_hits = hits - self._last_hits
+            d_misses = misses - self._last_misses
+            d_tasks = d_hits + d_misses
+            duration = now - self._last_time
+            self.windows.append(
+                MetricWindow(
+                    start=self._last_time,
+                    end=now,
+                    jobs_completed=len(fresh),
+                    interactive_completed=interactive,
+                    batch_completed=len(fresh) - interactive,
+                    fps=interactive / duration,
+                    latency_p50=percentile(latencies, 50),
+                    latency_p95=percentile(latencies, 95),
+                    latency_p99=percentile(latencies, 99),
+                    cache_hits=d_hits,
+                    cache_misses=d_misses,
+                    hit_rate=d_hits / d_tasks if d_tasks else 0.0,
+                    io_bytes=io_bytes - self._last_io_bytes,
+                )
+            )
+        self._last_time = now
+        self._last_records = len(records)
+        self._last_hits = hits
+        self._last_misses = misses
+        self._last_io_bytes = io_bytes
+
+        self._g_queue.set(float(len(service._pending)))
+        self._g_busy.set(float(sum(1 for n in cluster.nodes if n.busy)))
+        self._g_cache.set(float(sum(n.cache.used_bytes for n in cluster.nodes)))
+
+        past_horizon = self.horizon is not None and now >= self.horizon
+        more_coming = service.has_work() or len(cluster.events) > 0
+        if more_coming and not past_horizon:
+            cluster.events.schedule_after(self.interval, self._tick)
+
+
+# ---------------------------------------------------------------------------
+# Per-run bundle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunMetrics:
+    """Registry + windowed series of one simulation run.
+
+    Attached to :class:`~repro.sim.simulator.SimulationResult` as
+    ``.metrics`` when the run was started with ``metrics=True`` (or an
+    explicit registry).
+    """
+
+    registry: MetricsRegistry
+    windows: List[MetricWindow] = field(default_factory=list)
+    scenario: str = ""
+    scheduler: str = ""
+
+    def window_series(self, name: str) -> List[float]:
+        """Extract one :class:`MetricWindow` field across the run."""
+        return [float(getattr(w, name)) for w in self.windows]
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the final registry state."""
+        return self.registry.to_prometheus()
+
+    def write_prometheus(self, path) -> Path:
+        """Write the Prometheus exposition to ``path``."""
+        return self.registry.write_prometheus(path)
+
+    def jsonl_events(
+        self, slo_reports: Optional[Sequence] = None
+    ) -> List[Dict[str, Any]]:
+        """All JSONL events: run header, windows, violations, summary."""
+        events: List[Dict[str, Any]] = [
+            {
+                "type": "run",
+                "scenario": self.scenario,
+                "scheduler": self.scheduler,
+                "windows": len(self.windows),
+            }
+        ]
+        events.extend(w.to_event() for w in self.windows)
+        if slo_reports:
+            for report in slo_reports:
+                events.extend(report.jsonl_events())
+        events.append({"type": "summary", "metrics": self.registry.snapshot()})
+        return events
+
+    def write_jsonl(self, path, *, slo_reports: Optional[Sequence] = None) -> Path:
+        """Write one JSON object per line: samples, violations, summary."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for event in self.jsonl_events(slo_reports):
+                fh.write(json.dumps(event) + "\n")
+        return path
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "log_buckets",
+    "MetricsRegistry",
+    "MetricWindow",
+    "MetricsSampler",
+    "default_window_interval",
+    "RunMetrics",
+]

@@ -33,6 +33,12 @@ from repro.metrics.analysis import (
 from repro.metrics.collectors import JobRecord, SimulationCollector
 from repro.metrics.timeline import TimelineSampler
 from repro.obs.counters import CounterSampler, default_counter_interval
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSampler,
+    RunMetrics,
+    default_window_interval,
+)
 from repro.obs.profile import ClusterProfile
 from repro.obs.tracer import PID_HEAD, Tracer, active_tracer, pid_for_node
 from repro.sim.service import VisualizationService
@@ -60,6 +66,7 @@ class SimulationResult:
     timeline: Optional["TimelineSampler"] = None
     profile: Optional["ClusterProfile"] = None
     tracer: Optional["Tracer"] = None
+    metrics: Optional["RunMetrics"] = None
 
     # -- job records -----------------------------------------------------------
 
@@ -176,6 +183,8 @@ def run_simulation(
     node_failures: Optional[Sequence[Tuple[float, int]]] = None,
     tracer: Optional["Tracer"] = None,
     counter_interval: Optional[float] = None,
+    metrics: Union[bool, MetricsRegistry] = False,
+    metrics_interval: Optional[float] = None,
 ) -> SimulationResult:
     """Run one scenario under one scheduler.
 
@@ -204,6 +213,18 @@ def run_simulation(
         counter_interval: Sampling period of the built-in counter
             tracks, in simulated seconds (defaults to ~256 samples over
             the horizon).  Only used when tracing.
+        metrics: ``True`` (or an explicit
+            :class:`~repro.obs.metrics.MetricsRegistry`) enables the
+            metrics layer: the service, nodes, storage, and scheduler
+            publish counters/histograms, a windowed sampler aggregates
+            per-interval fps / latency quantiles / hit rate / I/O
+            bytes, and the bundle is returned as ``result.metrics``
+            (a :class:`~repro.obs.metrics.RunMetrics`).  ``False``
+            (default) costs nothing and leaves every reported number
+            bit-identical to an uninstrumented run.
+        metrics_interval: Length of one aggregation window in simulated
+            seconds (defaults to ~64 windows over the horizon).  Only
+            used when ``metrics`` is enabled.
 
     Returns:
         A :class:`SimulationResult` (``result.profile`` carries the
@@ -216,9 +237,33 @@ def run_simulation(
     events = EventQueue()
     cluster = scenario.system.build_cluster(events=events, storage_seed=storage_seed)
     live_tracer = active_tracer(tracer)
+    registry: Optional[MetricsRegistry] = None
+    if metrics:
+        registry = (
+            metrics if isinstance(metrics, MetricsRegistry) else MetricsRegistry()
+        )
     service = VisualizationService(
-        cluster, scheduler, scenario.system.chunk_max, tracer=live_tracer
+        cluster,
+        scheduler,
+        scenario.system.chunk_max,
+        tracer=live_tracer,
+        metrics=registry,
     )
+    metrics_sampler: Optional[MetricsSampler] = None
+    if registry is not None:
+        for node in cluster.nodes:
+            node.set_metrics(registry)
+        cluster.storage.set_metrics(registry)
+        horizon_hint = scenario.trace.duration
+        window = (
+            metrics_interval
+            if metrics_interval is not None
+            else default_window_interval(horizon_hint)
+        )
+        metrics_sampler = MetricsSampler(
+            registry, window, horizon=None if drain else horizon_hint
+        )
+        metrics_sampler.attach(service)
     counter_sampler: Optional[CounterSampler] = None
     if live_tracer is not None:
         live_tracer.name_process(PID_HEAD, "head node")
@@ -299,6 +344,16 @@ def run_simulation(
         timeline=sampler,
         profile=ClusterProfile.from_cluster(cluster, max(events.now, 1e-9)),
         tracer=live_tracer,
+        metrics=(
+            RunMetrics(
+                registry=registry,
+                windows=metrics_sampler.windows if metrics_sampler else [],
+                scenario=scenario.name,
+                scheduler=scheduler.name,
+            )
+            if registry is not None
+            else None
+        ),
     )
 
 

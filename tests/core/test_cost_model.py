@@ -138,6 +138,30 @@ class TestAggregates:
     def test_percentile_empty(self):
         assert percentile([], 50) == 0.0
 
+    def test_percentile_single_element(self):
+        for q in (0, 37.5, 50, 99, 100):
+            assert percentile([7.25], q) == 7.25
+
+    def test_percentile_extremes_match_min_max(self):
+        values = [5.0, -2.0, 11.0, 3.0]
+        assert percentile(values, 0) == -2.0
+        assert percentile(values, 100) == 11.0
+
+    def test_percentile_unsorted_input(self):
+        # The input order must not matter: the implementation sorts.
+        shuffled = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(shuffled, 50) == pytest.approx(2.5)
+        assert percentile(shuffled, 75) == pytest.approx(3.25)
+
+    def test_percentile_interpolates_between_two_values(self):
+        # pos = (2 - 1) * q / 100, so q maps linearly onto [10, 20].
+        assert percentile([10.0, 20.0], 25) == pytest.approx(12.5)
+        assert percentile([10.0, 20.0], 99) == pytest.approx(19.9)
+
+    def test_percentile_negative_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.5)
+
     @given(st.lists(st.floats(-100, 100), min_size=1, max_size=40))
     @settings(max_examples=100, deadline=None)
     def test_property_percentile_within_range(self, values):

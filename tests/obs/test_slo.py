@@ -1,0 +1,234 @@
+"""Unit and integration tests for the SLO monitors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.job import JobType
+from repro.metrics.collectors import JobRecord
+from repro.obs.slo import SLObjective, SLOMonitor, SLOReport, slo_table
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import scenario_2
+
+
+def make_record(action, finish, latency, *, user=0, job_id=0):
+    """Interactive job record with the fields the monitor reads."""
+    return JobRecord(
+        job_id=job_id,
+        job_type=JobType.INTERACTIVE,
+        dataset="ds",
+        user=user,
+        action=action,
+        sequence=job_id,
+        arrival=finish - latency,
+        start=finish - latency,
+        finish=finish,
+        task_count=1,
+        cache_hits=1,
+        io_seconds=0.0,
+        group_size=1,
+    )
+
+
+class FakeCollector:
+    def __init__(self, records, action_issues):
+        self.records = records
+        self.action_issues = action_issues
+
+
+class FakeResult:
+    """The minimal SimulationResult surface the monitor needs."""
+
+    scheduler_name = "TEST"
+    scenario_name = "synthetic"
+
+    def __init__(self, records, action_issues, *, horizon=10.0, frame_interval=0.1):
+        self.collector = FakeCollector(records, action_issues)
+        self.horizon = horizon
+        self.frame_interval = frame_interval
+
+
+def steady_stream(action=0, *, rate=10.0, start=0.0, end=10.0, latency=0.05):
+    """Records of an on-target stream completing ``rate`` frames/s."""
+    step = 1.0 / rate
+    times, t = [], start + step / 2
+    while t < end:
+        times.append(t)
+        t += step
+    return [
+        make_record(action, finish, latency, job_id=i)
+        for i, finish in enumerate(times)
+    ]
+
+
+class TestObjective:
+    def test_parse_fps(self):
+        obj = SLObjective.parse("fps=33.3")
+        assert obj.kind == "fps" and obj.target == pytest.approx(33.3)
+
+    def test_parse_latency_default_quantile(self):
+        obj = SLObjective.parse("latency=0.25", window=2.0)
+        assert obj.kind == "latency"
+        assert obj.quantile == 95.0
+        assert obj.window == 2.0
+        assert obj.error_budget == pytest.approx(0.05)
+
+    def test_parse_latency_explicit_quantile(self):
+        obj = SLObjective.parse("latency:p99=0.5")
+        assert obj.quantile == 99.0
+        assert obj.target == 0.5
+
+    @pytest.mark.parametrize(
+        "spec", ["fps", "fps=abc", "jitter=1", "latency:99=0.5"]
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            SLObjective.parse(spec)
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            SLObjective(kind="jitter", target=1.0)
+        with pytest.raises(ValueError):
+            SLObjective(kind="fps", target=0.0)
+        with pytest.raises(ValueError):
+            SLObjective(kind="latency", target=1.0, quantile=100.0)
+
+    def test_stride_defaults_to_quarter_window(self):
+        assert SLObjective(kind="fps", target=30.0, window=2.0).stride == 0.5
+
+    def test_describe(self):
+        assert "fps >= 30" in SLObjective(kind="fps", target=30.0).describe()
+        text = SLObjective(kind="latency", target=0.25, quantile=99.0).describe()
+        assert "p99 latency <= 0.25s" in text
+
+
+class TestMonitorFps:
+    OBJ = SLObjective(kind="fps", target=10.0, window=1.0)
+
+    def test_on_target_stream_is_compliant(self):
+        result = FakeResult(
+            steady_stream(rate=10.0), {0: (100, 0.0, 9.9)}
+        )
+        report = SLOMonitor([self.OBJ]).evaluate(result)[0]
+        assert report.violations == []
+        assert report.compliant_fraction == 1.0
+        assert report.worst_burn_rate == 0.0
+        assert report.actions_evaluated == 1
+
+    def test_gap_produces_one_merged_violation(self):
+        # Frames flow for 3 s, stop for 4 s, then resume: the violating
+        # window positions overlap and must merge into ONE window
+        # covering the gap.
+        records = steady_stream(rate=10.0, start=0.0, end=3.0) + steady_stream(
+            rate=10.0, start=7.0, end=10.0
+        )
+        result = FakeResult(records, {0: (100, 0.0, 9.9)})
+        report = SLOMonitor([self.OBJ]).evaluate(result)[0]
+        assert len(report.violations) == 1
+        violation = report.violations[0]
+        assert violation.start < 4.0 < 7.0 < violation.end + 1.0
+        assert violation.worst_burn_rate == pytest.approx(1.0)  # empty windows
+        assert 0.0 < report.compliant_fraction < 1.0
+
+    def test_silent_action_violates_entire_span(self):
+        result = FakeResult([], {0: (100, 0.0, 9.9)})
+        report = SLOMonitor([self.OBJ]).evaluate(result)[0]
+        assert report.actions_violating == 1
+        assert report.total_violation_time == pytest.approx(
+            report.evaluated_time
+        )
+        assert report.compliant_fraction == pytest.approx(0.0)
+
+    def test_actions_judged_independently(self):
+        records = steady_stream(action=0, rate=10.0) + [
+            make_record(1, 5.0, 0.05, user=1, job_id=900)
+        ]
+        result = FakeResult(records, {0: (100, 0.0, 9.9), 1: (100, 0.0, 9.9)})
+        report = SLOMonitor([self.OBJ]).evaluate(result)[0]
+        assert report.actions_evaluated == 2
+        assert report.actions_violating == 1
+        assert all(v.action == 1 for v in report.violations)
+
+
+class TestMonitorLatency:
+    OBJ = SLObjective(kind="latency", target=0.25, window=1.0, quantile=95.0)
+
+    def test_fast_stream_is_compliant(self):
+        result = FakeResult(
+            steady_stream(rate=10.0, latency=0.05), {0: (100, 0.0, 9.9)}
+        )
+        report = SLOMonitor([self.OBJ]).evaluate(result)[0]
+        assert report.violations == []
+
+    def test_slow_stream_violates_with_burn_rate(self):
+        result = FakeResult(
+            steady_stream(rate=10.0, latency=0.5), {0: (100, 0.0, 9.9)}
+        )
+        report = SLOMonitor([self.OBJ]).evaluate(result)[0]
+        assert report.violations
+        # Every completion is over the bound: fraction_over / budget.
+        assert report.worst_burn_rate == pytest.approx(1.0 / 0.05)
+
+    def test_budget_tolerates_rare_outliers(self):
+        # One slow frame in a hundred stays inside a p95 error budget —
+        # the window must be wide enough that 1 frame < 5% of it.
+        objective = SLObjective(
+            kind="latency", target=0.25, window=10.0, quantile=95.0
+        )
+        records = steady_stream(rate=10.0, latency=0.05)
+        records[50] = make_record(0, records[50].finish, 0.9, job_id=50)
+        result = FakeResult(records, {0: (100, 0.0, 9.9)})
+        report = SLOMonitor([objective]).evaluate(result)[0]
+        assert report.violations == []
+
+
+class TestReportAndTable:
+    def test_monitor_requires_objectives(self):
+        with pytest.raises(ValueError):
+            SLOMonitor([])
+
+    def test_empty_report_properties(self):
+        report = SLOReport(
+            objective=SLObjective(kind="fps", target=30.0),
+            scheduler="OURS",
+            scenario="s",
+        )
+        assert report.compliant_fraction == 1.0
+        assert report.worst_burn_rate == 0.0
+        assert report.actions_violating == 0
+
+    def test_jsonl_events_shape(self):
+        result = FakeResult([], {0: (100, 0.0, 9.9)})
+        obj = SLObjective(kind="fps", target=10.0)
+        report = SLOMonitor([obj]).evaluate(result)[0]
+        events = report.jsonl_events()
+        assert events[-1]["type"] == "slo_report"
+        assert events[-1]["total_violation_time"] > 0
+        assert all(e["type"] == "slo_violation" for e in events[:-1])
+
+    def test_table_lists_one_row_per_scheduler(self):
+        obj = SLObjective(kind="fps", target=10.0)
+        reports = []
+        for name in ("OURS", "FCFS"):
+            result = FakeResult([], {0: (100, 0.0, 9.9)})
+            result.scheduler_name = name
+            reports.append(SLOMonitor([obj]).evaluate(result)[0])
+        text = slo_table(reports, title="SLO report")
+        assert "SLO report" in text
+        assert "OURS" in text and "FCFS" in text
+        assert "fps >= 10" in text
+
+
+class TestScenario2Story:
+    """The paper's Fig. 5 story in SLO form (acceptance criterion)."""
+
+    def test_ours_accumulates_less_fps_violation_than_fcfs(self):
+        scenario = scenario_2(scale=0.1)
+        objective = SLObjective(kind="fps", target=100.0 / 3.0, window=1.0)
+        monitor = SLOMonitor([objective])
+        violation = {}
+        for name in ("OURS", "FCFSL", "FCFSU"):
+            result = run_simulation(scenario, name)
+            violation[name] = monitor.evaluate(result)[0].total_violation_time
+        assert violation["OURS"] < violation["FCFSL"]
+        assert violation["OURS"] < violation["FCFSU"]

@@ -1,0 +1,128 @@
+"""Tests for the benchmark regression gate (benchmarks/check_regressions.py)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_regressions.py"
+COMMITTED_BASELINES = Path(__file__).parent.parent / "benchmarks" / "baselines"
+
+PAYLOAD = {
+    "scenario": 2,
+    "scale": 0.05,
+    "schedulers": {
+        "OURS": {
+            "interactive_fps": 30.0,
+            "interactive_latency": 0.05,
+            "hit_rate": 1.0,
+            "wall_s": 1.0,
+        }
+    },
+}
+
+
+def run_gate(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+    (baselines / "BENCH_fig5.json").write_text(json.dumps(PAYLOAD))
+    (results / "BENCH_fig5.json").write_text(json.dumps(PAYLOAD))
+    return results, baselines
+
+
+def test_identical_results_pass(dirs):
+    results, baselines = dirs
+    proc = run_gate("--results", str(results), "--baselines", str(baselines))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "no regressions" in proc.stdout
+
+
+def test_perturbation_beyond_tolerance_fails(dirs):
+    results, baselines = dirs
+    fresh = json.loads((results / "BENCH_fig5.json").read_text())
+    fresh["schedulers"]["OURS"]["interactive_fps"] *= 0.8  # 20% drop
+    (results / "BENCH_fig5.json").write_text(json.dumps(fresh))
+    proc = run_gate("--results", str(results), "--baselines", str(baselines))
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stdout
+    assert "interactive_fps" in proc.stdout
+
+
+def test_drift_within_tolerance_passes(dirs):
+    results, baselines = dirs
+    fresh = json.loads((results / "BENCH_fig5.json").read_text())
+    fresh["schedulers"]["OURS"]["interactive_fps"] *= 1.01  # within 2%
+    (results / "BENCH_fig5.json").write_text(json.dumps(fresh))
+    proc = run_gate("--results", str(results), "--baselines", str(baselines))
+    assert proc.returncode == 0
+
+
+def test_wall_clock_keys_never_gate(dirs):
+    results, baselines = dirs
+    fresh = json.loads((results / "BENCH_fig5.json").read_text())
+    fresh["schedulers"]["OURS"]["wall_s"] = 500.0  # machine-dependent
+    (results / "BENCH_fig5.json").write_text(json.dumps(fresh))
+    proc = run_gate("--results", str(results), "--baselines", str(baselines))
+    assert proc.returncode == 0
+
+
+def test_scale_mismatch_skips_with_warning(dirs):
+    results, baselines = dirs
+    fresh = json.loads((results / "BENCH_fig5.json").read_text())
+    fresh["scale"] = 1.0
+    fresh["schedulers"]["OURS"]["interactive_fps"] = 1.0  # would regress
+    (results / "BENCH_fig5.json").write_text(json.dumps(fresh))
+    proc = run_gate("--results", str(results), "--baselines", str(baselines))
+    assert proc.returncode == 0
+    assert "scale mismatch" in proc.stdout
+
+
+def test_missing_fresh_results_warn_but_pass(dirs):
+    results, baselines = dirs
+    (results / "BENCH_fig5.json").unlink()
+    proc = run_gate("--results", str(results), "--baselines", str(baselines))
+    assert proc.returncode == 0
+    assert "no fresh results" in proc.stdout
+
+
+def test_missing_baseline_dir_is_usage_error(tmp_path):
+    proc = run_gate(
+        "--results", str(tmp_path), "--baselines", str(tmp_path / "nope")
+    )
+    assert proc.returncode == 2
+
+
+def test_update_refreshes_baselines(dirs):
+    results, baselines = dirs
+    fresh = json.loads((results / "BENCH_fig5.json").read_text())
+    fresh["schedulers"]["OURS"]["interactive_fps"] = 99.0
+    (results / "BENCH_fig5.json").write_text(json.dumps(fresh))
+    proc = run_gate(
+        "--update", "--results", str(results), "--baselines", str(baselines)
+    )
+    assert proc.returncode == 0
+    updated = json.loads((baselines / "BENCH_fig5.json").read_text())
+    assert updated["schedulers"]["OURS"]["interactive_fps"] == 99.0
+
+
+def test_committed_baselines_are_valid_json():
+    files = sorted(COMMITTED_BASELINES.glob("BENCH_*.json"))
+    assert files, "no committed baselines under benchmarks/baselines/"
+    for path in files:
+        payload = json.loads(path.read_text())
+        assert payload, path

@@ -70,6 +70,13 @@ class TestExamples:
         assert "with crashes" in out
         assert "busy nodes" in out
 
+    def test_slo_report(self):
+        out = run_example("slo_report.py", "--scale", "0.1")
+        assert "SLO report" in out
+        assert "fps >= 33.3" in out
+        assert "p95 latency <= 0.25s" in out
+        assert "framerate-SLO violation time" in out
+
     def test_trace_inspection(self, tmp_path):
         out = run_example(
             "trace_inspection.py", "--scale", "0.05",
