@@ -19,7 +19,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.metrics.analysis import SchedulerSummary
+from repro.reporting.analysis import SchedulerSummary
 from repro.sim.simulator import SimulationResult, run_simulation
 from repro.workload.scenarios import Scenario, make_scenario
 

@@ -17,7 +17,7 @@ from dataclasses import replace
 import pytest
 
 from benchmarks._shared import bench_scale, emit_report
-from repro.metrics.report import sweep_table
+from repro.reporting.report import sweep_table
 from repro.sim.simulator import run_simulation
 from repro.util.units import GiB, MiB
 from repro.workload.scenarios import scenario_1

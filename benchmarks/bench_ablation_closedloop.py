@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from benchmarks._shared import bench_scale, emit_report
 from repro.core.chunks import dataset_suite
-from repro.metrics.report import sweep_table
+from repro.reporting.report import sweep_table
 from repro.sim.config import system_linux8
 from repro.sim.simulator import run_simulation
 from repro.util.units import GiB

@@ -18,7 +18,7 @@ import pytest
 
 from benchmarks._shared import bench_scale, emit_report
 from repro.cluster.storage import StorageSpec
-from repro.metrics.report import sweep_table
+from repro.reporting.report import sweep_table
 from repro.sim.simulator import run_simulation
 from repro.util.units import MiB
 from repro.workload.scenarios import scenario_1

@@ -16,7 +16,7 @@ import pytest
 
 from benchmarks._shared import bench_scale, emit_report
 from repro.core.ours import OursScheduler
-from repro.metrics.report import sweep_table
+from repro.reporting.report import sweep_table
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_2
 

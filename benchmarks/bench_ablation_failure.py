@@ -14,7 +14,8 @@ from __future__ import annotations
 import pytest
 
 from benchmarks._shared import bench_scale, emit_report
-from repro.metrics.report import sweep_table
+from repro.reporting.report import sweep_table
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_1
 
@@ -27,7 +28,9 @@ _RESULTS: dict = {}
 def _run(crashes: int):
     if crashes not in _RESULTS:
         _RESULTS[crashes] = run_simulation(
-            scenario_1(scale=SCALE), "OURS", node_failures=CRASHES[crashes]
+            scenario_1(scale=SCALE),
+            "OURS",
+            config=RunConfig(node_failures=CRASHES[crashes]),
         )
     return _RESULTS[crashes]
 

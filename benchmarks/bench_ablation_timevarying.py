@@ -15,7 +15,7 @@ import pytest
 
 from benchmarks._shared import bench_scale, emit_report
 from repro.core.chunks import dataset_suite
-from repro.metrics.report import comparison_table
+from repro.reporting.report import comparison_table
 from repro.sim.config import system_linux8
 from repro.sim.simulator import run_simulation
 from repro.util.units import GiB

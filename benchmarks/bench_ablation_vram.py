@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from benchmarks._shared import bench_scale, emit_report
-from repro.metrics.report import sweep_table
+from repro.reporting.report import sweep_table
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_1
 

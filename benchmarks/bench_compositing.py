@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from benchmarks._shared import emit_report
-from repro.metrics.report import sweep_table
+from repro.reporting.report import sweep_table
 from repro.render.compositing import composite
 
 RANKS = [4, 8, 16, 32]

@@ -18,7 +18,7 @@ import numpy as np
 from benchmarks._shared import emit_report
 from repro.cluster.costs import cost_preset_linux8
 from repro.cluster.storage import StorageModel, StorageSpec
-from repro.metrics.report import pipeline_breakdown
+from repro.reporting.report import pipeline_breakdown
 from repro.render.camera import default_camera_for
 from repro.render.compositing import two_three_swap
 from repro.render.datasets import supernova

@@ -20,7 +20,7 @@ from benchmarks._shared import (
     summaries_for,
     summary_payload,
 )
-from repro.metrics.report import comparison_table
+from repro.reporting.report import comparison_table
 
 SCENARIO = 1
 

@@ -23,7 +23,7 @@ from benchmarks._shared import (
     emit_report,
     run_cached,
 )
-from repro.metrics.report import hit_rate_table
+from repro.reporting.report import hit_rate_table
 
 PAPER_HIT_RATES = {
     1: {"FS": 8.01, "FCFSU": 99.95, "FCFSL": 99.94, "OURS": 99.94},

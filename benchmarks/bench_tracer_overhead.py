@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 from benchmarks._shared import RESULTS_DIR, bench_scale, emit_report
 from repro.obs.tracer import NullTracer, Tracer
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_1
 
@@ -35,7 +36,9 @@ def _measure(tracer_factory, metrics: bool = False) -> Dict[str, float]:
         scenario = scenario_1(scale=SCALE)
         tracer = tracer_factory() if tracer_factory else None
         start = time.perf_counter()
-        result = run_simulation(scenario, "OURS", tracer=tracer, metrics=metrics)
+        result = run_simulation(
+            scenario, "OURS", config=RunConfig(tracer=tracer, metrics=metrics)
+        )
         wall = time.perf_counter() - start
         sample = {
             "events": float(result.events_processed),

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro import run_simulation, scenario_1
-from repro.metrics import sparkline
+from repro import RunConfig, run_simulation, scenario_1
+from repro.reporting import sparkline
 
 
 def main() -> None:
@@ -36,9 +36,13 @@ def main() -> None:
         f"t={crashes[1][0]:.1f}s\n"
     )
 
-    healthy = run_simulation(scenario, "OURS", timeline_interval=0.25)
+    healthy = run_simulation(
+        scenario, "OURS", config=RunConfig(timeline_interval=0.25)
+    )
     failed = run_simulation(
-        scenario, "OURS", timeline_interval=0.25, node_failures=crashes
+        scenario,
+        "OURS",
+        config=RunConfig(timeline_interval=0.25, node_failures=crashes),
     )
 
     for label, result in (("healthy", healthy), ("with crashes", failed)):

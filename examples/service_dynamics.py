@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro import run_simulation, scenario_2
-from repro.metrics import sparkline
+from repro import RunConfig, run_simulation, scenario_2
+from repro.reporting import sparkline
 
 
 def describe(result) -> None:
@@ -54,7 +54,7 @@ def main() -> None:
     print()
     for name in ("OURS", "FCFSL"):
         result = run_simulation(
-            scenario, name, timeline_interval=args.interval
+            scenario, name, config=RunConfig(timeline_interval=args.interval)
         )
         describe(result)
 

@@ -22,13 +22,15 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro import Tracer, run_simulation, scenario_1, write_chrome_trace
+from repro import RunConfig, Tracer, run_simulation, scenario_1, write_chrome_trace
 
 
 def traced_run(scale: float, scheduler: str):
     """Run Scenario 1 under ``scheduler`` with a live tracer attached."""
     tracer = Tracer()
-    result = run_simulation(scenario_1(scale=scale), scheduler, tracer=tracer)
+    result = run_simulation(
+        scenario_1(scale=scale), scheduler, config=RunConfig(tracer=tracer)
+    )
     return tracer, result
 
 

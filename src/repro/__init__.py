@@ -14,16 +14,30 @@ services, with:
   last compositing via binary swap / 2-3 swap over a simulated
   communicator),
 * workload generators reproducing the four Table II scenarios,
-* analysis/reporting for every table and figure of the evaluation, and
+* analysis/reporting for every table and figure of the evaluation,
 * a structured observability layer (virtual-time spans/counters, Chrome
-  trace-event export, per-node io/render/composite/idle profiles).
+  trace-event export, per-node io/render/composite/idle profiles), and
+* an overload-management frontend (admission control, backpressure,
+  SLO-driven graceful degradation) for demand beyond cluster capacity.
 
 Quickstart::
 
-    from repro import run_simulation, scenario_1
+    from repro import RunConfig, run_simulation, scenario_1
 
     result = run_simulation(scenario_1(scale=0.2), "OURS")
     print(result.summary().row())
+
+Overloaded service with protection::
+
+    from repro import FrontendConfig, make_scenario
+
+    overloaded = make_scenario(2, scale=0.2, load=2.5)
+    protected = run_simulation(
+        overloaded,
+        "OURS",
+        config=RunConfig(frontend=FrontendConfig.protective()),
+    )
+    print(protected.frontend.summary())
 """
 
 from repro.cluster import (
@@ -52,7 +66,16 @@ from repro.core import (
     make_scheduler,
     register_scheduler,
 )
-from repro.metrics import SchedulerSummary, SimulationCollector, comparison_table
+from repro.frontend import (
+    AdmissionConfig,
+    BackpressureConfig,
+    DegradeConfig,
+    FrontendConfig,
+    FrontendStats,
+    QualityLevel,
+    QueuePolicy,
+)
+from repro.reporting import SchedulerSummary, SimulationCollector, comparison_table
 from repro.obs import (
     ClusterProfile,
     NodeProfile,
@@ -61,6 +84,7 @@ from repro.obs import (
     write_chrome_trace,
 )
 from repro.sim import (
+    RunConfig,
     SimulationResult,
     SystemConfig,
     VisualizationService,
@@ -82,7 +106,7 @@ from repro.workload import (
     scenario_4,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Cluster",
@@ -107,6 +131,13 @@ __all__ = [
     "job_latency",
     "make_scheduler",
     "register_scheduler",
+    "AdmissionConfig",
+    "BackpressureConfig",
+    "DegradeConfig",
+    "FrontendConfig",
+    "FrontendStats",
+    "QualityLevel",
+    "QueuePolicy",
     "SchedulerSummary",
     "SimulationCollector",
     "comparison_table",
@@ -115,6 +146,7 @@ __all__ = [
     "write_chrome_trace",
     "ClusterProfile",
     "NodeProfile",
+    "RunConfig",
     "SimulationResult",
     "SystemConfig",
     "VisualizationService",

@@ -13,6 +13,8 @@ Subcommands:
 Examples::
 
     repro simulate --scenario 1 --schedulers OURS,FCFS --scale 0.5
+    repro simulate --scenario 2 --load 2.5 \
+        --admission sessions=8 --queue-limit 64:shed-oldest --degrade
     repro render --dataset supernova --ranks 6 --out supernova.ppm
 """
 
@@ -24,7 +26,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.core.registry import SCHEDULER_NAMES
-from repro.metrics.report import comparison_table
+from repro.reporting.report import comparison_table
 from repro.render import (
     DATASET_NAMES,
     cool_warm,
@@ -35,6 +37,7 @@ from repro.render import (
     render_sort_last,
     write_ppm,
 )
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import SCENARIO_FACTORIES, make_scenario
 
@@ -66,9 +69,48 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--scale", type=float, default=1.0)
     sim.add_argument("--seed", type=int, default=None)
     sim.add_argument(
+        "--load",
+        type=float,
+        default=1.0,
+        help=(
+            "arrival-rate multiplier for the mixed scenarios (2-4): "
+            "2.5 submits 2.5x the Table II demand (overload studies)"
+        ),
+    )
+    sim.add_argument(
         "--drain",
         action="store_true",
         help="simulate past the horizon until every job completes",
+    )
+    sim.add_argument(
+        "--admission",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "enable admission control; SPEC is key=value pairs joined "
+            "by ',' from: sessions=N (global concurrent-session cap), "
+            "rate=R (per-user token-bucket requests/s), burst=B "
+            "(bucket capacity, default 2*rate).  Example: "
+            "--admission sessions=8,rate=50"
+        ),
+    )
+    sim.add_argument(
+        "--queue-limit",
+        metavar="N[:POLICY]",
+        default=None,
+        help=(
+            "bound the head-node job queue at N outstanding jobs; "
+            "POLICY is block (default), shed-oldest, shed-newest, or "
+            "degrade.  Example: --queue-limit 64:shed-oldest"
+        ),
+    )
+    sim.add_argument(
+        "--degrade",
+        action="store_true",
+        help=(
+            "enable SLO-driven graceful degradation (quality ladder: "
+            "frame-rate thinning, then reduced resolution)"
+        ),
     )
     sim.add_argument(
         "--per-action",
@@ -148,6 +190,62 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_frontend(args: argparse.Namespace):
+    """Build the FrontendConfig requested by the overload flags.
+
+    Returns ``None`` when none of ``--admission`` / ``--queue-limit`` /
+    ``--degrade`` were given (the run is then bit-identical to a
+    frontend-free simulation); raises ``ValueError`` on a bad spec.
+    """
+    if not (args.admission or args.queue_limit or args.degrade):
+        return None
+    from repro.frontend import (
+        AdmissionConfig,
+        BackpressureConfig,
+        DegradeConfig,
+        FrontendConfig,
+    )
+
+    admission = None
+    if args.admission:
+        fields = {}
+        for part in args.admission.split(","):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad --admission part {part!r}; expected key=value"
+                )
+            fields[key.strip()] = float(value)
+        unknown = set(fields) - {"sessions", "rate", "burst"}
+        if unknown:
+            raise ValueError(
+                f"unknown --admission key(s): {', '.join(sorted(unknown))}"
+            )
+        admission = AdmissionConfig(
+            rate=fields.get("rate"),
+            burst=fields.get("burst"),
+            max_sessions=(
+                int(fields["sessions"]) if "sessions" in fields else None
+            ),
+        )
+    backpressure = None
+    if args.queue_limit:
+        limit_text, _, policy = args.queue_limit.partition(":")
+        try:
+            limit = int(limit_text)
+        except ValueError:
+            raise ValueError(
+                f"bad --queue-limit {args.queue_limit!r}; expected N[:POLICY]"
+            ) from None
+        backpressure = BackpressureConfig(
+            queue_limit=limit, policy=policy or "block"
+        )
+    degrade = DegradeConfig() if args.degrade else None
+    return FrontendConfig(
+        admission=admission, backpressure=backpressure, degrade=degrade
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run a scenario under the requested schedulers; print comparison."""
     names: List[str]
@@ -175,7 +273,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
-    scenario = make_scenario(args.scenario, scale=args.scale, seed=args.seed)
+    try:
+        frontend = _parse_frontend(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        scenario = make_scenario(
+            args.scenario, scale=args.scale, seed=args.seed, load=args.load
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(scenario.summary())
     results = []
     trace_paths = []
@@ -191,9 +300,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             run_simulation(
                 scenario,
                 name,
-                drain=args.drain,
-                tracer=tracer,
-                metrics=bool(args.metrics),
+                config=RunConfig(
+                    drain=args.drain,
+                    tracer=tracer,
+                    metrics=bool(args.metrics),
+                    frontend=frontend,
+                ),
             )
         )
         if objectives:
@@ -236,6 +348,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"{result.jobs_completed}/{result.jobs_submitted} jobs, "
             f"utilization {result.mean_node_utilization:.1%}"
         )
+        if result.frontend is not None:
+            print(f"    {result.frontend.summary()}")
         if args.per_action:
             for action, fps in sorted(result.delivered_framerates().items()):
                 print(f"    action {action:>6}: {fps:7.2f} fps")

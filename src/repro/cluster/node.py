@@ -67,6 +67,7 @@ class RenderNode:
         "_on_task_finish",
         "_rng",
         "_running",
+        "_loading",
         "_alive",
         "_tracer",
         "_metrics",
@@ -78,6 +79,7 @@ class RenderNode:
         "cache_hits",
         "cache_misses",
         "io_seconds",
+        "io_timeouts",
         "composite_seconds",
         "last_finish_time",
     )
@@ -111,6 +113,9 @@ class RenderNode:
         self._on_task_finish = on_task_finish
         self._rng = rng
         self._running: list = []
+        # Tasks with an active storage stream (keeps end_load balanced
+        # across completions, crashes, and timed-out attempts).
+        self._loading: set = set()
         self._alive = True
         # observability (None → zero-cost: one identity check per task)
         self._tracer = None
@@ -124,6 +129,7 @@ class RenderNode:
         self.cache_hits = 0
         self.cache_misses = 0
         self.io_seconds = 0.0
+        self.io_timeouts = 0
         self.composite_seconds = 0.0
         self.last_finish_time = 0.0
 
@@ -218,6 +224,9 @@ class RenderNode:
             registry.counter(
                 "repro_io_seconds", "simulated seconds spent loading chunks"
             ),
+            registry.counter(
+                "repro_io_timeouts", "chunk loads abandoned at the I/O deadline"
+            ),
         )
 
     def _on_cache_event(self, kind: str, chunk) -> None:
@@ -262,24 +271,78 @@ class RenderNode:
             self._begin_next()
 
     def _begin_next(self) -> None:
-        """Pop the next task and schedule its completion event."""
+        """Pop the next task; load its chunk (or hit) and execute."""
         task = self.queue.popleft()
         now = self._events.now
         self._running.append(task)
         task.start_time = now
 
-        chunk = task.chunk
-        hit = self.cache.touch(chunk)
-        io_time = 0.0
+        hit = self.cache.touch(task.chunk)
+        task.cache_hit = hit
         if hit:
             self.cache_hits += 1
+            self._commit_execution(task, io_time=0.0)
         else:
             self.cache_misses += 1
-            io_time = self._storage.begin_load(chunk.size)
-            evicted = self.cache.insert(chunk)
-            if self._vram is not None:
-                for victim in evicted:
-                    self._vram.invalidate(victim)
+            self._attempt_load(task, 0, 0.0)
+
+    def _attempt_load(self, task: "RenderTask", attempt: int, waited: float) -> None:
+        """Open a storage stream for a missing chunk; retry on timeout.
+
+        With ``StorageSpec.timeout`` unset every load is accepted on the
+        first attempt and this is a straight pass-through.  With a
+        deadline, an attempt whose quoted duration exceeds it releases
+        the stream at the deadline and retries ``backoff * 2**attempt``
+        later; the final attempt is always accepted so the task cannot
+        starve.  Retries re-quote the duration, so a load stalled by a
+        transient I/O storm completes quickly once contention passes.
+        """
+        if not self._alive or task not in self._running:
+            # Crash or re-dispatch (§VI-D) voided this load while the
+            # retry was backing off.
+            return
+        now = self._events.now
+        chunk = task.chunk
+        io_time = self._storage.begin_load(chunk.size)
+        spec = self._storage.spec
+        if (
+            spec.timeout is not None
+            and io_time > spec.timeout
+            and attempt < spec.max_retries
+        ):
+            self._storage.end_load(chunk.size)
+            self.io_timeouts += 1
+            if self._metrics is not None:
+                self._metrics[4].inc()
+            delay = spec.timeout + spec.backoff * (2.0 ** attempt)
+            self._events.schedule(
+                now + delay,
+                self._attempt_load,
+                task,
+                attempt + 1,
+                waited + delay,
+                priority=PRIORITY_COMPLETION,
+            )
+            return
+        self._loading.add(task)
+        evicted = self.cache.insert(chunk)
+        if self._vram is not None:
+            for victim in evicted:
+                self._vram.invalidate(victim)
+        self._commit_execution(task, io_time=io_time, waited=waited)
+
+    def _commit_execution(
+        self, task: "RenderTask", *, io_time: float, waited: float = 0.0
+    ) -> None:
+        """Charge the task's costs and schedule its completion event.
+
+        ``waited`` is simulated time already burned on timed-out load
+        attempts; it is part of the task's I/O accounting but not of the
+        remaining execution (it has already elapsed in event time).
+        """
+        now = self._events.now
+        chunk = task.chunk
+        hit = task.cache_hit
         upload_time = self._vram.access(chunk) if self._vram is not None else 0.0
         render_time = self._cost.render_time(
             chunk.size, task.job.composite_group_size
@@ -291,18 +354,17 @@ class RenderNode:
             # completion, §V-B).
             render_time *= 1.0 + jitter * float(self._rng.uniform(-1.0, 1.0))
 
-        task.cache_hit = hit
-        task.io_time = io_time
-        self.io_seconds += io_time
+        task.io_time = waited + io_time
+        self.io_seconds += waited + io_time
         metrics = self._metrics
         if metrics is not None:
-            m_tasks, m_hits, m_misses, m_io = metrics
+            m_tasks, m_hits, m_misses, m_io, _ = metrics
             m_tasks.inc()
             if hit:
                 m_hits.inc()
             else:
                 m_misses.inc()
-                m_io.inc(io_time)
+                m_io.inc(waited + io_time)
         exec_time = io_time + upload_time + render_time
         tracer = self._tracer
         if tracer is not None:
@@ -380,7 +442,8 @@ class RenderNode:
         self.last_finish_time = now
         self.busy_time += now - task.start_time  # type: ignore[operator]
         self.tasks_executed += 1
-        if not task.cache_hit:
+        if task in self._loading:
+            self._loading.discard(task)
             self._storage.end_load(task.chunk.size)
         self._running.remove(task)
         if self._tracer is not None:
@@ -415,11 +478,14 @@ class RenderNode:
             self._free_slots.clear()
         orphans = []
         for task in self._running:
-            if task.cache_hit is False:
-                # Balance the in-flight load's storage accounting.
+            if task in self._loading:
+                # Balance the in-flight load's storage accounting (a
+                # task backing off between timed-out attempts holds no
+                # stream and needs no balancing).
                 self._storage.end_load(task.chunk.size)
             orphans.append(task)
         self._running = []
+        self._loading.clear()
         orphans.extend(self.queue)
         self.queue.clear()
         for task in orphans:

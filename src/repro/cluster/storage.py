@@ -43,12 +43,26 @@ class StorageSpec:
             (models a shared file server).  ``None`` means local disks.
         jitter: Multiplicative jitter half-width; a load's duration is
             scaled by ``U(1 - jitter, 1 + jitter)``.  0 disables jitter.
+        timeout: Optional per-attempt I/O deadline in seconds.  A load
+            whose duration would exceed it is abandoned at the deadline
+            and retried by the node after exponential backoff (a slow
+            shared file server then costs bounded waiting, not an
+            unbounded stall).  ``None`` (default) disables timeouts —
+            behavior is bit-identical to the pre-timeout model.
+        max_retries: How many times a timed-out load may be retried
+            before the node accepts whatever duration storage quotes
+            (the final attempt never times out, so loads cannot starve).
+        backoff: Base of the exponential retry delay; attempt ``k``
+            waits ``backoff * 2**k`` seconds after its timeout.
     """
 
     bandwidth: float = 100 * MiB
     latency: float = 0.010
     shared_bandwidth: Optional[float] = None
     jitter: float = 0.0
+    timeout: Optional[float] = None
+    max_retries: int = 3
+    backoff: float = 0.05
 
     def __post_init__(self) -> None:
         check_positive("StorageSpec.bandwidth", self.bandwidth)
@@ -57,6 +71,13 @@ class StorageSpec:
             check_positive("StorageSpec.shared_bandwidth", self.shared_bandwidth)
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.timeout is not None:
+            check_positive("StorageSpec.timeout", self.timeout)
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        check_non_negative("StorageSpec.backoff", self.backoff)
 
 
 class StorageModel:

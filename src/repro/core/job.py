@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import math
 from typing import List, Optional
 
 from repro.core.chunks import Chunk, Dataset, DecompositionPolicy  # noqa: F401 (Chunk re-exported for typing)
@@ -102,6 +103,11 @@ class RenderJob:
             belongs to.  Framerate (Definition 4) is computed per action
             over the series of its jobs.
         sequence: Index of the job within its action's frame series.
+        chunk_fraction: Fraction of the dataset's chunks this job
+            renders (graceful degradation: a reduced-resolution frame
+            covers fewer chunks, shrinking ``t_i`` and the compositing
+            group per cost-model Definitions 1-4).  ``1.0`` = full
+            quality.
         tasks: The decomposed tasks; populated by :meth:`decompose`.
     """
 
@@ -113,6 +119,7 @@ class RenderJob:
         "user",
         "action",
         "sequence",
+        "chunk_fraction",
         "tasks",
         "composite_group_size",
         "finish_time",
@@ -135,6 +142,7 @@ class RenderJob:
         self.user = user
         self.action = action
         self.sequence = sequence
+        self.chunk_fraction = 1.0
         self.tasks: List[RenderTask] = []
         # Number of distinct participants assumed for compositing-cost
         # purposes; set at decomposition (== task count upper bound).
@@ -148,9 +156,17 @@ class RenderJob:
 
         Idempotent: repeated calls return the existing task list (the
         paper decomposes each job exactly once, at scheduling time).
+
+        When ``chunk_fraction < 1`` (graceful degradation) only the
+        leading ``ceil(m * fraction)`` chunks are rendered — at least
+        one — so a degraded frame costs proportionally less I/O,
+        rendering, and compositing.
         """
         if not self.tasks:
             chunks = policy.decompose(self.dataset)
+            if self.chunk_fraction < 1.0:
+                keep = max(1, math.ceil(len(chunks) * self.chunk_fraction))
+                chunks = chunks[:keep]
             self.tasks = [RenderTask(self, j, c) for j, c in enumerate(chunks)]
             self.composite_group_size = len(self.tasks)
         return self.tasks

@@ -1,0 +1,57 @@
+"""Overload management for the visualization service.
+
+The frontend sits between the workload trace and the head-node service
+and provides the three protections a production deployment of the
+paper's design needs once demand exceeds capacity:
+
+- **Admission control** — per-user token buckets plus a global cap on
+  concurrent interactive sessions (:mod:`repro.frontend.admission`).
+- **Backpressure** — a bounded job queue with ``block`` /
+  ``shed-oldest`` / ``shed-newest`` / ``degrade`` overflow policies
+  (:mod:`repro.frontend.backpressure`).
+- **Graceful degradation** — an SLO-burn-driven quality ladder that
+  steps interactive sessions down in frame rate and then resolution,
+  with hysteretic recovery (:mod:`repro.frontend.degradation`).
+
+Enable it by passing ``RunConfig(frontend=FrontendConfig(...))`` to
+:func:`repro.sim.simulator.run_simulation`; ``frontend=None`` (the
+default) is bit-identical to the pre-frontend simulator.
+"""
+
+from repro.frontend.admission import (
+    AdmissionController,
+    AdmissionRecord,
+    Decision,
+    TokenBucket,
+)
+from repro.frontend.backpressure import BoundedQueue
+from repro.frontend.config import (
+    DEFAULT_LADDER,
+    AdmissionConfig,
+    BackpressureConfig,
+    DegradeConfig,
+    FrontendConfig,
+    QualityLevel,
+    QueuePolicy,
+)
+from repro.frontend.degradation import DegradationController, QualityChange
+from repro.frontend.frontend import FrontendStats, ServiceFrontend
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionRecord",
+    "BackpressureConfig",
+    "BoundedQueue",
+    "DEFAULT_LADDER",
+    "Decision",
+    "DegradationController",
+    "DegradeConfig",
+    "FrontendConfig",
+    "FrontendStats",
+    "QualityChange",
+    "QualityLevel",
+    "QueuePolicy",
+    "ServiceFrontend",
+    "TokenBucket",
+]

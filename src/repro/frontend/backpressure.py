@@ -1,0 +1,136 @@
+"""Backpressure: the bounded head-node job queue.
+
+The paper's dispatching thread pops an unbounded queue; under sustained
+overload that queue *is* the latency.  :class:`BoundedQueue` caps how
+many jobs may be inside the service at once (head-node queue, scheduler
+backlog, and in-flight tasks all count — ``outstanding_jobs`` is the
+Little's-law quantity that actually bounds waiting time) and applies a
+configurable overflow policy to the excess.  Queue depth, deferral, and
+shed counts are published to the metrics registry so the overload is
+visible, not silent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+
+from repro.frontend.config import BackpressureConfig, QueuePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids workload cycle)
+    from repro.workload.trace import Request
+
+
+class BoundedQueue:
+    """Wait queue in front of the service, bounded per the policy.
+
+    ``offer`` decides the fate of one admitted request; ``drain`` is
+    called on every job completion to feed waiting requests back in as
+    capacity frees up.  The queue never reorders requests (FIFO), so a
+    blocked request cannot be overtaken by a later one.
+    """
+
+    def __init__(
+        self,
+        config: BackpressureConfig,
+        service,
+        forward: Callable[[Request, object], None],
+        *,
+        metrics=None,
+        on_overflow: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.config = config
+        self.service = service
+        self._forward = forward
+        self._on_overflow = on_overflow
+        self._waiting: Deque[Tuple[Request, object]] = deque()
+        self.deferred = 0
+        self.shed_oldest = 0
+        self.shed_newest = 0
+        self.max_wait_depth = 0
+        self._m_wait = self._m_shed = self._m_deferred = None
+        if metrics is not None:
+            self._m_wait = metrics.gauge(
+                "repro_frontend_wait_depth",
+                "requests parked in the frontend wait queue",
+            )
+            self._m_deferred = metrics.counter(
+                "repro_frontend_deferred",
+                "requests deferred by backpressure",
+            )
+            self._m_shed = {
+                kind: metrics.counter(
+                    "repro_frontend_shed",
+                    "requests shed by the bounded queue",
+                    labels={"which": kind},
+                )
+                for kind in ("oldest", "newest")
+            }
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def waiting_count(self) -> int:
+        """Requests currently parked in the wait queue."""
+        return len(self._waiting)
+
+    @property
+    def shed(self) -> int:
+        """Total requests shed (either end)."""
+        return self.shed_oldest + self.shed_newest
+
+    def _saturated(self) -> bool:
+        return self.service.outstanding_jobs >= self.config.queue_limit
+
+    # -- admission-side ----------------------------------------------------
+
+    def offer(self, request: Request, dataset: object) -> None:
+        """Forward, park, or shed one admitted request."""
+        if not self._waiting and not self._saturated():
+            self._forward(request, dataset)
+            return
+        policy = self.config.policy
+        limit = self.config.queue_limit
+        if policy is QueuePolicy.SHED_NEWEST and len(self._waiting) >= limit:
+            self.shed_newest += 1
+            if self._m_shed is not None:
+                self._m_shed["newest"].inc()
+            return
+        self._waiting.append((request, dataset))
+        self.deferred += 1
+        if self._m_deferred is not None:
+            self._m_deferred.inc()
+        if policy is QueuePolicy.SHED_OLDEST:
+            while len(self._waiting) > limit:
+                self._waiting.popleft()
+                self.shed_oldest += 1
+                if self._m_shed is not None:
+                    self._m_shed["oldest"].inc()
+        elif policy is QueuePolicy.DEGRADE and self._on_overflow is not None:
+            self._on_overflow()
+        if len(self._waiting) > self.max_wait_depth:
+            self.max_wait_depth = len(self._waiting)
+        if self._m_wait is not None:
+            self._m_wait.set(float(len(self._waiting)))
+
+    # -- completion-side ---------------------------------------------------
+
+    def drain(self) -> int:
+        """Feed waiting requests into freed capacity; returns how many."""
+        released = 0
+        while self._waiting and not self._saturated():
+            request, dataset = self._waiting.popleft()
+            released += 1
+            self._forward(request, dataset)
+        if released and self._m_wait is not None:
+            self._m_wait.set(float(len(self._waiting)))
+        return released
+
+    def flush(self) -> List[Tuple[Request, object]]:
+        """Remove and return everything still waiting (end of run)."""
+        out = list(self._waiting)
+        self._waiting.clear()
+        return out
+
+
+__all__ = ["BoundedQueue"]

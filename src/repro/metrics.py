@@ -1,0 +1,37 @@
+"""Deprecated alias for :mod:`repro.reporting`.
+
+``repro.metrics`` (the paper's report tables: collectors, analysis,
+timeline, report rendering) collided with :mod:`repro.obs.metrics` (the
+runtime metrics registry).  The package now lives at
+:mod:`repro.reporting`; this module keeps old imports working — both
+``from repro.metrics import X`` and submodule imports such as
+``import repro.metrics.collectors`` — while emitting a single
+:class:`DeprecationWarning` per process.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+warnings.warn(
+    "repro.metrics has been renamed to repro.reporting (it collided with "
+    "the repro.obs.metrics runtime registry); update imports — the alias "
+    "will be removed in a future release",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.reporting import *  # noqa: E402,F401,F403
+from repro.reporting import __all__  # noqa: E402,F401
+
+#: Submodules of the old package, aliased so ``repro.metrics.<sub>``
+#: imports keep resolving to their ``repro.reporting`` counterparts.
+_SUBMODULES = ("analysis", "collectors", "report", "timeline")
+
+for _name in _SUBMODULES:
+    _module = importlib.import_module(f"repro.reporting.{_name}")
+    sys.modules[f"repro.metrics.{_name}"] = _module
+    setattr(sys.modules[__name__], _name, _module)
+del _name, _module

@@ -20,12 +20,14 @@ The subsystem has six pieces:
 
 Typical use::
 
-    from repro import run_simulation, scenario_1
+    from repro import RunConfig, run_simulation, scenario_1
     from repro.obs import SLObjective, SLOMonitor, Tracer, write_chrome_trace
 
     tracer = Tracer()
     result = run_simulation(
-        scenario_1(scale=0.2), "OURS", tracer=tracer, metrics=True
+        scenario_1(scale=0.2),
+        "OURS",
+        config=RunConfig(tracer=tracer, metrics=True),
     )
     write_chrome_trace("out.json", tracer)
     print(result.profile.table())

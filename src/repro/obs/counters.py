@@ -7,7 +7,7 @@ curves behind the paper's narrative — FCFS drowning the file server,
 OURS keeping caches warm and queues short.
 
 :class:`CounterSampler` rides the event queue at a fixed interval
-(exactly like :class:`~repro.metrics.timeline.TimelineSampler`) and
+(exactly like :class:`~repro.reporting.timeline.TimelineSampler`) and
 emits one counter sample per track per tick into a
 :class:`~repro.obs.tracer.Tracer`.  Standard track names are module
 constants so tests and consumers don't hard-code strings.

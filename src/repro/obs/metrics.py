@@ -29,9 +29,11 @@ enabled-registry overhead is bounded by the tracer-overhead bench
 
 Typical use::
 
-    from repro import run_simulation, scenario_2
+    from repro import RunConfig, run_simulation, scenario_2
 
-    result = run_simulation(scenario_2(scale=0.2), "OURS", metrics=True)
+    result = run_simulation(
+        scenario_2(scale=0.2), "OURS", config=RunConfig(metrics=True)
+    )
     print(result.metrics.registry.to_prometheus())
     result.metrics.write_jsonl("metrics.jsonl")
 """

@@ -119,6 +119,20 @@ class SLObjective:
         return cls(kind=name, target=target, window=window, quantile=quantile)
 
 
+def fps_burn_rate(objective: SLObjective, fps: float) -> float:
+    """Burn rate of a framerate objective at delivered ``fps``.
+
+    The relative shortfall ``(target - fps) / target`` clamped to
+    ``[0, 1]`` — 0 when on target, 1 when nothing is delivered.  Shared
+    by the offline :class:`SLOMonitor` and the online degradation
+    controller (:mod:`repro.frontend.degradation`) so both judge with
+    identical semantics.
+    """
+    if objective.kind != "fps":
+        raise ValueError(f"objective is {objective.kind!r}, not 'fps'")
+    return max(0.0, (objective.target - fps) / objective.target)
+
+
 @dataclass(frozen=True)
 class ViolationWindow:
     """A merged run of violating window positions for one action."""
@@ -282,7 +296,7 @@ class SLOMonitor:
 
     @staticmethod
     def _burn_fps(objective: SLObjective, fps: float) -> float:
-        return max(0.0, (objective.target - fps) / objective.target)
+        return fps_burn_rate(objective, fps)
 
     def _judge(
         self,
@@ -364,6 +378,7 @@ class SLOMonitor:
 
 __all__ = [
     "SLObjective",
+    "fps_burn_rate",
     "ViolationWindow",
     "SLOReport",
     "SLOMonitor",

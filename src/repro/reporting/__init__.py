@@ -1,6 +1,6 @@
 """Measurement collection, analysis, and report rendering."""
 
-from repro.metrics.analysis import (
+from repro.reporting.analysis import (
     LatencyStats,
     SchedulerSummary,
     batch_working_time,
@@ -9,13 +9,13 @@ from repro.metrics.analysis import (
     mean_interactive_framerate,
     summarize,
 )
-from repro.metrics.collectors import (
+from repro.reporting.collectors import (
     JobRecord,
     SchedulingCostStats,
     SimulationCollector,
 )
-from repro.metrics.timeline import TimelineSample, TimelineSampler, sparkline
-from repro.metrics.report import (
+from repro.reporting.timeline import TimelineSample, TimelineSampler, sparkline
+from repro.reporting.report import (
     comparison_table,
     hit_rate_table,
     pipeline_breakdown,

@@ -16,7 +16,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.cost_model import framerate, mean, percentile
 from repro.core.job import JobType
-from repro.metrics.collectors import JobRecord
+from repro.reporting.collectors import JobRecord
 
 
 def framerates_by_action(records: Sequence[JobRecord]) -> Dict[int, float]:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.metrics.analysis import SchedulerSummary
+from repro.reporting.analysis import SchedulerSummary
 
 _HEADER = (
     f"{'sched':<7} {'fps':>8} {'int-lat(s)':>12} {'p99-lat(s)':>12} "

@@ -1,6 +1,7 @@
 """Simulation glue: system configs, the head-node service, the runner."""
 
 from repro.sim.config import SystemConfig, system_anl, system_linux8
+from repro.sim.run_config import RunConfig
 from repro.sim.service import VisualizationService
 from repro.sim.simulator import SimulationResult, compare_schedulers, run_simulation
 from repro.sim.sweep import (
@@ -16,6 +17,7 @@ __all__ = [
     "system_anl",
     "system_linux8",
     "VisualizationService",
+    "RunConfig",
     "SimulationResult",
     "compare_schedulers",
     "run_simulation",

@@ -1,0 +1,84 @@
+"""The consolidated run configuration for the simulation entry points.
+
+:class:`RunConfig` replaces the keyword-argument pile that
+:func:`~repro.sim.simulator.run_simulation` had grown (drain control,
+storage seed, observability toggles, failure schedule, ...) with one
+frozen, picklable object.  That one object is what
+:func:`~repro.sim.sweep.sweep` and :func:`~repro.sim.sweep.replicate`
+ship across process-pool boundaries, what benches persist next to their
+numbers, and where new run-scoped features (like the overload-management
+``frontend``) land without widening every call site.
+
+The legacy keyword signature still works but emits a
+:class:`DeprecationWarning`; it builds the equivalent ``RunConfig``
+internally, so the two spellings are bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.frontend.config import FrontendConfig
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything about *how* to run a scenario (not *what* to run).
+
+    Attributes:
+        drain: Keep simulating past the trace horizon until all
+            submitted jobs complete.  The paper's measurements are
+            horizon-bounded (``False``).
+        max_drain_time: Bound on the drain phase, in simulated seconds
+            past the horizon (``None`` = unbounded).
+        storage_seed: Seed for I/O jitter (when the storage spec
+            enables it).
+        timeline_interval: Sample cluster dynamics every this many
+            simulated seconds (``result.timeline``); ``None`` disables.
+        node_failures: Crash schedule — ``(time, node_id)`` pairs,
+            recovered per the paper's §VI-D design.
+        tracer: Optional :class:`~repro.obs.tracer.Tracer` recording
+            spans and counter tracks.
+        counter_interval: Sampling period of the tracer's counter
+            tracks (defaults to ~256 samples over the horizon).
+        metrics: ``True`` or an explicit
+            :class:`~repro.obs.metrics.MetricsRegistry` enables the
+            metrics layer (``result.metrics``).
+        metrics_interval: Length of one metrics aggregation window in
+            simulated seconds (defaults to ~64 windows).
+        frontend: Optional
+            :class:`~repro.frontend.config.FrontendConfig` placing the
+            overload-management frontend (admission control,
+            backpressure, graceful degradation) between the trace and
+            the service.  ``None`` (default) is bit-identical to a run
+            without the frontend subsystem.
+    """
+
+    drain: bool = False
+    max_drain_time: Optional[float] = None
+    storage_seed: int = 0
+    timeline_interval: Optional[float] = None
+    node_failures: Optional[Sequence[Tuple[float, int]]] = None
+    tracer: Optional["Tracer"] = None
+    counter_interval: Optional[float] = None
+    metrics: Union[bool, "MetricsRegistry"] = False
+    metrics_interval: Optional[float] = None
+    frontend: Optional["FrontendConfig"] = None
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+
+#: The field names the legacy keyword signature accepted, in order.
+LEGACY_KWARGS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(RunConfig)
+)
+
+
+__all__ = ["RunConfig", "LEGACY_KWARGS"]

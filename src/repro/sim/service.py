@@ -29,7 +29,7 @@ from repro.cluster.node import RenderNode
 from repro.core.job import JobType, RenderJob, RenderTask
 from repro.core.scheduler_base import Scheduler, SchedulerContext, Trigger
 from repro.core.tables import SchedulerTables
-from repro.metrics.collectors import SimulationCollector
+from repro.reporting.collectors import SimulationCollector
 from repro.obs.tracer import PID_HEAD, active_tracer, pid_for_node
 from repro.workload.trace import Request
 

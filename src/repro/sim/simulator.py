@@ -5,12 +5,21 @@ workload trace into one discrete-event run and returns a
 :class:`SimulationResult` with everything the evaluation section reports
 (framerates, latencies, hit rates, scheduling costs, utilization).
 
+Run options travel in one :class:`~repro.sim.run_config.RunConfig`::
+
+    result = run_simulation(scenario, "OURS", config=RunConfig(drain=True))
+
+The pre-1.1 keyword spelling (``run_simulation(scenario, "OURS",
+drain=True)``) still works, builds the identical ``RunConfig``
+internally, and emits a :class:`DeprecationWarning`.
+
 :func:`compare_schedulers` runs the same scenario under several policies
 — the shape of Figs. 4-7.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -20,7 +29,7 @@ from repro.core.cost_model import mean
 from repro.core.job import JobType
 from repro.core.registry import make_scheduler
 from repro.core.scheduler_base import Scheduler
-from repro.metrics.analysis import (
+from repro.reporting.analysis import (
     LatencyStats,
     SchedulerSummary,
     batch_working_time,
@@ -30,8 +39,8 @@ from repro.metrics.analysis import (
     mean_interactive_framerate,
     summarize,
 )
-from repro.metrics.collectors import JobRecord, SimulationCollector
-from repro.metrics.timeline import TimelineSampler
+from repro.reporting.collectors import JobRecord, SimulationCollector
+from repro.reporting.timeline import TimelineSampler
 from repro.obs.counters import CounterSampler, default_counter_interval
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -41,6 +50,8 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import ClusterProfile
 from repro.obs.tracer import PID_HEAD, Tracer, active_tracer, pid_for_node
+from repro.frontend.frontend import FrontendStats, ServiceFrontend
+from repro.sim.run_config import LEGACY_KWARGS, RunConfig
 from repro.sim.service import VisualizationService
 from repro.workload.scenarios import Scenario
 
@@ -67,6 +78,7 @@ class SimulationResult:
     profile: Optional["ClusterProfile"] = None
     tracer: Optional["Tracer"] = None
     metrics: Optional["RunMetrics"] = None
+    frontend: Optional["FrontendStats"] = None
 
     # -- job records -----------------------------------------------------------
 
@@ -175,72 +187,78 @@ class SimulationResult:
 def run_simulation(
     scenario: Scenario,
     scheduler: Union[str, Scheduler],
-    *,
-    drain: bool = False,
-    max_drain_time: Optional[float] = None,
-    storage_seed: int = 0,
-    timeline_interval: Optional[float] = None,
-    node_failures: Optional[Sequence[Tuple[float, int]]] = None,
-    tracer: Optional["Tracer"] = None,
-    counter_interval: Optional[float] = None,
-    metrics: Union[bool, MetricsRegistry] = False,
-    metrics_interval: Optional[float] = None,
+    config: Optional[RunConfig] = None,
+    **legacy_kwargs,
 ) -> SimulationResult:
     """Run one scenario under one scheduler.
 
     Args:
         scenario: System configuration + workload trace.
         scheduler: A registry name (e.g. ``"OURS"``) or an instance.
-        drain: If True, keep simulating past the trace horizon until all
-            submitted jobs complete (bounded by ``max_drain_time``
-            simulated seconds past the horizon, when given).  The
-            paper's measurements are horizon-bounded (``drain=False``):
-            metrics cover jobs completed within the run window.
-        storage_seed: Seed for I/O jitter (when the storage spec enables
-            it).
-        timeline_interval: If given, sample cluster dynamics (backlog,
-            busy nodes, completions, hits) every this many simulated
-            seconds; the series is returned as ``result.timeline``.
-        node_failures: Optional crash schedule — ``(time, node_id)``
-            pairs; each node fails at its time and its workload is
-            recovered per the paper's §VI-D fault-tolerance design.
-        tracer: Optional :class:`~repro.obs.tracer.Tracer`.  When given
-            (and enabled), the run records spans (I/O loads, renders,
-            compositing, scheduler invocations), cache instants, and
-            the built-in counter tracks; export with
-            :func:`repro.obs.write_chrome_trace`.  ``None`` (default)
-            or a :class:`~repro.obs.tracer.NullTracer` costs nothing.
-        counter_interval: Sampling period of the built-in counter
-            tracks, in simulated seconds (defaults to ~256 samples over
-            the horizon).  Only used when tracing.
-        metrics: ``True`` (or an explicit
-            :class:`~repro.obs.metrics.MetricsRegistry`) enables the
-            metrics layer: the service, nodes, storage, and scheduler
-            publish counters/histograms, a windowed sampler aggregates
-            per-interval fps / latency quantiles / hit rate / I/O
-            bytes, and the bundle is returned as ``result.metrics``
-            (a :class:`~repro.obs.metrics.RunMetrics`).  ``False``
-            (default) costs nothing and leaves every reported number
-            bit-identical to an uninstrumented run.
-        metrics_interval: Length of one aggregation window in simulated
-            seconds (defaults to ~64 windows over the horizon).  Only
-            used when ``metrics`` is enabled.
+        config: A :class:`~repro.sim.run_config.RunConfig` describing
+            how to run — drain control, storage seed, observability
+            (tracer / metrics / timeline), the node-failure schedule,
+            and the overload-management ``frontend``.  ``None`` means
+            all defaults (horizon-bounded, uninstrumented, no
+            frontend).
+        **legacy_kwargs: Deprecated pre-1.1 spelling — any
+            ``RunConfig`` field passed directly as a keyword argument
+            (``drain=True``, ``metrics=True``, ...).  Builds the
+            identical ``RunConfig`` and emits a
+            :class:`DeprecationWarning`; cannot be combined with
+            ``config``.
 
     Returns:
         A :class:`SimulationResult` (``result.profile`` carries the
-        per-node io/render/composite/idle breakdown).
+        per-node io/render/composite/idle breakdown; ``result.frontend``
+        the overload accounting when a frontend was configured).
     """
+    if legacy_kwargs:
+        unknown = set(legacy_kwargs) - set(LEGACY_KWARGS)
+        if unknown:
+            raise TypeError(
+                "run_simulation() got unexpected keyword arguments: "
+                + ", ".join(sorted(unknown))
+            )
+        if config is not None:
+            raise TypeError(
+                "pass either config=RunConfig(...) or legacy keyword "
+                "arguments, not both"
+            )
+        warnings.warn(
+            "passing run options as keyword arguments to run_simulation() "
+            "is deprecated; pass config=RunConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = RunConfig(**legacy_kwargs)
+    elif config is None:
+        config = RunConfig()
+    return _run(scenario, scheduler, config)
+
+
+def _run(
+    scenario: Scenario,
+    scheduler: Union[str, Scheduler],
+    config: RunConfig,
+) -> SimulationResult:
+    """The actual run loop; ``config`` is fully resolved here."""
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler)
     scheduler.reset()
 
+    drain = config.drain
     events = EventQueue()
-    cluster = scenario.system.build_cluster(events=events, storage_seed=storage_seed)
-    live_tracer = active_tracer(tracer)
+    cluster = scenario.system.build_cluster(
+        events=events, storage_seed=config.storage_seed
+    )
+    live_tracer = active_tracer(config.tracer)
     registry: Optional[MetricsRegistry] = None
-    if metrics:
+    if config.metrics:
         registry = (
-            metrics if isinstance(metrics, MetricsRegistry) else MetricsRegistry()
+            config.metrics
+            if isinstance(config.metrics, MetricsRegistry)
+            else MetricsRegistry()
         )
     service = VisualizationService(
         cluster,
@@ -249,6 +267,15 @@ def run_simulation(
         tracer=live_tracer,
         metrics=registry,
     )
+    frontend: Optional[ServiceFrontend] = None
+    if config.frontend is not None:
+        frontend = ServiceFrontend(
+            config.frontend,
+            service,
+            target_framerate=scenario.target_framerate,
+            horizon=None if drain else scenario.trace.duration,
+            metrics=registry,
+        )
     metrics_sampler: Optional[MetricsSampler] = None
     if registry is not None:
         for node in cluster.nodes:
@@ -256,8 +283,8 @@ def run_simulation(
         cluster.storage.set_metrics(registry)
         horizon_hint = scenario.trace.duration
         window = (
-            metrics_interval
-            if metrics_interval is not None
+            config.metrics_interval
+            if config.metrics_interval is not None
             else default_window_interval(horizon_hint)
         )
         metrics_sampler = MetricsSampler(
@@ -274,8 +301,8 @@ def run_simulation(
             node.set_tracer(live_tracer)
         horizon_hint = scenario.trace.duration
         interval = (
-            counter_interval
-            if counter_interval is not None
+            config.counter_interval
+            if config.counter_interval is not None
             else default_counter_interval(horizon_hint)
         )
         counter_sampler = CounterSampler(
@@ -288,43 +315,57 @@ def run_simulation(
     if scenario.prewarm:
         service.prewarm(scenario.trace.datasets)
     sampler: Optional[TimelineSampler] = None
-    if timeline_interval is not None:
+    if config.timeline_interval is not None:
         horizon_hint = None if drain else scenario.trace.duration
-        sampler = TimelineSampler(timeline_interval, horizon=horizon_hint)
+        sampler = TimelineSampler(config.timeline_interval, horizon=horizon_hint)
         sampler.attach(service)
 
-    if node_failures:
-        for fail_time, node_id in node_failures:
+    if config.node_failures:
+        for fail_time, node_id in config.node_failures:
             if not 0 <= node_id < cluster.node_count:
                 raise ValueError(f"node_failures references node {node_id}")
             events.schedule(
                 fail_time, service.fail_node, node_id, priority=PRIORITY_ARRIVAL
             )
 
+    submit = (
+        frontend.submit_request if frontend is not None else service.submit_request
+    )
     datasets = {d.name: d for d in scenario.trace.datasets}
     for request in scenario.trace.requests:
         events.schedule(
             request.time,
-            service.submit_request,
+            submit,
             request,
             datasets[request.dataset],
             priority=PRIORITY_ARRIVAL,
         )
     service.start()
+    if frontend is not None:
+        frontend.start()
+
+    def has_pending() -> bool:
+        if service.has_work():
+            return True
+        return frontend is not None and frontend.waiting_count > 0
 
     horizon = scenario.trace.duration
     events.run(until=horizon)
-    drained = not service.has_work()
+    drained = not has_pending()
     if drain and not drained:
-        limit = None if max_drain_time is None else horizon + max_drain_time
-        while service.has_work():
+        limit = (
+            None
+            if config.max_drain_time is None
+            else horizon + config.max_drain_time
+        )
+        while has_pending():
             next_time = events.peek_time()
             if next_time is None:
                 break
             if limit is not None and next_time > limit:
                 break
             events.step()
-        drained = not service.has_work()
+        drained = not has_pending()
 
     return SimulationResult(
         scenario_name=scenario.name,
@@ -354,6 +395,7 @@ def run_simulation(
             if registry is not None
             else None
         ),
+        frontend=frontend.stats() if frontend is not None else None,
     )
 
 
@@ -361,19 +403,19 @@ def compare_schedulers(
     scenario: Scenario,
     schedulers: Sequence[Union[str, Scheduler]],
     *,
+    config: Optional[RunConfig] = None,
     drain: bool = False,
     max_drain_time: Optional[float] = None,
 ) -> List[SimulationResult]:
     """Run the same scenario under each scheduler (Figs. 4-7 harness).
 
-    Every run replays the identical trace on a fresh cluster.
+    Every run replays the identical trace on a fresh cluster.  Pass a
+    :class:`~repro.sim.run_config.RunConfig` to control the runs; the
+    ``drain`` / ``max_drain_time`` shortcuts remain for the common case.
     """
-    return [
-        run_simulation(
-            scenario, sched, drain=drain, max_drain_time=max_drain_time
-        )
-        for sched in schedulers
-    ]
+    if config is None:
+        config = RunConfig(drain=drain, max_drain_time=max_drain_time)
+    return [_run(scenario, sched, config) for sched in schedulers]
 
 
-__all__ = ["SimulationResult", "run_simulation", "compare_schedulers"]
+__all__ = ["RunConfig", "SimulationResult", "run_simulation", "compare_schedulers"]

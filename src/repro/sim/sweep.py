@@ -10,21 +10,24 @@ to fan the independent runs out over a process pool.  Results are
 keyed deterministically — ``(value, scheduler)`` for sweeps, seed order
 for replication — so the parallel path returns exactly what the serial
 path would (the simulator itself is deterministic).  Parallel execution
-requires the scenario factory, schedulers, and ``run_kwargs`` to be
-picklable (module-level functions and registry names are; lambdas and
-closures are not).
+requires the scenario factory, schedulers, and the
+:class:`~repro.sim.run_config.RunConfig` to be picklable (module-level
+functions, registry names, and a frontend-bearing ``RunConfig`` are;
+lambdas and closures are not).
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.scheduler_base import Scheduler
-from repro.metrics.report import sweep_table
-from repro.sim.simulator import SimulationResult, run_simulation
+from repro.reporting.report import sweep_table
+from repro.sim.run_config import RunConfig
+from repro.sim.simulator import SimulationResult, _run
 from repro.workload.scenarios import Scenario
 
 ScenarioFactory = Callable[..., Scenario]
@@ -35,11 +38,31 @@ def _instantiate(scheduler: SchedulerLike) -> Union[str, Scheduler]:
     return scheduler() if callable(scheduler) else scheduler
 
 
+def _resolve_config(
+    config: Optional[RunConfig], run_kwargs: dict, caller: str
+) -> RunConfig:
+    """Merge the deprecated ``**run_kwargs`` spelling into a RunConfig."""
+    if run_kwargs:
+        if config is not None:
+            raise TypeError(
+                f"pass either config=RunConfig(...) or legacy keyword "
+                f"arguments to {caller}(), not both"
+            )
+        warnings.warn(
+            f"passing run options as keyword arguments to {caller}() is "
+            f"deprecated; pass config=RunConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return RunConfig(**run_kwargs)
+    return config if config is not None else RunConfig()
+
+
 def _run_point(
     scenario_factory: Callable,
     point,
     scheduler: SchedulerLike,
-    run_kwargs: dict,
+    config: RunConfig,
 ) -> SimulationResult:
     """Worker body for one (sweep point | seed) × scheduler run.
 
@@ -47,9 +70,7 @@ def _run_point(
     detaches the timeline sampler's service reference (a cycle through
     the whole cluster) before the result crosses the process boundary.
     """
-    result = run_simulation(
-        scenario_factory(point), _instantiate(scheduler), **run_kwargs
-    )
+    result = _run(scenario_factory(point), _instantiate(scheduler), config)
     if result.timeline is not None:
         result.timeline._service = None
     return result
@@ -60,7 +81,7 @@ def _run_grid(
     points: Sequence,
     schedulers: Sequence[SchedulerLike],
     workers: Optional[int],
-    run_kwargs: dict,
+    config: RunConfig,
 ) -> List[SimulationResult]:
     """Run every (point, scheduler) pair, serially or on a process pool.
 
@@ -71,12 +92,12 @@ def _run_grid(
     if workers is not None and workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_point, scenario_factory, point, sched, run_kwargs)
+                pool.submit(_run_point, scenario_factory, point, sched, config)
                 for point, sched in pairs
             ]
             return [f.result() for f in futures]
     return [
-        _run_point(scenario_factory, point, sched, run_kwargs)
+        _run_point(scenario_factory, point, sched, config)
         for point, sched in pairs
     ]
 
@@ -123,6 +144,7 @@ def sweep(
     schedulers: Sequence[SchedulerLike],
     *,
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
     **run_kwargs,
 ) -> SweepResult:
     """Run ``scenario_factory(value)`` under each scheduler per value.
@@ -134,17 +156,21 @@ def sweep(
         schedulers: Registry names or zero-arg factories.
         workers: Fan the independent runs out over a process pool of
             this size (``None``/``1`` = serial).  Requires picklable
-            factory/schedulers/kwargs; results are identical to the
+            factory/schedulers/config; results are identical to the
             serial path.
-        **run_kwargs: Forwarded to :func:`run_simulation`.
+        config: :class:`~repro.sim.run_config.RunConfig` applied to
+            every run of the sweep (``None`` = all defaults).
+        **run_kwargs: Deprecated — ``RunConfig`` fields as direct
+            keyword arguments; emits a :class:`DeprecationWarning`.
     """
     if not values:
         raise ValueError("sweep needs at least one value")
     if not schedulers:
         raise ValueError("sweep needs at least one scheduler")
+    run_config = _resolve_config(config, run_kwargs, "sweep")
     out = SweepResult(parameter=parameter, values=list(values), schedulers=[])
     names: List[str] = []
-    grid = _run_grid(scenario_factory, values, schedulers, workers, run_kwargs)
+    grid = _run_grid(scenario_factory, values, schedulers, workers, run_config)
     index = 0
     for value in values:
         for _scheduler in schedulers:
@@ -214,6 +240,7 @@ def replicate(
     seeds: Sequence[int],
     *,
     workers: Optional[int] = None,
+    config: Optional[RunConfig] = None,
     **run_kwargs,
 ) -> ReplicationResult:
     """Run ``scenario_factory(seed)`` once per seed under one scheduler.
@@ -221,11 +248,14 @@ def replicate(
     Quantifies the workload-seed sensitivity that single-trace
     comparisons (the paper's, and this repo's scenario benches) cannot.
     ``workers=N`` runs the seeds on a process pool (results keyed by
-    seed order, identical to the serial path).
+    seed order, identical to the serial path).  ``config`` applies one
+    :class:`~repro.sim.run_config.RunConfig` to every replica; passing
+    ``RunConfig`` fields directly as keyword arguments is deprecated.
     """
     if not seeds:
         raise ValueError("replicate needs at least one seed")
-    results = _run_grid(scenario_factory, seeds, [scheduler], workers, run_kwargs)
+    run_config = _resolve_config(config, run_kwargs, "replicate")
+    results = _run_grid(scenario_factory, seeds, [scheduler], workers, run_config)
     name: Optional[str] = results[-1].scheduler_name if results else None
     return ReplicationResult(
         scheduler=name or "?", seeds=list(seeds), results=results

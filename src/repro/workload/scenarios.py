@@ -23,6 +23,12 @@ Every factory takes a ``scale`` factor that shrinks the simulated
 duration while preserving all rates and the dataset suite, so the
 request *intensity* — the thing the schedulers react to — is unchanged.
 ``scale=1.0`` reproduces the full Table II runs.
+
+The mixed scenarios (2-4) also take a ``load`` factor that multiplies
+the action and batch arrival rates: ``load=2.0`` submits twice the
+Table II demand onto the same cluster.  Over-subscribed variants are
+the overload-management studies' workload (the frontend's admission /
+backpressure / degradation pipeline exists for exactly this regime).
 """
 
 from __future__ import annotations
@@ -154,24 +160,26 @@ def scenario_1(*, scale: float = 1.0, seed: int = 1) -> Scenario:
     )
 
 
-def scenario_2(*, scale: float = 1.0, seed: int = 2) -> Scenario:
+def scenario_2(*, scale: float = 1.0, seed: int = 2, load: float = 1.0) -> Scenario:
     """Scenario 2: data locality under memory pressure (Fig. 5).
 
     Doubles the datasets (12 x 2 GB = 24 GB > 16 GB of memory) and adds
     batch submissions to the short-action interactive mix; 120 seconds.
     Table II totals: 2 251 batch / 21 011 interactive jobs
     → ~175 interactive jobs/s (≈5.3 concurrent actions) and
-    ~19 batch jobs/s.
+    ~19 batch jobs/s.  ``load`` multiplies both arrival rates
+    (``load=2.5`` ≈ 2.5x over-subscription).
     """
     check_positive("scale", scale)
+    check_positive("load", load)
     duration = 120.0 * scale
     datasets = dataset_suite(12, 2 * GiB)
     trace = _mixed_trace(
         datasets,
         duration,
-        action_rate=1.75,  # x 3 s mean duration = 5.25 concurrent actions
+        action_rate=1.75 * load,  # x 3 s mean duration = 5.25 concurrent actions
         mean_action_duration=3.0,
-        batch_rate=0.25,  # x 75 mean frames = 18.75 batch jobs/s
+        batch_rate=0.25 * load,  # x 75 mean frames = 18.75 batch jobs/s
         mean_batch_frames=75.0,
         seed=seed,
         name="scenario2",
@@ -193,23 +201,25 @@ def scenario_2(*, scale: float = 1.0, seed: int = 2) -> Scenario:
     )
 
 
-def scenario_3(*, scale: float = 1.0, seed: int = 3) -> Scenario:
+def scenario_3(*, scale: float = 1.0, seed: int = 3, load: float = 1.0) -> Scenario:
     """Scenario 3: light-load large-scale hybrid environment (Fig. 6).
 
     64 ANL nodes with 8 GB quota (512 GB total); 32 x 8 GB datasets
     (256 GB, fully cacheable); 300 seconds.  Table II totals: 9 844
     batch / 160 633 interactive jobs → ~535 interactive jobs/s (≈16
-    concurrent actions) and ~33 batch jobs/s.
+    concurrent actions) and ~33 batch jobs/s.  ``load`` multiplies both
+    arrival rates.
     """
     check_positive("scale", scale)
+    check_positive("load", load)
     duration = 300.0 * scale
     datasets = dataset_suite(32, 8 * GiB)
     trace = _mixed_trace(
         datasets,
         duration,
-        action_rate=3.2,  # x 5 s mean duration = 16 concurrent actions
+        action_rate=3.2 * load,  # x 5 s mean duration = 16 concurrent actions
         mean_action_duration=5.0,
-        batch_rate=0.44,  # x 75 mean frames = 33 batch jobs/s
+        batch_rate=0.44 * load,  # x 75 mean frames = 33 batch jobs/s
         mean_batch_frames=75.0,
         seed=seed,
         name="scenario3",
@@ -225,24 +235,25 @@ def scenario_3(*, scale: float = 1.0, seed: int = 3) -> Scenario:
     )
 
 
-def scenario_4(*, scale: float = 1.0, seed: int = 4) -> Scenario:
+def scenario_4(*, scale: float = 1.0, seed: int = 4, load: float = 1.0) -> Scenario:
     """Scenario 4: heavy-load environment, 1 TB of data (Fig. 7).
 
     128 x 8 GB datasets (1 TB, double the 512 GB aggregate memory);
     600 seconds.  Table II totals: 35 176 batch / 388 481 interactive
     jobs → ~647 interactive jobs/s (≈19.4 concurrent actions, above the
     sustainable capacity — latencies soar, as the paper notes) and
-    ~59 batch jobs/s.
+    ~59 batch jobs/s.  ``load`` multiplies both arrival rates.
     """
     check_positive("scale", scale)
+    check_positive("load", load)
     duration = 600.0 * scale
     datasets = dataset_suite(128, 8 * GiB)
     trace = _mixed_trace(
         datasets,
         duration,
-        action_rate=3.9,  # x 5 s mean duration = 19.5 concurrent actions
+        action_rate=3.9 * load,  # x 5 s mean duration = 19.5 concurrent actions
         mean_action_duration=5.0,
-        batch_rate=0.78,  # x 75 mean frames = 58.5 batch jobs/s
+        batch_rate=0.78 * load,  # x 75 mean frames = 58.5 batch jobs/s
         mean_batch_frames=75.0,
         seed=seed,
         name="scenario4",
@@ -285,14 +296,28 @@ SCENARIO_FACTORIES = {
 }
 
 
-def make_scenario(number: int, *, scale: float = 1.0, seed: Optional[int] = None) -> Scenario:
-    """Build Table II scenario ``number`` (1-4)."""
+def make_scenario(
+    number: int,
+    *,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    load: float = 1.0,
+) -> Scenario:
+    """Build Table II scenario ``number`` (1-4).
+
+    ``load`` multiplies the mixed scenarios' arrival rates (2-4 only;
+    scenario 1's persistent-action workload has no arrival rate).
+    """
     factory = SCENARIO_FACTORIES.get(number)
     if factory is None:
         raise KeyError(f"no scenario {number}; valid: 1-4")
     kwargs = {"scale": scale}
     if seed is not None:
         kwargs["seed"] = seed
+    if load != 1.0:
+        if number == 1:
+            raise ValueError("scenario 1 has no arrival rate; load must be 1.0")
+        kwargs["load"] = load
     return factory(**kwargs)  # type: ignore[arg-type]
 
 

@@ -1,0 +1,160 @@
+"""Tests for I/O timeouts and exponential-backoff retry on chunk loads."""
+
+import pytest
+
+from repro.cluster.costs import CostParameters
+from repro.cluster.event_queue import EventQueue
+from repro.cluster.node import RenderNode
+from repro.cluster.storage import StorageModel, StorageSpec
+from repro.core.chunks import ChunkedDecomposition, Dataset
+from repro.core.job import JobType, RenderJob
+from repro.util.units import MiB
+
+COST = CostParameters(render_jitter=0.0)
+POLICY = ChunkedDecomposition(256 * MiB)
+
+
+def make_node(events, spec, *, quota=4 * 256 * MiB):
+    storage = StorageModel(spec)
+    node = RenderNode(0, quota, COST, storage, events)
+    return node, storage
+
+
+def make_task():
+    ds = Dataset("ds", 256 * MiB)
+    job = RenderJob(JobType.INTERACTIVE, ds, 0.0)
+    return job.decompose(POLICY)[0]
+
+
+class TestSpecValidation:
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StorageSpec(timeout=0.0)
+        with pytest.raises(ValueError):
+            StorageSpec(timeout=-1.0)
+
+    def test_retries_and_backoff_validated(self):
+        with pytest.raises(ValueError):
+            StorageSpec(max_retries=-1)
+        with pytest.raises(ValueError):
+            StorageSpec(backoff=-0.1)
+
+
+class TestNoTimeout:
+    def test_generous_deadline_is_identity(self):
+        """A timeout that never trips changes nothing at all."""
+        runs = []
+        for spec in (
+            StorageSpec(bandwidth=100 * MiB, latency=0.01),
+            StorageSpec(bandwidth=100 * MiB, latency=0.01, timeout=1e9),
+        ):
+            events = EventQueue()
+            node, _ = make_node(events, spec)
+            task = make_task()
+            node.enqueue(task)
+            events.run()
+            runs.append((task.io_time, task.finish_time, node.io_timeouts))
+        assert runs[0] == runs[1]
+        assert runs[0][2] == 0
+
+
+class TestPersistentSlowness:
+    """Every attempt quotes over the deadline: bounded retries, then
+    the final attempt is accepted so the task cannot starve."""
+
+    SPEC = StorageSpec(
+        bandwidth=100 * MiB,  # solo quote: 0.01 + 2.56 s = 2.57 s
+        latency=0.01,
+        timeout=1.0,
+        max_retries=3,
+        backoff=0.05,
+    )
+
+    def test_retries_then_accepts_final_attempt(self):
+        events = EventQueue()
+        node, storage = make_node(events, self.SPEC)
+        task = make_task()
+        node.enqueue(task)
+        events.run()
+        assert node.io_timeouts == 3
+        assert task.finish_time is not None
+        # waited = sum of (timeout + backoff * 2**k) for k = 0, 1, 2.
+        waited = sum(1.0 + 0.05 * 2.0 ** k for k in range(3))
+        quote = 0.01 + 256 / 100
+        assert task.io_time == pytest.approx(waited + quote)
+        assert node.io_seconds == pytest.approx(task.io_time)
+        assert storage.active_loads == 0
+
+    def test_zero_retries_accepts_immediately(self):
+        events = EventQueue()
+        spec = StorageSpec(
+            bandwidth=100 * MiB, latency=0.01, timeout=1.0, max_retries=0
+        )
+        node, _ = make_node(events, spec)
+        task = make_task()
+        node.enqueue(task)
+        events.run()
+        assert node.io_timeouts == 0
+        assert task.io_time == pytest.approx(0.01 + 256 / 100)
+
+
+class TestTransientContention:
+    def test_retry_succeeds_once_contention_passes(self):
+        """An I/O storm costs one bounded wait, not the storm's quote."""
+        spec = StorageSpec(
+            bandwidth=100 * MiB,
+            latency=0.01,
+            shared_bandwidth=100 * MiB,
+            timeout=5.0,
+            max_retries=3,
+            backoff=0.05,
+        )
+        events = EventQueue()
+        node, storage = make_node(events, spec)
+        # Three synthetic streams drop per-stream bandwidth to 25 MiB/s:
+        # the quote (10.25 s) blows the 5 s deadline.
+        for _ in range(3):
+            storage.begin_load(256 * MiB)
+        task = make_task()
+        node.enqueue(task)
+        assert node.io_timeouts == 1
+        # The storm ends before the retry fires at t = 5.05.
+        events.schedule(
+            1.0, lambda: [storage.end_load(256 * MiB) for _ in range(3)]
+        )
+        events.run()
+        assert task.finish_time is not None
+        assert node.io_timeouts == 1
+        # Retry re-quoted at full bandwidth: wait + the *fast* load.
+        assert task.io_time == pytest.approx(5.05 + 0.01 + 256 / 100)
+        assert storage.active_loads == 0
+
+
+class TestCrashDuringBackoff:
+    def test_fail_keeps_storage_balanced(self):
+        """A node crash between retries leaves no dangling stream."""
+        spec = StorageSpec(
+            bandwidth=100 * MiB, latency=0.01, timeout=1.0, max_retries=3
+        )
+        events = EventQueue()
+        node, storage = make_node(events, spec)
+        task = make_task()
+        node.enqueue(task)  # first attempt times out, retry pending
+        assert node.io_timeouts == 1
+        assert storage.active_loads == 0  # stream released at deadline
+        orphans = node.fail()
+        assert orphans == [task]
+        events.run()  # the stale retry event fires and is void
+        assert storage.active_loads == 0
+        assert task.finish_time is None
+        assert node.tasks_executed == 0
+
+    def test_fail_during_active_load_releases_stream(self):
+        spec = StorageSpec(bandwidth=100 * MiB, latency=0.01)
+        events = EventQueue()
+        node, storage = make_node(events, spec)
+        task = make_task()
+        node.enqueue(task)  # load accepted, completion pending
+        assert storage.active_loads == 1
+        node.fail()
+        assert storage.active_loads == 0

@@ -1,0 +1,179 @@
+"""End-to-end tests: the frontend inside real simulation runs."""
+
+import pytest
+
+from repro.frontend import (
+    AdmissionConfig,
+    BackpressureConfig,
+    DegradeConfig,
+    FrontendConfig,
+    QueuePolicy,
+)
+from repro.obs.slo import SLObjective, SLOMonitor
+from repro.sim.run_config import RunConfig
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import make_scenario
+
+OBJECTIVE = SLObjective(kind="latency", target=0.25, quantile=99.0)
+
+
+def compliance(result):
+    return SLOMonitor([OBJECTIVE]).evaluate(result)[0].compliant_fraction
+
+
+def fingerprint(result):
+    """Exact per-job outcome signature of a run."""
+    return [
+        (r.user, r.action, r.sequence, r.finish, r.latency)
+        for r in result.collector.records
+    ]
+
+
+class TestTransparency:
+    def test_no_frontend_attaches_nothing(self):
+        result = run_simulation(make_scenario(2, scale=0.02), "OURS")
+        assert result.frontend is None
+
+    def test_empty_frontend_is_passthrough(self):
+        """FrontendConfig() forwards everything and changes no outcome."""
+        scenario = make_scenario(2, scale=0.02)
+        plain = run_simulation(scenario, "OURS")
+        fronted = run_simulation(
+            scenario, "OURS", config=RunConfig(frontend=FrontendConfig())
+        )
+        assert fingerprint(fronted) == fingerprint(plain)
+        assert fronted.interactive_fps == plain.interactive_fps
+        assert fronted.jobs_completed == plain.jobs_completed
+        stats = fronted.frontend
+        assert stats is not None
+        assert stats.forwarded == stats.requests_seen == plain.jobs_submitted
+        assert stats.rejected == stats.shed == stats.frames_dropped == 0
+
+    def test_unsaturated_protective_run_matches_plain(self):
+        """At nominal load the protective policy never engages."""
+        scenario = make_scenario(2, scale=0.02)
+        plain = run_simulation(scenario, "OURS")
+        protected = run_simulation(
+            scenario,
+            "OURS",
+            config=RunConfig(
+                frontend=FrontendConfig(
+                    backpressure=BackpressureConfig(queue_limit=10_000)
+                )
+            ),
+        )
+        assert fingerprint(protected) == fingerprint(plain)
+        assert protected.frontend.deferred == 0
+
+
+class TestOverloadProtection:
+    """The ISSUE acceptance scenario: Scenario 2 over-subscribed 2.5x."""
+
+    LOAD = 2.5
+    SCALE = 0.05
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        protective = FrontendConfig.protective(max_sessions=8, queue_limit=32)
+        out = {}
+        for scheduler in ("OURS", "FCFSL"):
+            scenario = make_scenario(2, scale=self.SCALE, load=self.LOAD)
+            out[scheduler] = (
+                run_simulation(scenario, scheduler),
+                run_simulation(
+                    scenario,
+                    scheduler,
+                    config=RunConfig(frontend=protective),
+                ),
+            )
+        return out
+
+    @pytest.mark.parametrize("scheduler", ["OURS", "FCFSL"])
+    def test_slo_compliance_strictly_improves(self, runs, scheduler):
+        baseline, protected = runs[scheduler]
+        assert compliance(protected) > compliance(baseline)
+
+    @pytest.mark.parametrize("scheduler", ["OURS", "FCFSL"])
+    def test_admitted_work_gets_served(self, runs, scheduler):
+        baseline, protected = runs[scheduler]
+        # The unprotected service leaves a large backlog unfinished; the
+        # frontend's admitted jobs essentially all complete.
+        assert baseline.jobs_completed < 0.75 * baseline.jobs_submitted
+        assert protected.jobs_completed >= 0.9 * protected.jobs_submitted
+
+    @pytest.mark.parametrize("scheduler", ["OURS", "FCFSL"])
+    def test_p99_latency_bounded(self, runs, scheduler):
+        baseline, protected = runs[scheduler]
+        assert (
+            protected.interactive_latency.p99
+            < 0.25 * baseline.interactive_latency.p99
+        )
+
+    @pytest.mark.parametrize("scheduler", ["OURS", "FCFSL"])
+    def test_frontend_engaged_and_accounted(self, runs, scheduler):
+        _, protected = runs[scheduler]
+        stats = protected.frontend
+        assert stats.requests_seen > stats.forwarded
+        assert stats.forwarded == protected.jobs_submitted
+        # Every path a request can take is accounted for.
+        assert (
+            stats.forwarded
+            + stats.rejected
+            + stats.shed
+            + stats.frames_dropped
+            + stats.unserved_at_end
+            == stats.requests_seen
+        )
+
+
+class TestRejectedSessions:
+    def test_rejected_actions_never_served(self):
+        config = RunConfig(
+            frontend=FrontendConfig(
+                admission=AdmissionConfig(max_sessions=2, session_ttl=5.0)
+            )
+        )
+        result = run_simulation(
+            make_scenario(2, scale=0.05, load=2.5), "OURS", config=config
+        )
+        rejected = result.frontend.rejected_actions
+        assert rejected  # the cap did bind
+        served = {r.action for r in result.collector.records}
+        assert not (rejected & served)
+
+
+class TestDegradeOnlyRun:
+    def test_resolution_degradation_reduces_chunks(self):
+        """Degraded interactive jobs render fewer chunks (Defs. 1-2)."""
+        config = RunConfig(
+            frontend=FrontendConfig(
+                degrade=DegradeConfig(
+                    sample_interval=0.2,
+                    patience=1,
+                    step_down_burn=0.1,
+                )
+            )
+        )
+        result = run_simulation(
+            make_scenario(2, scale=0.05, load=2.5), "OURS", config=config
+        )
+        stats = result.frontend
+        assert stats.final_quality_level > 0
+        assert stats.frames_dropped > 0
+        assert stats.quality_changes
+        assert stats.degraded_jobs > 0
+
+    def test_degrade_queue_policy_runs(self):
+        config = RunConfig(
+            frontend=FrontendConfig(
+                backpressure=BackpressureConfig(
+                    queue_limit=16, policy=QueuePolicy.DEGRADE
+                ),
+                degrade=DegradeConfig(),
+            )
+        )
+        result = run_simulation(
+            make_scenario(2, scale=0.03, load=2.5), "OURS", config=config
+        )
+        assert result.frontend.final_quality_level > 0
+        assert result.jobs_completed > 0

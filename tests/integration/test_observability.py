@@ -7,6 +7,7 @@ import pytest
 from repro.cli import main
 from repro.obs.chrome import to_chrome_trace
 from repro.obs.tracer import PID_HEAD, NullTracer, Tracer, pid_for_node
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_1
 
@@ -15,7 +16,9 @@ from repro.workload.scenarios import scenario_1
 def traced():
     """One traced Scenario 1 / OURS run shared by the module's tests."""
     tracer = Tracer()
-    result = run_simulation(scenario_1(scale=0.1), "OURS", tracer=tracer)
+    result = run_simulation(
+        scenario_1(scale=0.1), "OURS", config=RunConfig(tracer=tracer)
+    )
     return tracer, result
 
 
@@ -70,7 +73,9 @@ class TestDisabledTracer:
         _, traced_result = traced
         plain = run_simulation(scenario_1(scale=0.1), "OURS")
         null = NullTracer()
-        nulled = run_simulation(scenario_1(scale=0.1), "OURS", tracer=null)
+        nulled = run_simulation(
+            scenario_1(scale=0.1), "OURS", config=RunConfig(tracer=null)
+        )
         assert len(null) == 0
         for result in (plain, nulled):
             assert result.tracer is None

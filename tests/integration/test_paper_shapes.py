@@ -7,6 +7,7 @@ Table III — who wins, by roughly what factor — not absolute numbers.
 
 import pytest
 
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_1, scenario_2
 
@@ -108,7 +109,7 @@ class TestTaskConservation:
     def test_no_lost_or_duplicated_tasks(self):
         sc = scenario_1(scale=0.05)
         for name in ("OURS", "FCFS", "FCFSU", "SF", "FS"):
-            result = run_simulation(sc, name, drain=True)
+            result = run_simulation(sc, name, config=RunConfig(drain=True))
             assert result.drained, name
             assert result.jobs_completed == result.jobs_submitted, name
             per_job = 8 if name == "FCFSU" else 4

@@ -9,6 +9,7 @@ from repro.obs.counters import (
     default_counter_interval,
 )
 from repro.obs.tracer import PID_HEAD, Tracer
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_1
 
@@ -16,7 +17,7 @@ from repro.workload.scenarios import scenario_1
 def traced_run(**kwargs):
     tracer = Tracer()
     result = run_simulation(
-        scenario_1(scale=0.05), "OURS", tracer=tracer, **kwargs
+        scenario_1(scale=0.05), "OURS", config=RunConfig(tracer=tracer, **kwargs)
     )
     return tracer, result
 

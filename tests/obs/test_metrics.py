@@ -15,6 +15,7 @@ from repro.obs.metrics import (
     default_window_interval,
     log_buckets,
 )
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_1
 
@@ -200,7 +201,7 @@ class TestSimulationIntegration:
     @pytest.fixture(scope="class")
     def run(self):
         scenario = scenario_1(scale=0.05)
-        return run_simulation(scenario, "OURS", metrics=True)
+        return run_simulation(scenario, "OURS", config=RunConfig(metrics=True))
 
     def test_metrics_disabled_by_default(self):
         result = run_simulation(scenario_1(scale=0.05), "OURS")

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.job import JobType
-from repro.metrics.collectors import JobRecord
+from repro.reporting.collectors import JobRecord
 from repro.obs.slo import SLObjective, SLOMonitor, SLOReport, slo_table
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_2

@@ -1,0 +1,41 @@
+"""Tests for the deprecated ``repro.metrics`` → ``repro.reporting`` alias."""
+
+import importlib
+import sys
+
+import pytest
+
+
+def _forget_alias():
+    for name in [
+        m
+        for m in sys.modules
+        if m == "repro.metrics" or m.startswith("repro.metrics.")
+    ]:
+        del sys.modules[name]
+
+
+class TestDeprecatedAlias:
+    def test_import_warns_once_and_reexports(self):
+        _forget_alias()
+        with pytest.warns(DeprecationWarning, match="repro.reporting"):
+            alias = importlib.import_module("repro.metrics")
+        reporting = importlib.import_module("repro.reporting")
+        # Same objects, not copies: downstream isinstance checks hold.
+        for name in reporting.__all__:
+            assert getattr(alias, name) is getattr(reporting, name)
+
+    def test_submodule_imports_resolve(self):
+        _forget_alias()
+        with pytest.warns(DeprecationWarning):
+            importlib.import_module("repro.metrics")
+        from repro.metrics.collectors import SimulationCollector
+        from repro.reporting.collectors import (
+            SimulationCollector as Canonical,
+        )
+
+        assert SimulationCollector is Canonical
+        assert (
+            sys.modules["repro.metrics.analysis"]
+            is sys.modules["repro.reporting.analysis"]
+        )

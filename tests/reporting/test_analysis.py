@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.job import JobType
-from repro.metrics.analysis import (
+from repro.reporting.analysis import (
     LatencyStats,
     batch_working_time,
     delivered_framerates_by_action,
@@ -13,7 +13,7 @@ from repro.metrics.analysis import (
     mean_interactive_framerate,
     summarize,
 )
-from repro.metrics.collectors import JobRecord
+from repro.reporting.collectors import JobRecord
 
 
 def rec(

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.chunks import ChunkedDecomposition, Dataset
 from repro.core.job import JobType, RenderJob
-from repro.metrics.collectors import (
+from repro.reporting.collectors import (
     JobRecord,
     SchedulingCostStats,
     SimulationCollector,

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.metrics.analysis import SchedulerSummary
-from repro.metrics.report import (
+from repro.reporting.analysis import SchedulerSummary
+from repro.reporting.report import (
     comparison_table,
     hit_rate_table,
     pipeline_breakdown,

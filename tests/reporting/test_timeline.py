@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.metrics.timeline import TimelineSampler, sparkline
+from repro.reporting.timeline import TimelineSampler, sparkline
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
 from repro.workload.scenarios import scenario_1
 
@@ -40,7 +41,9 @@ class TestSamplerEndToEnd:
     @pytest.fixture(scope="class")
     def result(self):
         return run_simulation(
-            scenario_1(scale=0.1), "OURS", timeline_interval=0.25
+            scenario_1(scale=0.1),
+            "OURS",
+            config=RunConfig(timeline_interval=0.25),
         )
 
     def test_sample_count_matches_duration(self, result):
@@ -67,9 +70,13 @@ class TestSamplerEndToEnd:
 
     def test_sampler_does_not_prolong_simulation(self):
         with_tl = run_simulation(
-            scenario_1(scale=0.05), "OURS", drain=True, timeline_interval=0.2
+            scenario_1(scale=0.05),
+            "OURS",
+            config=RunConfig(drain=True, timeline_interval=0.2),
         )
-        without = run_simulation(scenario_1(scale=0.05), "OURS", drain=True)
+        without = run_simulation(
+            scenario_1(scale=0.05), "OURS", config=RunConfig(drain=True)
+        )
         assert with_tl.jobs_completed == without.jobs_completed
         # The sampler stops within one interval of quiescence.
         assert with_tl.simulated_time <= without.simulated_time + 0.2 + 1e-9

@@ -5,6 +5,7 @@ import pytest
 from repro.cluster.storage import StorageSpec
 from repro.core.chunks import dataset_suite
 from repro.sim.config import system_linux8
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import compare_schedulers, run_simulation
 from repro.util.units import GiB
 from repro.workload.actions import persistent_actions
@@ -50,7 +51,9 @@ class TestRunSimulation:
         assert a.hit_rate == b.hit_rate
 
     def test_cold_start_without_prewarm(self):
-        result = run_simulation(tiny_scenario(prewarm=False), "OURS", drain=True)
+        result = run_simulation(
+            tiny_scenario(prewarm=False), "OURS", config=RunConfig(drain=True)
+        )
         assert result.hit_rate < 1.0  # first touch of each chunk misses
         misses = result.tasks_executed - result.tasks_hit
         assert misses >= 8  # 2 datasets x 4 chunks at least once
@@ -74,7 +77,9 @@ class TestRunSimulation:
     def test_drain_completes_everything(self):
         # No prewarm and a short horizon: work outlives the trace.
         result = run_simulation(
-            tiny_scenario(duration=0.5, prewarm=False), "FCFS", drain=True
+            tiny_scenario(duration=0.5, prewarm=False),
+            "FCFS",
+            config=RunConfig(drain=True),
         )
         assert result.drained
         assert result.jobs_completed == result.jobs_submitted
@@ -84,8 +89,7 @@ class TestRunSimulation:
         result = run_simulation(
             tiny_scenario(duration=0.5, prewarm=False),
             "FCFS",
-            drain=True,
-            max_drain_time=0.2,
+            config=RunConfig(drain=True, max_drain_time=0.2),
         )
         assert result.simulated_time <= 0.5 + 0.2 + 1e-9
 
@@ -112,7 +116,9 @@ class TestCompareSchedulers:
 class TestNodeFailureInjection:
     def test_crash_schedule_survives(self):
         result = run_simulation(
-            tiny_scenario(duration=3.0), "OURS", node_failures=[(1.0, 1)]
+            tiny_scenario(duration=3.0),
+            "OURS",
+            config=RunConfig(node_failures=[(1.0, 1)]),
         )
         assert result.jobs_completed > 0
         # Degrades versus the healthy run but keeps serving.
@@ -124,5 +130,7 @@ class TestNodeFailureInjection:
 
         with _pytest.raises(ValueError, match="node_failures"):
             run_simulation(
-                tiny_scenario(duration=1.0), "OURS", node_failures=[(0.5, 99)]
+                tiny_scenario(duration=1.0),
+                "OURS",
+                config=RunConfig(node_failures=[(0.5, 99)]),
             )

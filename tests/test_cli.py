@@ -34,6 +34,28 @@ class TestParser:
         assert args.trace is None
         assert args.profile is False
 
+    def test_overload_flags_default_off(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.load == 1.0
+        assert args.admission is None
+        assert args.queue_limit is None
+        assert args.degrade is False
+
+    def test_overload_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "--load", "2.5",
+                "--admission", "sessions=8,rate=50",
+                "--queue-limit", "32:shed-oldest",
+                "--degrade",
+            ]
+        )
+        assert args.load == 2.5
+        assert args.admission == "sessions=8,rate=50"
+        assert args.queue_limit == "32:shed-oldest"
+        assert args.degrade is True
+
 
 class TestCommands:
     def test_schedulers_lists_all(self, capsys):
@@ -68,6 +90,55 @@ class TestCommands:
     def test_simulate_unknown_scheduler(self, capsys):
         assert main(["simulate", "--schedulers", "BOGUS"]) == 2
         assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_simulate_overloaded_with_frontend(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scenario", "2",
+                "--scale", "0.03",
+                "--load", "2.5",
+                "--admission", "sessions=8",
+                "--queue-limit", "32:shed-oldest",
+                "--degrade",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frontend:" in out
+        assert "forwarded" in out
+
+    def test_simulate_bad_admission_spec(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scenario", "2",
+                    "--scale", "0.03",
+                    "--admission", "bogus=1",
+                ]
+            )
+            == 2
+        )
+        assert "unknown --admission key" in capsys.readouterr().err
+
+    def test_simulate_bad_queue_limit(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scenario", "2",
+                    "--scale", "0.03",
+                    "--queue-limit", "fast",
+                ]
+            )
+            == 2
+        )
+        assert "bad --queue-limit" in capsys.readouterr().err
+
+    def test_simulate_load_rejected_on_scenario_1(self, capsys):
+        assert main(["simulate", "--scenario", "1", "--load", "2.0"]) == 2
+        assert "load" in capsys.readouterr().err
 
     def test_simulate_per_action(self, capsys):
         code = main(

@@ -77,6 +77,12 @@ class TestExamples:
         assert "p95 latency <= 0.25s" in out
         assert "framerate-SLO violation time" in out
 
+    def test_overload_management(self):
+        out = run_example("overload_management.py", "--scale", "0.05")
+        assert "offered load: 2.5x" in out
+        assert "frontend:" in out
+        assert "Admitted sessions" in out
+
     def test_trace_inspection(self, tmp_path):
         out = run_example(
             "trace_inspection.py", "--scale", "0.05",
