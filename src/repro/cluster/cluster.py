@@ -92,8 +92,17 @@ class Cluster:
     # -- wiring ------------------------------------------------------------
 
     def add_task_finish_listener(self, callback: TaskFinishCallback) -> None:
-        """Register a callback fired on every task completion."""
-        self._task_finish_listeners.append(callback)
+        """Register a callback fired on every task completion.
+
+        With exactly one listener (the common case: the service), nodes
+        call it directly; the fan-out wrapper is wired in only once a
+        second listener appears.
+        """
+        listeners = self._task_finish_listeners
+        listeners.append(callback)
+        target = callback if len(listeners) == 1 else self._notify_task_finish
+        for node in self.nodes:
+            node._on_task_finish = target
 
     def _notify_task_finish(self, node: RenderNode, task: RenderTask) -> None:
         for callback in self._task_finish_listeners:

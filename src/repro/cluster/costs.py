@@ -81,6 +81,14 @@ class CostParameters:
             raise ValueError(
                 f"render_jitter must be in [0, 1), got {self.render_jitter}"
             )
+        # Derived-cost memo tables.  The simulator evaluates render_time
+        # for every placement decision *and* every task execution, but a
+        # run only ever sees a handful of distinct (chunk size, group
+        # size) pairs; composite_time likewise.  Stashed around the
+        # frozen-dataclass guard; ``replace()`` builds fresh (empty)
+        # memos on the copy.
+        object.__setattr__(self, "_render_memo", {})
+        object.__setattr__(self, "_composite_memo", {})
 
     # -- derived costs -----------------------------------------------------
 
@@ -90,24 +98,31 @@ class CostParameters:
         ``group_size`` is the number of tasks/nodes participating in the
         owning job (the render group ``G`` of Definition 2).
         """
-        stages = swap_stage_count(max(1, group_size))
-        return (
-            self.render_base
-            + self.render_per_pixel * self.image_pixels
-            + self.render_per_byte * chunk_bytes
-            + self.group_stage_overhead * stages
-        )
+        key = (chunk_bytes, group_size)
+        t = self._render_memo.get(key)
+        if t is None:
+            stages = swap_stage_count(max(1, group_size))
+            t = self._render_memo[key] = (
+                self.render_base
+                + self.render_per_pixel * self.image_pixels
+                + self.render_per_byte * chunk_bytes
+                + self.group_stage_overhead * stages
+            )
+        return t
 
     def composite_time(self, group_size: int) -> float:
         """Image-compositing time for a render group of ``group_size``.
 
         Runs on the compositing thread; extends job finish time only.
         """
-        stages = swap_stage_count(max(1, group_size))
-        return (
-            self.composite_stage_latency * stages
-            + self.composite_per_pixel * self.image_pixels
-        )
+        t = self._composite_memo.get(group_size)
+        if t is None:
+            stages = swap_stage_count(max(1, group_size))
+            t = self._composite_memo[group_size] = (
+                self.composite_stage_latency * stages
+                + self.composite_per_pixel * self.image_pixels
+            )
+        return t
 
     def with_overrides(self, **kwargs: float) -> "CostParameters":
         """Return a copy with the given fields replaced."""

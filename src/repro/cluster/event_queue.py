@@ -21,6 +21,8 @@ from typing import Any, Callable, List, Optional, Tuple
 
 EventCallback = Callable[..., None]
 
+_INF = float("inf")
+
 #: Priority constants: lower fires first among events at the same time.
 PRIORITY_COMPLETION = 0  # task/IO completions observed before new decisions
 PRIORITY_ARRIVAL = 1  # job arrivals
@@ -116,27 +118,48 @@ class EventQueue:
 
         Args:
             until: If given, stop before executing any event strictly after
-                this time; the clock is then advanced to ``until`` so that a
-                subsequent ``run`` resumes consistently.
+                this time.  The clock advances to ``until`` only once every
+                event at or before ``until`` has executed; a ``max_events``
+                stop with earlier events still pending leaves the clock at
+                the last executed event, so a resumed ``run`` (or ``step``)
+                can never move time backwards.
             max_events: Optional safety budget on the number of events.
 
         Returns:
             The number of events executed by this call.
         """
         heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while heap:
-            if max_events is not None and executed >= max_events:
-                break
-            time, _prio, _seq, callback, args = heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(heap)
-            self._now = time
-            self._processed += 1
-            executed += 1
-            callback(*args)
-        if until is not None and self._now < until:
+        until_t = _INF if until is None else until
+        if max_events is None:
+            # Hot path: no budget, bare drain-to-`until` loop.
+            while heap:
+                item = heap[0]
+                t = item[0]
+                if t > until_t:
+                    break
+                pop(heap)
+                self._now = t
+                self._processed += 1
+                executed += 1
+                item[3](*item[4])
+        else:
+            while heap and executed < max_events:
+                item = heap[0]
+                t = item[0]
+                if t > until_t:
+                    break
+                pop(heap)
+                self._now = t
+                self._processed += 1
+                executed += 1
+                item[3](*item[4])
+        if (
+            until is not None
+            and self._now < until
+            and (not heap or heap[0][0] > until)
+        ):
             self._now = until
         return executed
 

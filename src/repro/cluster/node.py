@@ -61,11 +61,14 @@ class RenderNode:
         "queue",
         "executors",
         "_cost",
+        "_render_memo_get",
         "_storage",
         "_events",
         "_vram",
         "_on_task_finish",
         "_rng",
+        "_jitter_buf",
+        "_jitter_pos",
         "_running",
         "_loading",
         "_alive",
@@ -105,6 +108,9 @@ class RenderNode:
         self.cache = LRUChunkCache(memory_quota)
         self.queue: Deque[RenderTask] = deque()
         self._cost = cost
+        # Bound getter on the shared render-time memo (cf. the head-node
+        # tables): execution probes it once per task.
+        self._render_memo_get = cost._render_memo.get
         self._storage = storage
         self._events = events
         self._vram: Optional[GpuMemoryModel] = (
@@ -112,6 +118,12 @@ class RenderNode:
         )
         self._on_task_finish = on_task_finish
         self._rng = rng
+        # Jitter draws are consumed one per executed task; scalar
+        # ``Generator.uniform`` calls are slow, so draws are pre-fetched
+        # in blocks (bit-identical: a block draw consumes the PCG64
+        # stream exactly as the same number of scalar draws would).
+        self._jitter_buf: list = []
+        self._jitter_pos = 0
         self._running: list = []
         # Tasks with an active storage stream (keeps end_load balanced
         # across completions, crashes, and timed-out attempts).
@@ -266,23 +278,29 @@ class RenderNode:
                 f"cannot enqueue on node {self.node_id}"
             )
         task.node = self.node_id
-        self.queue.append(task)
-        while self.queue and not self.saturated:
+        queue = self.queue
+        queue.append(task)
+        running = self._running
+        executors = self.executors
+        while queue and len(running) < executors:
             self._begin_next()
 
     def _begin_next(self) -> None:
         """Pop the next task; load its chunk (or hit) and execute."""
         task = self.queue.popleft()
-        now = self._events.now
         self._running.append(task)
-        task.start_time = now
+        task.start_time = self._events._now
 
-        hit = self.cache.touch(task.chunk)
-        task.cache_hit = hit
-        if hit:
+        # Inlined self.cache.touch — this is the per-task hit test.
+        chunk = task.chunk
+        entries = self.cache._entries
+        if chunk in entries:
+            entries.move_to_end(chunk)
+            task.cache_hit = True
             self.cache_hits += 1
             self._commit_execution(task, io_time=0.0)
         else:
+            task.cache_hit = False
             self.cache_misses += 1
             self._attempt_load(task, 0, 0.0)
 
@@ -301,7 +319,7 @@ class RenderNode:
             # Crash or re-dispatch (§VI-D) voided this load while the
             # retry was backing off.
             return
-        now = self._events.now
+        now = self._events._now
         chunk = task.chunk
         io_time = self._storage.begin_load(chunk.size)
         spec = self._storage.spec
@@ -340,19 +358,32 @@ class RenderNode:
         attempts; it is part of the task's I/O accounting but not of the
         remaining execution (it has already elapsed in event time).
         """
-        now = self._events.now
+        now = self._events._now
         chunk = task.chunk
         hit = task.cache_hit
         upload_time = self._vram.access(chunk) if self._vram is not None else 0.0
-        render_time = self._cost.render_time(
-            chunk.size, task.job.composite_group_size
+        cost = self._cost
+        render_time = self._render_memo_get(
+            (chunk.size, task.job.composite_group_size)
         )
-        jitter = self._cost.render_jitter
+        if render_time is None:
+            render_time = cost.render_time(
+                chunk.size, task.job.composite_group_size
+            )
+        jitter = cost.render_jitter
         if jitter and self._rng is not None:
             # Actual frame cost varies with the view; the head node's
             # estimates use the mean (prediction error is corrected at
             # completion, §V-B).
-            render_time *= 1.0 + jitter * float(self._rng.uniform(-1.0, 1.0))
+            pos = self._jitter_pos
+            buf = self._jitter_buf
+            if pos >= len(buf):
+                buf = self._jitter_buf = self._rng.uniform(
+                    -1.0, 1.0, 256
+                ).tolist()
+                pos = 0
+            self._jitter_pos = pos + 1
+            render_time *= 1.0 + jitter * buf[pos]
 
         task.io_time = waited + io_time
         self.io_seconds += waited + io_time
@@ -437,7 +468,7 @@ class RenderNode:
             # The node crashed while this task was in flight; the stale
             # completion event is void (the task was re-dispatched).
             return
-        now = self._events.now
+        now = self._events._now
         task.finish_time = now
         self.last_finish_time = now
         self.busy_time += now - task.start_time  # type: ignore[operator]
@@ -445,14 +476,17 @@ class RenderNode:
         if task in self._loading:
             self._loading.discard(task)
             self._storage.end_load(task.chunk.size)
-        self._running.remove(task)
+        running = self._running
+        running.remove(task)
         if self._tracer is not None:
             slot = self._slot_of.pop(task, None)
             if slot is not None:
                 self._free_slots.append(slot)
         if self._on_task_finish is not None:
             self._on_task_finish(self, task)
-        while self.queue and not self.saturated and self._alive:
+        queue = self.queue
+        executors = self.executors
+        while queue and len(running) < executors and self._alive:
             self._begin_next()
 
     def fail(self) -> "list":

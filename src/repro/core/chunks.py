@@ -20,19 +20,24 @@ chunk.  The paper discusses two decomposition strategies:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 from repro.util.units import fmt_bytes
 from repro.util.validation import check_positive
 
 
-@dataclass(frozen=True)
-class Chunk:
+class Chunk(NamedTuple):
     """One piece of a dataset, the unit of caching and task assignment.
 
     Chunks are identified by ``(dataset, index)`` and are hashable so they
     can key the head node's ``Cache`` and ``Estimate`` tables directly.
+    A named tuple rather than a frozen dataclass: chunks key every hot
+    dict in the scheduler (caches, replica sets, backlogs, estimates),
+    and tuple hashing/equality run at C level with no Python frame —
+    producing the same hash value ``hash((dataset, index, size))`` the
+    previous dataclass precomputed, so hash-ordered containers are laid
+    out identically.
 
     Attributes:
         dataset: Name of the owning dataset.

@@ -122,6 +122,7 @@ class RenderJob:
         "chunk_fraction",
         "tasks",
         "composite_group_size",
+        "tasks_left",
         "finish_time",
     )
 
@@ -147,6 +148,9 @@ class RenderJob:
         # Number of distinct participants assumed for compositing-cost
         # purposes; set at decomposition (== task count upper bound).
         self.composite_group_size: int = 0
+        # Tasks not yet finished; set at decomposition, decremented by
+        # the service on each task completion (0 again == job done).
+        self.tasks_left: int = 0
         self.finish_time: Optional[float] = None
 
     # -- decomposition ----------------------------------------------------
@@ -169,6 +173,7 @@ class RenderJob:
                 chunks = chunks[:keep]
             self.tasks = [RenderTask(self, j, c) for j, c in enumerate(chunks)]
             self.composite_group_size = len(self.tasks)
+            self.tasks_left = len(self.tasks)
         return self.tasks
 
     @property

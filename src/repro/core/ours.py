@@ -25,18 +25,25 @@ queue and schedules in four phases:
    a node busy with interactive work must not start a cold batch load.
 
 Algorithm 1 runs all four phases every cycle; in particular the batch
-backlog is re-sorted each time, which is the O(p x m log m) scheduling
-cost the paper measures in Fig. 9 (it grows with the number of data
-chunks in play).  The constructor's ``early_exit`` flag enables an
-optimization beyond the paper — skipping the batch phases outright when
-every node is already booked past λ — which flattens that cost curve;
-the Fig. 9 bench reports both variants.
+backlog is (logically) re-sorted each time, which is the O(p x m log m)
+scheduling cost the paper measures in Fig. 9 (it grows with the number
+of data chunks in play).  This implementation serves that ordering from
+the incrementally maintained
+:class:`~repro.core.tables.ReplicaBucketIndex` on the head-node tables —
+replica-count changes are folded in at phase-4 entry instead of
+rebuilding the order from scratch — which is bit-identical to the
+re-sort (the ``backlog_chunks_sorted`` counter still measures the
+algorithmic work Fig. 9 reports; ``backlog_sorts_avoided`` counts the
+chunk keys the index did *not* have to re-order).  The constructor's
+``early_exit`` flag enables an optimization beyond the paper — skipping
+the batch phases outright when every node is already booked past λ —
+which flattens that cost curve; the Fig. 9 bench reports both variants.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.chunks import Chunk
 from repro.core.job import JobType, RenderJob, RenderTask
@@ -66,21 +73,35 @@ class OursScheduler(Scheduler):
         self.cycle = cycle
         self.early_exit = early_exit
         #: Deterministic work counters (cycles run; total chunk keys
-        #: sorted by the non-cached batch phase) — used by the Fig. 9
+        #: ordered by the non-cached batch phase) — used by the Fig. 9
         #: analysis, which must not depend on wall-clock noise.
         self.cycles_run = 0
         self.backlog_chunks_sorted = 0
+        #: Chunk keys the incremental index served without re-ordering
+        #: (``backlog_chunks_sorted`` minus the re-bucketed ones) —
+        #: the work a per-cycle full re-sort would have repeated.
+        self.backlog_sorts_avoided = 0
         #: H_B backlog: chunk -> FIFO of deferred batch tasks, in first-
         #: arrival order of chunks (OrderedDict preserves it).
         self._batch_backlog: "OrderedDict[Chunk, Deque[RenderTask]]" = OrderedDict()
+        #: O(1)-maintained total of tasks across the backlog deques.
+        self._pending_tasks = 0
+        #: The tables' backlog index this scheduler last populated (so
+        #: ``reset`` can clear membership it added).
+        self._index = None
 
     def reset(self) -> None:
         self._batch_backlog.clear()
         self.cycles_run = 0
         self.backlog_chunks_sorted = 0
+        self.backlog_sorts_avoided = 0
+        self._pending_tasks = 0
+        if self._index is not None:
+            self._index.clear()
+            self._index = None
 
     def pending_task_count(self) -> int:
-        return sum(len(dq) for dq in self._batch_backlog.values())
+        return self._pending_tasks
 
     # -- Algorithm 1 --------------------------------------------------------
 
@@ -88,44 +109,62 @@ class OursScheduler(Scheduler):
         now = ctx.now
         lam = now + self.cycle  # λ — the next scheduling time
         tables = ctx.tables
+        index = self._index = tables.backlog_index
         self.cycles_run += 1
 
         # Phase 1: decompose jobs and categorize tasks by chunk/type.
-        h_interactive: "OrderedDict[Chunk, List[RenderTask]]" = OrderedDict()
+        # (Skipped outright on the frequent no-arrival cycles that only
+        # drain backlog.)
         backlog = self._batch_backlog
-        for job in jobs:
-            tasks = ctx.decompose(job)
-            if job.job_type is JobType.INTERACTIVE:
-                for task in tasks:
-                    bucket = h_interactive.get(task.chunk)
-                    if bucket is None:
-                        h_interactive[task.chunk] = [task]
-                    else:
-                        bucket.append(task)
-            else:
-                for task in tasks:
-                    dq = backlog.get(task.chunk)
-                    if dq is None:
-                        backlog[task.chunk] = deque((task,))
-                    else:
-                        dq.append(task)
+        h_interactive: "Optional[OrderedDict[Chunk, List[RenderTask]]]" = None
+        if jobs:
+            h_interactive = OrderedDict()
+            decompose = ctx.decompose
+            interactive_get = h_interactive.get
+            backlog_get = backlog.get
+            for job in jobs:
+                tasks = decompose(job)
+                if job.job_type is JobType.INTERACTIVE:
+                    for task in tasks:
+                        bucket = interactive_get(task.chunk)
+                        if bucket is None:
+                            h_interactive[task.chunk] = [task]
+                        else:
+                            bucket.append(task)
+                else:
+                    self._pending_tasks += len(tasks)
+                    for task in tasks:
+                        dq = backlog_get(task.chunk)
+                        if dq is None:
+                            backlog[task.chunk] = deque((task,))
+                            index.add(task.chunk)
+                        else:
+                            dq.append(task)
 
         # Phase 2: interactive chunks — cached first, then non-cached in
         # descending Estimate order (longest processing time first).
         if h_interactive:
-            cached: List[Chunk] = []
-            noncached: List[Tuple[float, int, Chunk]] = []
+            cached: List[tuple] = []
+            noncached: List[tuple] = []
+            replicas_get = tables._replicas.get
+            estimate = tables.estimate
             for order, (chunk, tasks) in enumerate(h_interactive.items()):
-                if tables.replica_count(chunk) > 0:
-                    cached.append(chunk)
+                replicas = replicas_get(chunk)
+                if replicas:
+                    cached.append((chunk, tasks, replicas))
                 else:
                     group = tasks[0].job.composite_group_size
-                    noncached.append((-tables.estimate(chunk, group), order, chunk))
+                    # ``order`` is unique, so the sort never compares the
+                    # trailing (unorderable) task lists.
+                    noncached.append(
+                        (-estimate(chunk, group), order, chunk, tasks)
+                    )
             noncached.sort()
-            for chunk in cached:
-                self._place_interactive_chunk(chunk, h_interactive[chunk], ctx)
-            for _neg_est, _order, chunk in noncached:
-                self._place_interactive_chunk(chunk, h_interactive[chunk], ctx)
+            place = self._place_interactive_chunk
+            for chunk, tasks, replicas in cached:
+                place(chunk, tasks, ctx, tables, now, replicas)
+            for _neg_est, _order, chunk, tasks in noncached:
+                place(chunk, tasks, ctx, tables, now, None)
 
         if not backlog:
             return
@@ -147,25 +186,45 @@ class OursScheduler(Scheduler):
         chunk: Chunk,
         tasks: List[RenderTask],
         ctx: SchedulerContext,
+        tables,
+        now: float,
+        replicas,
     ) -> None:
-        """Assign every interactive task on ``chunk`` to one best node."""
-        tables = ctx.tables
-        now = ctx.now
+        """Assign every interactive task on ``chunk`` to one best node.
+
+        Hot path (once per interactive chunk per cycle): the table
+        accessors (``predicted_available``, ``exec_estimate``) are
+        inlined here — same arithmetic, no per-probe call overhead.
+        ``replicas`` is ``tables``' live cached-node set for ``chunk``
+        (or ``None``); membership is equivalent to the per-node mirror
+        test by the tables' replica invariant.
+        """
         group = tasks[0].job.composite_group_size
-        render = ctx.cost.render_time(chunk.size, group)
-        best = tables.min_available_node()
-        best_score = tables.predicted_available(best, now) + tables.exec_estimate(
-            chunk, best, group
-        )
-        for k in tables.cached_nodes(chunk):
-            if k == best:
-                continue
-            score = tables.predicted_available(k, now) + render
-            if score < best_score:
-                best_score = score
-                best = k
+        render = tables._render_memo_get((chunk.size, group))
+        if render is None:
+            render = tables.cost.render_time(chunk.size, group)
+        available = tables.available
+        # heap.min_node() inlined (``heap`` wraps this same list).
+        best = available.index(min(available))
+        t = available[best]
+        if t < now:
+            t = now
+        if replicas is not None and best in replicas:
+            best_score = t + render
+        else:
+            best_score = t + (tables.io_estimate(chunk) + render)
+        if replicas:
+            for k in replicas:
+                if k == best:
+                    continue
+                t = available[k]
+                score = (t if t > now else now) + render
+                if score < best_score:
+                    best_score = score
+                    best = k
+        assign = ctx.assign
         for task in tasks:
-            ctx.assign(task, best)
+            assign(task, best)
 
     # -- phase 3: cached batch --------------------------------------------------
 
@@ -174,8 +233,12 @@ class OursScheduler(Scheduler):
         tables = ctx.tables
         now = ctx.now
         backlog = self._batch_backlog
+        index = tables.backlog_index
+        available = tables.available
+        assign = ctx.assign
         for k in range(ctx.node_count):
-            if tables.predicted_available(k, now) >= lam:
+            t = available[k]
+            if (t if t > now else now) >= lam:
                 continue
             # Scan the node's mirrored cache (bounded by quota/chunk-size)
             # rather than the whole backlog.
@@ -183,45 +246,72 @@ class OursScheduler(Scheduler):
                 dq = backlog.get(chunk)
                 if dq is None:
                     continue
-                while dq and tables.predicted_available(k, now) < lam:
-                    ctx.assign(dq.popleft(), k)
+                while dq:
+                    t = available[k]
+                    if (t if t > now else now) >= lam:
+                        break
+                    assign(dq.popleft(), k)
+                    self._pending_tasks -= 1
                 if not dq:
                     del backlog[chunk]
-                if tables.predicted_available(k, now) >= lam:
+                    index.discard(chunk)
+                t = available[k]
+                if (t if t > now else now) >= lam:
                     break
 
     # -- phase 4: non-cached batch -------------------------------------------------
 
     def _schedule_noncached_batch(self, lam: float, ctx: SchedulerContext) -> None:
-        """Place cold batch tasks on interactively idle nodes."""
+        """Place cold batch tasks on interactively idle nodes.
+
+        Backlog chunks are consumed by cached-replica count, fewest
+        first (ties keep first-arrival order), from the incrementally
+        maintained :class:`~repro.core.tables.ReplicaBucketIndex` —
+        ``begin_pass`` folds in the replica-count changes accumulated
+        since the previous cycle, which is exactly the view the
+        per-cycle re-sort used to compute (counts read once at phase-4
+        entry, frozen for the rest of the phase).
+        """
         tables = ctx.tables
         now = ctx.now
         backlog = self._batch_backlog
-        # Sort remaining backlog chunks by cached-replica count, fewest
-        # first; ties keep first-arrival order (OrderedDict iteration).
+        index = tables.backlog_index
         self.backlog_chunks_sorted += len(backlog)
-        order: Deque[Chunk] = deque(
-            sorted(backlog.keys(), key=tables.replica_count)
-        )
+        self.backlog_sorts_avoided += len(backlog) - index.begin_pass()
+        available = tables.available
+        assign = ctx.assign
         for k in range(ctx.node_count):
-            if not order:
+            chunk = index.peek()
+            if chunk is None:
                 break
             idle_for = now - tables.last_interactive_assign[k]
-            while order and tables.predicted_available(k, now) < lam:
-                chunk = order[0]
+            while True:
+                t = available[k]
+                if (t if t > now else now) >= lam:
+                    break
                 dq = backlog.get(chunk)
                 if dq is None or not dq:
-                    order.popleft()
+                    # Defensive: a chunk tracked by the index but absent
+                    # from the backlog (should not occur; both are
+                    # updated in lockstep).
+                    index.discard(chunk)
                     backlog.pop(chunk, None)
+                    chunk = index.peek()
+                    if chunk is None:
+                        return
                     continue
                 group = dq[0].job.composite_group_size
                 epsilon = tables.estimate(chunk, group) / 2.0
                 if idle_for <= epsilon:
                     break  # node recently served interactive work
-                ctx.assign(dq.popleft(), k)
+                assign(dq.popleft(), k)
+                self._pending_tasks -= 1
                 if not dq:
                     del backlog[chunk]
-                    order.popleft()
+                    index.discard(chunk)
+                    chunk = index.peek()
+                    if chunk is None:
+                        return
 
 
 __all__ = ["OursScheduler"]

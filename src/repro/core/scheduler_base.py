@@ -22,8 +22,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, NamedTuple, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.costs import CostParameters
@@ -40,9 +39,12 @@ class Trigger(enum.Enum):
     WINDOW = "window"
 
 
-@dataclass(frozen=True)
-class Assignment:
-    """One placement decision: run ``task`` on node ``node``."""
+class Assignment(NamedTuple):
+    """One placement decision: run ``task`` on node ``node``.
+
+    One instance exists per task placement; a named tuple keeps the
+    per-assignment cost to a C-level allocation of two references.
+    """
 
     task: RenderTask
     node: int
@@ -72,6 +74,8 @@ class SchedulerContext:
         "tracer",
         "metrics",
         "_assignments",
+        "_events",
+        "_node_count",
     )
 
     def __init__(
@@ -89,16 +93,21 @@ class SchedulerContext:
         self.tracer = tracer
         self.metrics = metrics
         self._assignments: List[Assignment] = []
+        # Hot-path caches: the event queue (clock reads) and the node
+        # count (fixed for a cluster's lifetime; failed nodes keep their
+        # slot) — scheduling probes them constantly.
+        self._events = cluster.events
+        self._node_count = cluster.node_count
 
     @property
     def now(self) -> float:
         """Current simulation time."""
-        return self.cluster.now
+        return self._events._now
 
     @property
     def node_count(self) -> int:
         """Number of rendering nodes ``p``."""
-        return self.cluster.node_count
+        return self._node_count
 
     @property
     def cost(self) -> CostParameters:
@@ -111,9 +120,9 @@ class SchedulerContext:
 
     def assign(self, task: RenderTask, node: int) -> None:
         """Place ``task`` on ``node``, updating the head-node tables."""
-        if not 0 <= node < self.cluster.node_count:
+        if not 0 <= node < self._node_count:
             raise ValueError(f"node {node} out of range")
-        self.tables.record_assignment(task, node, self.now)
+        self.tables.record_assignment(task, node, self._events._now)
         self._assignments.append(Assignment(task, node))
 
     def take_assignments(self) -> List[Assignment]:

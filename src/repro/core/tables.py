@@ -20,11 +20,18 @@ state at the corresponding point of its task sequence.
 Implementation notes — schedulers make O(jobs x tasks) placement queries
 per second, so the table operations are designed to be cheap:
 
-* a lazy-deletion binary heap answers "node with minimal available time"
-  in amortized O(log p) (the greedy step of every scheduler here);
+* "node with minimal available time" (the greedy step of every
+  scheduler here) is a single C-level ``min`` scan over the shared
+  available-time list — see :class:`NodeAvailabilityHeap`;
 * locality-aware scoring needs only the cached replica set of a chunk
-  (usually 0-2 nodes) plus that heap top, because among non-cached nodes
-  the I/O penalty is uniform and the min-available node dominates.
+  (usually 0-2 nodes) plus that minimum, because among non-cached nodes
+  the I/O penalty is uniform and the min-available node dominates;
+* the per-chunk I/O and placement estimates are memoized
+  (:meth:`SchedulerTables.io_estimate` / :meth:`SchedulerTables.estimate`),
+  invalidated per chunk when a measurement or replica set changes;
+* the OURS batch backlog keeps chunks bucketed by replica count
+  incrementally (:class:`ReplicaBucketIndex`) instead of re-sorting the
+  whole backlog every scheduling cycle.
 """
 
 from __future__ import annotations
@@ -41,55 +48,217 @@ from repro.core.job import JobType, RenderTask
 
 
 class NodeAvailabilityHeap:
-    """Lazy-deletion min-heap over (available_time, node).
+    """Min-available-node view over the shared available-time list.
 
-    ``update`` pushes a fresh entry; stale entries are skipped on pop.
+    Historically a lazy-deletion heap; at the cluster sizes the paper
+    studies (p ≤ 64) a single C-level ``min`` scan over the shared list
+    beats maintaining heap entries on every table update (two updates
+    per task — assignment and completion — versus one query per
+    placement).  The shared list *is* the state, so :meth:`update` is a
+    no-op kept for API compatibility; ties resolve to the smallest node
+    id exactly as the ``(time, node)`` heap ordering did.
     """
 
-    __slots__ = ("_heap", "_current")
+    __slots__ = ("_current",)
 
     def __init__(self, available: List[float]) -> None:
         self._current = available  # shared, owned by SchedulerTables
-        self._heap: List[Tuple[float, int]] = [
-            (t, k) for k, t in enumerate(available)
-        ]
-        heapq.heapify(self._heap)
 
     def update(self, node: int) -> None:
-        """Record that ``node``'s available time changed."""
-        heapq.heappush(self._heap, (self._current[node], node))
+        """Record that ``node``'s available time changed (no-op)."""
 
     def min_node(self) -> int:
-        """Node with the smallest available time (amortized O(log p))."""
-        heap = self._heap
-        while True:
-            t, k = heap[0]
-            if t == self._current[k]:
-                return k
-            heapq.heappop(heap)
+        """Node with the smallest available time (O(p) C-level scan)."""
+        current = self._current
+        return current.index(min(current))
 
     def min_node_excluding(self, excluded: Set[int]) -> Optional[int]:
-        """Min-available node not in ``excluded`` (None if all excluded).
+        """Min-available node not in ``excluded`` (None if all excluded)."""
+        best: Optional[int] = None
+        best_t = math.inf
+        for k, t in enumerate(self._current):
+            if t < best_t and k not in excluded:
+                best = k
+                best_t = t
+        if best is None and len(excluded) < len(self._current):
+            # Every candidate sits at +inf (all failed); still prefer
+            # the first non-excluded slot, as the heap ordering did.
+            for k in range(len(self._current)):
+                if k not in excluded:
+                    return k
+        return best
 
-        Pops through excluded/stale entries non-destructively by scanning
-        a temporary side list; O(|excluded| log p) amortized.
+
+class ReplicaBucketIndex:
+    """Incrementally maintained replica-count ordering of a chunk set.
+
+    OURS' non-cached batch phase consumes backlog chunks ordered by
+    ``(replica count, first-arrival order)``, fewest replicas first.
+    Algorithm 1 re-sorts the whole backlog every scheduling cycle — the
+    O(p x m log m) cost the paper measures in Fig. 9.  This index keeps
+    that ordering incrementally: the tables report replica-count changes
+    (cache insert / evict / node failure) as they happen, and the index
+    re-buckets only the affected chunks.
+
+    The subtle part is *when* a count change may take effect.  The
+    reference implementation reads replica counts once, at phase-4
+    entry, and the resulting order stays frozen for the rest of the
+    phase even though assignments made *during* the phase mutate the
+    counts.  The index reproduces that exactly:
+
+    * changes reported via :meth:`count_changed` only land in a dirty
+      set;
+    * :meth:`begin_pass` — called at phase-4 entry — folds the dirty
+      set in;
+    * between ``begin_pass`` calls the observable order never moves.
+
+    Entries live in per-count lazy-deletion min-heaps keyed by arrival
+    sequence number (monotonic, re-issued when a chunk re-enters after
+    being drained — mirroring ``OrderedDict`` re-insertion at the end).
+    An entry is valid iff it matches ``_recorded[chunk]``; stale entries
+    are dropped when :meth:`peek` meets them.
+    """
+
+    __slots__ = ("_tables", "_recorded", "_buckets", "_count_heap", "_dirty", "_seq")
+
+    def __init__(self, tables: "SchedulerTables") -> None:
+        self._tables = tables
+        #: chunk -> (count, seq) of its single valid entry.
+        self._recorded: Dict[Chunk, Tuple[int, int]] = {}
+        #: count -> lazy-deletion min-heap of (seq, chunk).
+        self._buckets: Dict[int, List[Tuple[int, Chunk]]] = {}
+        #: lazy min-heap over bucket keys (may hold duplicates).
+        self._count_heap: List[int] = []
+        #: chunks whose live count may differ from the recorded one.
+        self._dirty: Dict[Chunk, None] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._recorded)
+
+    def __contains__(self, chunk: Chunk) -> bool:
+        return chunk in self._recorded
+
+    def _push(self, count: int, seq: int, chunk: Chunk) -> None:
+        bucket = self._buckets.get(count)
+        if bucket is None:
+            self._buckets[count] = [(seq, chunk)]
+            heapq.heappush(self._count_heap, count)
+        else:
+            heapq.heappush(bucket, (seq, chunk))
+
+    def add(self, chunk: Chunk) -> None:
+        """Track ``chunk`` at its *current* replica count.
+
+        Call when the chunk enters the backlog; a fresh sequence number
+        places it after every chunk already tracked (ties by count).
         """
-        heap = self._heap
-        popped: List[Tuple[float, int]] = []
-        result: Optional[int] = None
-        while heap:
-            t, k = heap[0]
-            if t != self._current[k]:
-                heapq.heappop(heap)
+        count = self._tables.replica_count(chunk)
+        seq = self._seq
+        self._seq = seq + 1
+        self._recorded[chunk] = (count, seq)
+        self._push(count, seq, chunk)
+        self._dirty.pop(chunk, None)
+
+    def discard(self, chunk: Chunk) -> None:
+        """Stop tracking ``chunk`` (no-op when untracked)."""
+        self._recorded.pop(chunk, None)
+        self._dirty.pop(chunk, None)
+
+    def count_changed(self, chunk: Chunk) -> None:
+        """Note that ``chunk``'s replica count changed.
+
+        O(1); buffered until the next :meth:`begin_pass` so the order
+        observed by an in-progress phase stays frozen.  No-op for
+        untracked chunks (every cache insert/evict reports here, but
+        only backlog members matter).
+        """
+        if chunk in self._recorded:
+            self._dirty[chunk] = None
+
+    def begin_pass(self) -> int:
+        """Fold buffered count changes in; start a new frozen view.
+
+        Returns the number of chunks actually re-bucketed (0 when the
+        pass is served fully incrementally).
+        """
+        if not self._dirty:
+            return 0
+        tables = self._tables
+        recorded = self._recorded
+        moved = 0
+        for chunk in self._dirty:
+            entry = recorded.get(chunk)
+            if entry is None:
                 continue
-            if k in excluded:
-                popped.append(heapq.heappop(heap))
+            count = tables.replica_count(chunk)
+            if count == entry[0]:
                 continue
-            result = k
-            break
-        for entry in popped:
-            heapq.heappush(heap, entry)
-        return result
+            seq = entry[1]
+            recorded[chunk] = (count, seq)
+            self._push(count, seq, chunk)
+            moved += 1
+        self._dirty.clear()
+        return moved
+
+    def peek(self) -> Optional[Chunk]:
+        """The tracked chunk minimal in ``(recorded count, seq)`` order."""
+        buckets = self._buckets
+        recorded = self._recorded
+        count_heap = self._count_heap
+        while count_heap:
+            count = count_heap[0]
+            bucket = buckets.get(count)
+            if bucket:
+                while bucket:
+                    entry = bucket[0]
+                    chunk = entry[1]
+                    if recorded.get(chunk) == (count, entry[0]):
+                        return chunk
+                    heapq.heappop(bucket)
+            if not bucket and bucket is not None:
+                del buckets[count]
+            heapq.heappop(count_heap)
+        return None
+
+    def clear(self) -> None:
+        """Forget all tracked chunks and buffered changes."""
+        self._recorded.clear()
+        self._buckets.clear()
+        self._count_heap.clear()
+        self._dirty.clear()
+        self._seq = 0
+
+    def check_invariants(self) -> None:
+        """Assert internal consistency (test helper).
+
+        * every tracked chunk's valid entry is present in the bucket its
+          recorded count names, and that bucket's key is reachable from
+          the count heap;
+        * no chunk has two valid entries;
+        * a tracked chunk that is *not* dirty records the live replica
+          count (dirty chunks are allowed to lag until ``begin_pass``).
+        """
+        valid: Dict[Chunk, Tuple[int, int]] = {}
+        reachable = set(self._count_heap)
+        for count, bucket in self._buckets.items():
+            if count not in reachable:
+                raise AssertionError(f"bucket {count} unreachable from count heap")
+            for seq, chunk in bucket:
+                if self._recorded.get(chunk) == (count, seq):
+                    if chunk in valid:
+                        raise AssertionError(f"duplicate valid entry for {chunk}")
+                    valid[chunk] = (count, seq)
+        for chunk, entry in self._recorded.items():
+            if valid.get(chunk) != entry:
+                raise AssertionError(f"no valid bucket entry for {chunk}")
+            if chunk not in self._dirty:
+                live = self._tables.replica_count(chunk)
+                if live != entry[0]:
+                    raise AssertionError(
+                        f"clean entry for {chunk} records count {entry[0]} "
+                        f"but live count is {live}"
+                    )
 
 
 class SchedulerTables:
@@ -102,6 +271,25 @@ class SchedulerTables:
         cost: Rendering cost constants (for execution-time estimates).
         storage: The cluster's storage model (seeds ``Estimate``).
     """
+
+    __slots__ = (
+        "node_count",
+        "cost",
+        "_storage",
+        "executors_per_node",
+        "available",
+        "heap",
+        "mirrors",
+        "_replicas",
+        "_io_estimate",
+        "_estimate_memo",
+        "last_interactive_assign",
+        "_pending_est",
+        "_pending_per_node",
+        "alive",
+        "backlog_index",
+        "_render_memo_get",
+    )
 
     def __init__(
         self,
@@ -127,8 +315,19 @@ class SchedulerTables:
         ]
         #: Reverse index: chunk -> set of node ids caching it.
         self._replicas: Dict[Chunk, Set[int]] = {}
+        #: Replica-count ordering of the OURS batch backlog, maintained
+        #: incrementally from cache insert/evict/fail events (membership
+        #: is driven by the scheduler).
+        self.backlog_index = ReplicaBucketIndex(self)
+        #: Bound getter on the cost model's render-time memo: hot paths
+        #: probe the memo directly and only fall back to
+        #: ``cost.render_time`` on the first sight of a key.
+        self._render_memo_get = cost._render_memo.get
         #: Estimate[c] — latest known I/O time per chunk.
         self._io_estimate: Dict[Chunk, float] = {}
+        #: Memoized ``estimate()`` results: chunk -> {group_size: est},
+        #: dropped per chunk when a completion revises ``Estimate[c]``.
+        self._estimate_memo: Dict[Chunk, Dict[int, float]] = {}
         #: Last time an interactive task was assigned to each node.
         self.last_interactive_assign: List[float] = [-float("inf")] * node_count
         #: Predicted execution time of each in-flight task (for correction).
@@ -155,17 +354,27 @@ class SchedulerTables:
     def _mirror_access(self, chunk: Chunk, node: int) -> bool:
         """Apply the LRU access the node will perform; return hit flag."""
         mirror = self.mirrors[node]
-        if mirror.touch(chunk):
+        # Inlined mirror.touch — the hit path runs once per assignment.
+        entries = mirror._entries
+        if chunk in entries:
+            entries.move_to_end(chunk)
             return True
-        evicted = mirror.insert(chunk)
+        self._mirror_miss(chunk, node)
+        return False
+
+    def _mirror_miss(self, chunk: Chunk, node: int) -> None:
+        """Miss path of :meth:`_mirror_access`: insert + replica upkeep."""
+        evicted = self.mirrors[node].insert(chunk)
+        index = self.backlog_index
         for victim in evicted:
             nodes = self._replicas.get(victim)
             if nodes is not None:
                 nodes.discard(node)
                 if not nodes:
                     del self._replicas[victim]
+            index.count_changed(victim)
         self._replicas.setdefault(chunk, set()).add(node)
-        return False
+        index.count_changed(chunk)
 
     # -- Estimate table -------------------------------------------------------
 
@@ -183,10 +392,21 @@ class SchedulerTables:
 
     def estimate(self, chunk: Chunk, group_size: int) -> float:
         """Estimate[c]: execution time of a task over ``chunk`` on a cold
-        node (I/O + render)."""
-        return self.io_estimate(chunk) + self.cost.render_time(
-            chunk.size, group_size
-        )
+        node (I/O + render).
+
+        Memoized per (chunk, group size); invalidated when a completed
+        miss revises the chunk's measured I/O time (the contention
+        signal, see :meth:`correct_completion`).
+        """
+        memo = self._estimate_memo.get(chunk)
+        if memo is None:
+            memo = self._estimate_memo[chunk] = {}
+        est = memo.get(group_size)
+        if est is None:
+            est = memo[group_size] = self.io_estimate(chunk) + self.cost.render_time(
+                chunk.size, group_size
+            )
+        return est
 
     def exec_estimate(self, chunk: Chunk, node: int, group_size: int) -> float:
         """Predicted execution time of a task on a specific node.
@@ -218,17 +438,25 @@ class SchedulerTables:
         returns the predicted task execution time.
         """
         chunk = task.chunk
-        group = task.job.composite_group_size
-        hit = self._mirror_access(chunk, node)
-        render = self.cost.render_time(chunk.size, group)
-        est = render if hit else self.io_estimate(chunk) + render
-        self.available[node] = (
-            max(self.available[node], now) + est / self.executors_per_node
-        )
-        self.heap.update(node)
+        job = task.job
+        render = self._render_memo_get((chunk.size, job.composite_group_size))
+        if render is None:
+            render = self.cost.render_time(chunk.size, job.composite_group_size)
+        # Inlined _mirror_access (this runs once per placed task).
+        entries = self.mirrors[node]._entries
+        if chunk in entries:
+            entries.move_to_end(chunk)
+            est = render
+        else:
+            self._mirror_miss(chunk, node)
+            est = self.io_estimate(chunk) + render
+        t = self.available[node]
+        if t < now:
+            t = now
+        self.available[node] = t + est / self.executors_per_node
         self._pending_est[task] = est
         self._pending_per_node[node] += 1
-        if task.job.job_type is JobType.INTERACTIVE:
+        if job.job_type is JobType.INTERACTIVE:
             self.last_interactive_assign[node] = now
         return est
 
@@ -244,15 +472,16 @@ class SchedulerTables:
         """
         self.alive[node] = False
         mirror = self.mirrors[node]
+        index = self.backlog_index
         for chunk in mirror.chunks():
             nodes = self._replicas.get(chunk)
             if nodes is not None:
                 nodes.discard(node)
                 if not nodes:
                     del self._replicas[chunk]
+            index.count_changed(chunk)
         mirror.clear()
         self.available[node] = math.inf
-        self.heap.update(node)
         self._pending_per_node[node] = 0
 
     def warm(self, chunk: Chunk, node: int) -> None:
@@ -282,14 +511,15 @@ class SchedulerTables:
             self.available[node] = now
         elif self.available[node] < now:
             self.available[node] = now
-        self.heap.update(node)
         if not task.cache_hit and task.io_time > 0:
             self._io_estimate[task.chunk] = task.io_time
+            self._estimate_memo.pop(task.chunk, None)
 
     # -- diagnostics ---------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert reverse-index/mirror consistency (test helper)."""
+        """Assert reverse-index/mirror/bucket-index consistency (test
+        helper)."""
         for k, mirror in enumerate(self.mirrors):
             mirror.check_invariants()
             for chunk in mirror:
@@ -299,9 +529,21 @@ class SchedulerTables:
             for k in nodes:
                 if chunk not in self.mirrors[k]:
                     raise AssertionError(f"stale replica {chunk} @ {k}")
+        self.backlog_index.check_invariants()
+        for chunk, memo in self._estimate_memo.items():
+            io = self._io_estimate.get(chunk)
+            if io is None:
+                continue
+            for group, est in memo.items():
+                expected = io + self.cost.render_time(chunk.size, group)
+                if est != expected:
+                    raise AssertionError(
+                        f"stale estimate memo for {chunk} group {group}: "
+                        f"{est} != {expected}"
+                    )
 
 
 _EMPTY_SET: Set[int] = frozenset()  # type: ignore[assignment]
 
 
-__all__ = ["SchedulerTables", "NodeAvailabilityHeap"]
+__all__ = ["SchedulerTables", "NodeAvailabilityHeap", "ReplicaBucketIndex"]

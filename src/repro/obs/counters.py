@@ -71,11 +71,15 @@ class CounterSampler:
         self.per_node_cache = per_node_cache
         self.samples_taken = 0
         self._service = None
+        self._start = 0.0
 
     def attach(self, service) -> "CounterSampler":
         """Start sampling ``service`` (call before running events)."""
         self._service = service
-        service.cluster.events.schedule(0.0, self._tick)
+        events = service.cluster.events
+        self._start = events.now
+        self.samples_taken = 0
+        events.schedule(self._start, self._tick)
         return self
 
     def _tick(self) -> None:
@@ -121,7 +125,11 @@ class CounterSampler:
         past_horizon = self.horizon is not None and now >= self.horizon
         more_coming = service.has_work() or len(cluster.events) > 0
         if more_coming and not past_horizon:
-            cluster.events.schedule_after(self.interval, self._tick)
+            # Absolute-grid scheduling: sample k fires at exactly
+            # ``start + k*interval`` (no accumulated float drift).
+            cluster.events.schedule(
+                self._start + self.samples_taken * self.interval, self._tick
+            )
 
 
 def default_counter_interval(horizon: float, *, samples: int = 256) -> float:

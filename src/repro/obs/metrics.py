@@ -451,6 +451,8 @@ class MetricsSampler:
         self.horizon = horizon
         self.windows: List[MetricWindow] = []
         self._service = None
+        self._start = 0.0
+        self._ticks = 0
         self._last_time = 0.0
         self._last_records = 0
         self._last_hits = 0
@@ -469,7 +471,10 @@ class MetricsSampler:
     def attach(self, service) -> "MetricsSampler":
         """Start sampling ``service`` (call before running events)."""
         self._service = service
-        service.cluster.events.schedule(0.0, self._tick)
+        events = service.cluster.events
+        self._start = events.now
+        self._ticks = 0
+        events.schedule(self._start, self._tick)
         return self
 
     def _tick(self) -> None:
@@ -521,7 +526,13 @@ class MetricsSampler:
         past_horizon = self.horizon is not None and now >= self.horizon
         more_coming = service.has_work() or len(cluster.events) > 0
         if more_coming and not past_horizon:
-            cluster.events.schedule_after(self.interval, self._tick)
+            # Tick k lands at the absolute ``start + k*interval`` grid
+            # point; rescheduling via ``schedule_after`` would compound
+            # float error across thousands of ticks and drift off-grid.
+            self._ticks += 1
+            cluster.events.schedule(
+                self._start + self._ticks * self.interval, self._tick
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -10,17 +10,18 @@ procedure itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, NamedTuple
 
 from repro.core.job import JobType, RenderJob
 
 
-@dataclass(frozen=True)
-class JobRecord:
+class JobRecord(NamedTuple):
     """Compact record of one completed rendering job.
 
     Times follow the paper's definitions: ``arrival`` is ``JI``,
     ``start`` is ``JS``, ``finish`` is ``JF`` (compositing included).
+    A named tuple: rows are immutable and cheap — one is allocated per
+    completed job, simulation-runs deep in the hot path.
     """
 
     job_id: int

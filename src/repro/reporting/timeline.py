@@ -50,11 +50,16 @@ class TimelineSampler:
         self.horizon = horizon
         self.samples: List[TimelineSample] = []
         self._service = None
+        self._start = 0.0
+        self._ticks = 0
 
     def attach(self, service) -> "TimelineSampler":
         """Start sampling ``service`` (call before running events)."""
         self._service = service
-        service.cluster.events.schedule(0.0, self._tick)
+        events = service.cluster.events
+        self._start = events.now
+        self._ticks = 0
+        events.schedule(self._start, self._tick)
         return self
 
     def _tick(self) -> None:
@@ -79,7 +84,12 @@ class TimelineSampler:
         # finished simulation alive.
         more_coming = service.has_work() or len(cluster.events) > 0
         if more_coming and not past_horizon:
-            cluster.events.schedule_after(self.interval, self._tick)
+            # Absolute-grid scheduling: tick k fires at exactly
+            # ``start + k*interval`` (no accumulated float drift).
+            self._ticks += 1
+            cluster.events.schedule(
+                self._start + self._ticks * self.interval, self._tick
+            )
 
     # -- series accessors -----------------------------------------------------
 

@@ -57,6 +57,12 @@ class RunConfig:
             backpressure, graceful degradation) between the trace and
             the service.  ``None`` (default) is bit-identical to a run
             without the frontend subsystem.
+        record_assignments: Record the full per-task assignment trace
+            (who ran what, where, when) on
+            ``result.assignment_trace``.  The trace is a list of plain
+            tuples (picklable, so it survives ``workers=N`` sweeps) and
+            backs the golden-trace determinism tests via
+            ``result.assignment_trace_hash()``.
     """
 
     drain: bool = False
@@ -69,6 +75,7 @@ class RunConfig:
     metrics: Union[bool, "MetricsRegistry"] = False
     metrics_interval: Optional[float] = None
     frontend: Optional["FrontendConfig"] = None
+    record_assignments: bool = False
 
     def replace(self, **changes) -> "RunConfig":
         """A copy with the given fields changed."""

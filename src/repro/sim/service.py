@@ -89,10 +89,18 @@ class VisualizationService:
         )
         self.collector = collector if collector is not None else SimulationCollector()
         cluster.add_task_finish_listener(self._on_task_finish)
+        # Completion-path bindings (one lookup per task otherwise).
+        self._correct_completion = self.tables.correct_completion
+        self._composite_memo_get = cluster.cost._composite_memo.get
+        self._nodes = cluster.nodes
 
         self._datasets: Dict[str, object] = {}
         self._pending: List[RenderJob] = []
-        self._remaining: Dict[int, int] = {}
+        #: Tasks dispatched to nodes and not yet finished.  Per-job
+        #: completion is tracked on ``RenderJob.tasks_left`` (set at
+        #: decomposition); this aggregate only answers ``has_work``.
+        self._tasks_inflight = 0
+        self._events = cluster.events
         self._cycle_armed = False
         self._window_generation = 0
         self._completion_listeners: List = []
@@ -216,7 +224,7 @@ class VisualizationService:
         job = RenderJob(
             request.job_type,
             dataset,  # type: ignore[arg-type]
-            self.cluster.now,
+            self._events._now,
             user=request.user,
             action=request.action,
             sequence=request.sequence,
@@ -325,12 +333,9 @@ class VisualizationService:
         self._dispatch(assignments)
 
     def _dispatch(self, assignments) -> None:
-        remaining = self._remaining
+        self._tasks_inflight += len(assignments)
         dispatch = self.cluster.dispatch
         for assignment in assignments:
-            job = assignment.task.job
-            if job.job_id not in remaining:
-                remaining[job.job_id] = job.task_count
             dispatch(assignment.task, assignment.node)
 
     # -- fault tolerance (paper §VI-D) -------------------------------------
@@ -347,6 +352,8 @@ class VisualizationService:
         node = self.cluster.nodes[node_id]
         orphans = node.fail()
         self.tables.mark_node_failed(node_id)
+        # The orphans never finished; re-dispatching counts them again.
+        self._tasks_inflight -= len(orphans)
         for task in orphans:
             # Their old predictions are void; fresh ones are recorded at
             # re-assignment.
@@ -359,24 +366,27 @@ class VisualizationService:
     # -- completion ------------------------------------------------------------
 
     def _on_task_finish(self, node: RenderNode, task: RenderTask) -> None:
-        now = self.cluster.now
-        self.tables.correct_completion(task, node.node_id, now)
+        now = self._events._now
+        self._correct_completion(task, node.node_id, now)
+        self._tasks_inflight -= 1
         job = task.job
-        left = self._remaining[job.job_id] - 1
+        left = job.tasks_left - 1
+        job.tasks_left = left
         if left:
-            self._remaining[job.job_id] = left
             return
-        del self._remaining[job.job_id]
         # The compositing thread assembles the final image after the last
         # render; it extends job latency but frees the render thread.
         group_nodes = job.group_nodes()
         group = len(group_nodes)
-        composite = self.cluster.cost.composite_time(group)
+        composite = self._composite_memo_get(group)
+        if composite is None:
+            composite = self.cluster.cost.composite_time(group)
         job.finish_time = now + composite
+        nodes = self._nodes
         for k in group_nodes:
             # Each participant's compositing thread works for the
             # exchange's duration (sort-last compositing is collective).
-            self.cluster.nodes[k].composite_seconds += composite
+            nodes[k].composite_seconds += composite
         self.jobs_completed += 1
         self.collector.on_job_complete(job)
         if self._m_completed is not None:
@@ -426,7 +436,7 @@ class VisualizationService:
         """True while any job is queued, deferred, or in flight."""
         return (
             bool(self._pending)
-            or bool(self._remaining)
+            or self._tasks_inflight > 0
             or self.scheduler.pending_task_count() > 0
         )
 

@@ -19,6 +19,8 @@ internally, and emits a :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
+import gc
+import hashlib
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -56,6 +58,35 @@ from repro.sim.service import VisualizationService
 from repro.workload.scenarios import Scenario
 
 
+#: One completed task assignment: ``(user, action, sequence, task_index,
+#: dataset, chunk_index, node_id, start_time, finish_time, io_time,
+#: cache_hit)``.  Job ids are deliberately absent — they come from a
+#: process-global counter and differ between runs that are otherwise
+#: identical; ``(user, action, sequence)`` identifies the job instead.
+AssignmentRecord = Tuple[
+    int, int, int, int, str, int, int, float, float, float, bool
+]
+
+
+def hash_assignment_trace(trace: Sequence[AssignmentRecord]) -> str:
+    """A bit-exact digest of an assignment trace.
+
+    Floats are hashed via :meth:`float.hex`, so two traces hash equal
+    only when every timestamp matches to the last bit — the invariant
+    the golden-trace tests pin across optimizations and across
+    serial/parallel sweep execution.
+    """
+    digest = hashlib.sha256()
+    for rec in trace:
+        digest.update(
+            "|".join(
+                v.hex() if isinstance(v, float) else repr(v) for v in rec
+            ).encode()
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
 @dataclass
 class SimulationResult:
     """Everything measured in one scenario x scheduler run."""
@@ -79,6 +110,20 @@ class SimulationResult:
     tracer: Optional["Tracer"] = None
     metrics: Optional["RunMetrics"] = None
     frontend: Optional["FrontendStats"] = None
+    assignment_trace: Optional[List[AssignmentRecord]] = None
+
+    def assignment_trace_hash(self) -> str:
+        """Digest of the recorded assignment trace.
+
+        Requires the run to have used
+        ``RunConfig(record_assignments=True)``.
+        """
+        if self.assignment_trace is None:
+            raise ValueError(
+                "no assignment trace recorded; run with "
+                "RunConfig(record_assignments=True)"
+            )
+        return hash_assignment_trace(self.assignment_trace)
 
     # -- job records -----------------------------------------------------------
 
@@ -312,6 +357,30 @@ def _run(
             per_node_cache=cluster.node_count <= 16,
         )
         counter_sampler.attach(service)
+    assignment_trace: Optional[List[AssignmentRecord]] = None
+    if config.record_assignments:
+        assignment_trace = []
+        record = assignment_trace.append
+
+        def _record_assignment(node, task) -> None:
+            job = task.job
+            record(
+                (
+                    job.user,
+                    job.action,
+                    job.sequence,
+                    task.index,
+                    task.chunk.dataset,
+                    task.chunk.index,
+                    node.node_id,
+                    task.start_time,
+                    task.finish_time,
+                    task.io_time,
+                    bool(task.cache_hit),
+                )
+            )
+
+        cluster.add_task_finish_listener(_record_assignment)
     if scenario.prewarm:
         service.prewarm(scenario.trace.datasets)
     sampler: Optional[TimelineSampler] = None
@@ -350,22 +419,32 @@ def _run(
         return frontend is not None and frontend.waiting_count > 0
 
     horizon = scenario.trace.duration
-    events.run(until=horizon)
-    drained = not has_pending()
-    if drain and not drained:
-        limit = (
-            None
-            if config.max_drain_time is None
-            else horizon + config.max_drain_time
-        )
-        while has_pending():
-            next_time = events.peek_time()
-            if next_time is None:
-                break
-            if limit is not None and next_time > limit:
-                break
-            events.step()
+    # The event loop allocates heavily (events, tasks, assignments) but
+    # creates no cycles it needs collected mid-run; generational GC
+    # sweeps over the live simulation graph are pure overhead, so the
+    # collector is paused for the loop (restored even on error).
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        events.run(until=horizon)
         drained = not has_pending()
+        if drain and not drained:
+            limit = (
+                None
+                if config.max_drain_time is None
+                else horizon + config.max_drain_time
+            )
+            while has_pending():
+                next_time = events.peek_time()
+                if next_time is None:
+                    break
+                if limit is not None and next_time > limit:
+                    break
+                events.step()
+            drained = not has_pending()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
     return SimulationResult(
         scenario_name=scenario.name,
@@ -396,6 +475,7 @@ def _run(
             else None
         ),
         frontend=frontend.stats() if frontend is not None else None,
+        assignment_trace=assignment_trace,
     )
 
 
@@ -418,4 +498,10 @@ def compare_schedulers(
     return [_run(scenario, sched, config) for sched in schedulers]
 
 
-__all__ = ["RunConfig", "SimulationResult", "run_simulation", "compare_schedulers"]
+__all__ = [
+    "RunConfig",
+    "SimulationResult",
+    "run_simulation",
+    "compare_schedulers",
+    "hash_assignment_trace",
+]

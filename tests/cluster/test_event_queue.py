@@ -130,3 +130,56 @@ class TestRun:
         assert q.peek_time() is None
         q.schedule(4.2, lambda: None)
         assert q.peek_time() == 4.2
+
+
+class TestBudgetedRunClock:
+    """Regression tests: a ``max_events`` stop must not advance the clock
+    past events that are still pending before ``until`` (the rollback bug:
+    the next ``step``/``run`` would then pop an event with ``time < now``
+    and move simulated time backwards)."""
+
+    def test_budget_stop_leaves_clock_at_last_executed_event(self):
+        q = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, lambda: None)
+        q.run(until=10.0, max_events=2)
+        assert q.now == 2.0  # not 10.0: the t=3 event is still pending
+
+    def test_step_after_budgeted_run_never_moves_clock_backwards(self):
+        q = EventQueue()
+        times = []
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, lambda: times.append(q.now))
+        q.run(until=10.0, max_events=2)
+        before = q.now
+        assert q.step() is True
+        assert q.now >= before
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_resumed_run_after_budget_stop(self):
+        q = EventQueue()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            q.schedule(t, fired.append, t)
+        q.run(until=10.0, max_events=1)
+        assert q.now == 1.0
+        # Resuming must execute the remaining events in order and only
+        # then advance the clock to the horizon.
+        q.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+        assert q.now == 10.0
+
+    def test_scheduling_after_budget_stop_is_not_rejected(self):
+        q = EventQueue()
+        for t in (1.0, 2.0, 5.0):
+            q.schedule(t, lambda: None)
+        q.run(until=10.0, max_events=2)
+        # With the clock correctly at t=2, an event at t=3 is legal; the
+        # rollback bug put the clock at 10 and made this raise.
+        q.schedule(3.0, lambda: None)
+
+    def test_drained_run_still_advances_to_until(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run(until=10.0, max_events=5)
+        assert q.now == 10.0  # queue drained: horizon advance is correct

@@ -39,3 +39,39 @@ class TestDeprecatedAlias:
             sys.modules["repro.metrics.analysis"]
             is sys.modules["repro.reporting.analysis"]
         )
+
+    def test_warning_attributed_to_importing_module(self):
+        """The shim's warning must point at the *importer*, not at the
+        import machinery — otherwise per-module warning filters (like
+        this suite's ``error::DeprecationWarning`` first-party config)
+        never match it and the deprecation goes unseen."""
+        import warnings
+
+        _forget_alias()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module("repro.metrics")
+        deprecations = [
+            w
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and "repro.reporting" in str(w.message)
+        ]
+        assert len(deprecations) == 1
+        assert deprecations[0].filename == __file__
+
+    def test_import_errors_under_first_party_error_filter(self):
+        """Exercised the way the suite config would see it: with
+        DeprecationWarning escalated to an error for this module, the
+        alias import must raise (proof the warning is attributed where
+        the filter can match it)."""
+        import warnings
+
+        _forget_alias()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning, match="repro.reporting"):
+                importlib.import_module("repro.metrics")
+        # The failed import must not leave a half-initialized module
+        # cached (Python drops it on exception; pin that).
+        assert "repro.metrics" not in sys.modules

@@ -1,0 +1,90 @@
+"""Golden-trace determinism: assignment traces are bit-exact.
+
+The hot-path optimization work (incremental backlog index, memoized
+estimates, inlined scheduling loops) is only admissible because it is
+*bit-identical* to the straightforward implementation.  These tests pin
+the invariant the benchmarks rely on: the complete per-task assignment
+trace — who ran what, where, and exactly when, hashed via ``float.hex``
+so the last bit matters — is identical across repeated runs and across
+serial vs. process-pool sweep execution.
+
+Job ids come from a process-global counter and are deliberately absent
+from the trace records (``(user, action, sequence)`` identifies a job),
+so hashes are stable regardless of how many simulations ran before.
+"""
+
+import pytest
+
+from repro.sim.run_config import RunConfig
+from repro.sim.simulator import run_simulation
+from repro.sim.sweep import sweep
+from repro.workload.scenarios import make_scenario
+
+#: Smoke scale: big enough to exercise cached/non-cached phases and the
+#: batch backlog (scenario 1 completes no tasks below 0.1), small
+#: enough for the tier-1 suite.
+SMOKE_SCALE = 0.1
+SCHEDULERS = ["OURS", "FCFS", "FCFSL"]
+
+
+def _run_trace(number: int, scheduler: str):
+    scenario = make_scenario(number, scale=SMOKE_SCALE)
+    return run_simulation(
+        scenario, scheduler, RunConfig(record_assignments=True)
+    )
+
+
+def _scenario2_factory(scale: float):
+    """Module-level so the process-pool sweep can pickle it."""
+    return make_scenario(2, scale=scale)
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("number", [1, 2])
+    def test_two_runs_hash_identically(self, number, scheduler):
+        first = _run_trace(number, scheduler)
+        second = _run_trace(number, scheduler)
+        assert first.assignment_trace, "trace must not be empty"
+        assert (
+            first.assignment_trace_hash() == second.assignment_trace_hash()
+        )
+
+    def test_trace_records_cover_all_executed_tasks(self):
+        result = _run_trace(2, "OURS")
+        assert len(result.assignment_trace) == result.tasks_executed
+
+    def test_hash_requires_recording(self):
+        scenario = make_scenario(1, scale=SMOKE_SCALE)
+        result = run_simulation(scenario, "OURS", RunConfig())
+        with pytest.raises(ValueError, match="record_assignments"):
+            result.assignment_trace_hash()
+
+
+class TestSweepParity:
+    def test_serial_and_worker_sweeps_produce_identical_traces(self):
+        """``workers=N`` must be a pure wall-clock optimization."""
+        config = RunConfig(record_assignments=True)
+        serial = sweep(
+            "scale",
+            [SMOKE_SCALE],
+            _scenario2_factory,
+            SCHEDULERS,
+            config=config,
+        )
+        pooled = sweep(
+            "scale",
+            [SMOKE_SCALE],
+            _scenario2_factory,
+            SCHEDULERS,
+            workers=3,
+            config=config,
+        )
+        for scheduler in SCHEDULERS:
+            serial_hash = serial.result(
+                SMOKE_SCALE, scheduler
+            ).assignment_trace_hash()
+            pooled_hash = pooled.result(
+                SMOKE_SCALE, scheduler
+            ).assignment_trace_hash()
+            assert serial_hash == pooled_hash, scheduler
