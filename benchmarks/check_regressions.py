@@ -12,7 +12,7 @@ the build instead of landing.
 Rules:
 
 * Metrics are matched leaf-by-leaf (dotted paths into the JSON).
-* Wall-clock quantities (``wall_s``, ``events_per_sec``,
+* Wall-clock quantities (``wall_s``, ``cpu_s``, ``events_per_sec``,
   ``sched_cost_us``, trace-event counts, rounds) are machine-dependent
   and are never compared.
 * Relative-rate ratios from the overhead bench get loose tolerances —
@@ -22,6 +22,12 @@ Rules:
   comparable.
 * Baselines without a fresh result (bench not run) are skipped with a
   warning; fresh results without a baseline are reported as new.
+* Within a compared file, a baseline leaf *missing* from the fresh
+  results is a regression, not a warning — a bench silently dropping a
+  metric would otherwise pass the gate forever (silent drift).
+* ``--update`` also prunes baseline files with no fresh counterpart
+  (printed as removals).  Run the full bench suite first, or stale
+  baselines for benches you did not run will be deleted.
 
 Usage::
 
@@ -51,6 +57,7 @@ DEFAULT_BASELINES = BENCH_DIR / "baselines"
 #: ``bench_tracer_overhead.py``, not here.
 SKIP_KEYS = {
     "wall_s",
+    "cpu_s",
     "events",
     "events_per_sec",
     "trace_events",
@@ -60,6 +67,7 @@ SKIP_KEYS = {
     "null_tracer_relative_rate",
     "full_tracer_relative_rate",
     "metrics_registry_relative_rate",
+    "audit_relative_rate",
 }
 
 #: (relative tolerance, absolute floor) per leaf key.  The absolute
@@ -122,7 +130,12 @@ def compare_file(
         if key in SKIP_KEYS or key == "scale" or key.startswith("scales"):
             continue
         if path not in fresh_leaves:
-            warnings.append(f"{name}: {path} missing from fresh results")
+            # A dropped metric is silent drift: the bench stopped
+            # reporting a number the baseline pins.  Gate it.
+            regressions.append(
+                f"{name}: {path} missing from fresh results (baseline "
+                f"{base_value!r}); if intentional, refresh with --update"
+            )
             continue
         fresh_value = fresh_leaves[path]
         if not isinstance(base_value, (int, float)) or isinstance(
@@ -170,7 +183,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--update",
         action="store_true",
-        help="copy fresh results over the baselines instead of comparing",
+        help=(
+            "copy fresh results over the baselines instead of comparing, "
+            "and prune baselines with no fresh counterpart (run the full "
+            "bench suite first)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -183,13 +200,21 @@ def main(argv=None) -> int:
             print(f"results directory not found: {args.results}", file=sys.stderr)
             return 2
         updated = 0
+        fresh_names = set()
         for fresh_path in sorted(args.results.glob("BENCH_*.json")):
+            fresh_names.add(fresh_path.name)
             shutil.copy(fresh_path, args.baselines / fresh_path.name)
             print(f"updated {args.baselines / fresh_path.name}")
             updated += 1
         if not updated:
             print(f"no BENCH_*.json under {args.results}", file=sys.stderr)
             return 2
+        # Prune stale baselines: a baseline whose bench no longer emits
+        # results would otherwise warn ("bench not run") forever.
+        for baseline_path in sorted(args.baselines.glob("BENCH_*.json")):
+            if baseline_path.name not in fresh_names:
+                baseline_path.unlink()
+                print(f"removed stale baseline {baseline_path}")
         return 0
 
     baseline_paths = sorted(args.baselines.glob("BENCH_*.json"))

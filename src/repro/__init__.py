@@ -77,10 +77,15 @@ from repro.frontend import (
 )
 from repro.reporting import SchedulerSummary, SimulationCollector, comparison_table
 from repro.obs import (
+    AuditConfig,
+    AuditLog,
     ClusterProfile,
+    CriticalPathAnalysis,
     NodeProfile,
     NullTracer,
     Tracer,
+    first_divergence,
+    phase_delta_table,
     write_chrome_trace,
 )
 from repro.sim import (
@@ -146,6 +151,11 @@ __all__ = [
     "write_chrome_trace",
     "ClusterProfile",
     "NodeProfile",
+    "AuditConfig",
+    "AuditLog",
+    "CriticalPathAnalysis",
+    "first_divergence",
+    "phase_delta_table",
     "RunConfig",
     "SimulationResult",
     "SystemConfig",

@@ -73,6 +73,7 @@ class RenderNode:
         "_loading",
         "_alive",
         "_tracer",
+        "_flows",
         "_metrics",
         "_pid",
         "_slot_of",
@@ -131,6 +132,7 @@ class RenderNode:
         self._alive = True
         # observability (None → zero-cost: one identity check per task)
         self._tracer = None
+        self._flows = False
         self._metrics = None
         self._pid = 0
         self._slot_of: dict = {}
@@ -211,6 +213,14 @@ class RenderNode:
             self._vram.observer = (
                 self._on_vram_event if self._tracer is not None else None
             )
+
+    def set_flow_events(self, enabled: bool) -> None:
+        """Emit Chrome flow steps linking each job's causal chain.
+
+        Effective only while a tracer is attached; the simulator turns
+        this on when a run carries both a tracer and an audit log.
+        """
+        self._flows = bool(enabled)
 
     def set_metrics(self, registry) -> None:
         """Publish this node's task/cache/I/O counters into ``registry``.
@@ -461,6 +471,11 @@ class RenderNode:
                 "upload_s": upload_time,
             },
         )
+        if self._flows:
+            # Causal hop: the job's flow arrow lands on this render span.
+            tracer.flow_step(
+                pid, f"render{suffix}", f"job {job_id}", now + io_time, job_id
+            )
 
     def _finish(self, task: RenderTask) -> None:
         """Completion event: record times, notify, start the next task."""

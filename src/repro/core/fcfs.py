@@ -28,6 +28,12 @@ from repro.core.scheduler_base import (
     greedy_locality_aware,
     greedy_min_available,
 )
+from repro.obs.audit import (
+    REASON_CACHE_HIT,
+    REASON_FALLBACK,
+    REASON_MIN_ESTIMATE,
+    REASON_ONLY_AVAILABLE,
+)
 
 
 class FCFSScheduler(Scheduler):
@@ -39,7 +45,9 @@ class FCFSScheduler(Scheduler):
     def schedule(self, jobs: Sequence[RenderJob], ctx: SchedulerContext) -> None:
         for job in jobs:
             for task in ctx.decompose(job):
-                ctx.assign(task, greedy_min_available(task, ctx))
+                ctx.assign(
+                    task, greedy_min_available(task, ctx), REASON_ONLY_AVAILABLE
+                )
 
 
 class FCFSLScheduler(Scheduler):
@@ -49,9 +57,16 @@ class FCFSLScheduler(Scheduler):
     trigger = Trigger.IMMEDIATE
 
     def schedule(self, jobs: Sequence[RenderJob], ctx: SchedulerContext) -> None:
+        tables = ctx.tables
         for job in jobs:
             for task in ctx.decompose(job):
-                ctx.assign(task, greedy_locality_aware(task, ctx))
+                node = greedy_locality_aware(task, ctx)
+                reason = (
+                    REASON_CACHE_HIT
+                    if tables.is_cached(task.chunk, node)
+                    else REASON_MIN_ESTIMATE
+                )
+                ctx.assign(task, node, reason)
 
 
 class FCFSUScheduler(Scheduler):
@@ -81,7 +96,15 @@ class FCFSUScheduler(Scheduler):
                     f"for {ctx.node_count} nodes"
                 )
             for task in tasks:
-                ctx.assign(task, task.chunk.index)
+                # Static pinning: chunk j always runs on node j — a cache
+                # hit once warm, otherwise outside any scoring loop.
+                node = task.chunk.index
+                reason = (
+                    REASON_CACHE_HIT
+                    if ctx.tables.is_cached(task.chunk, node)
+                    else REASON_FALLBACK
+                )
+                ctx.assign(task, node, reason)
 
 
 __all__ = ["FCFSScheduler", "FCFSLScheduler", "FCFSUScheduler"]

@@ -29,6 +29,7 @@ from repro.core.scheduler_base import (
     Trigger,
     greedy_min_available,
 )
+from repro.obs.audit import REASON_ONLY_AVAILABLE
 
 
 class FSScheduler(Scheduler):
@@ -90,7 +91,9 @@ class FSScheduler(Scheduler):
                 active.remove(user)
             self._usage[user] += self._charge(job, ctx)
             for task in job.tasks:
-                ctx.assign(task, greedy_min_available(task, ctx))
+                ctx.assign(
+                    task, greedy_min_available(task, ctx), REASON_ONLY_AVAILABLE
+                )
 
 
 __all__ = ["FSScheduler"]

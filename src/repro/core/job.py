@@ -45,6 +45,8 @@ class RenderTask:
     through the system (cf. Definition 1 of the paper):
 
     * ``node`` — rendering node the task was assigned to,
+    * ``assign_time`` — when the scheduler placed the task (recorded
+      only on audited runs; ``None`` otherwise),
     * ``start_time`` — ``TS(i,j,k)``, when the node began executing it,
     * ``finish_time`` — ``TF(i,j,k) = TS + TExec``,
     * ``io_time`` — the ``t_io`` component actually paid (0 on cache hit),
@@ -56,6 +58,7 @@ class RenderTask:
         "index",
         "chunk",
         "node",
+        "assign_time",
         "start_time",
         "finish_time",
         "io_time",
@@ -67,6 +70,7 @@ class RenderTask:
         self.index = index
         self.chunk = chunk
         self.node = None
+        self.assign_time = None
         self.start_time = None
         self.finish_time = None
         self.io_time = 0.0

@@ -48,6 +48,11 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from repro.core.chunks import Chunk
 from repro.core.job import JobType, RenderJob, RenderTask
 from repro.core.scheduler_base import Scheduler, SchedulerContext, Trigger
+from repro.obs.audit import (
+    REASON_CACHE_HIT,
+    REASON_FALLBACK,
+    REASON_MIN_ESTIMATE,
+)
 
 
 class OursScheduler(Scheduler):
@@ -222,9 +227,14 @@ class OursScheduler(Scheduler):
                 if score < best_score:
                     best_score = score
                     best = k
+        reason = (
+            REASON_CACHE_HIT
+            if replicas is not None and best in replicas
+            else REASON_MIN_ESTIMATE
+        )
         assign = ctx.assign
         for task in tasks:
-            assign(task, best)
+            assign(task, best, reason)
 
     # -- phase 3: cached batch --------------------------------------------------
 

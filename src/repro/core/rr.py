@@ -20,6 +20,7 @@ from typing import Sequence
 
 from repro.core.job import RenderJob
 from repro.core.scheduler_base import Scheduler, SchedulerContext, Trigger
+from repro.obs.audit import REASON_FALLBACK
 
 
 class RRScheduler(Scheduler):
@@ -46,7 +47,8 @@ class RRScheduler(Scheduler):
                         break
                 else:
                     raise RuntimeError("no alive rendering nodes")
-                ctx.assign(task, node)
+                # Cyclic dealing consults neither load nor cache state.
+                ctx.assign(task, node, REASON_FALLBACK)
 
 
 __all__ = ["RRScheduler"]

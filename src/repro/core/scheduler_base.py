@@ -22,13 +22,14 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import List, NamedTuple, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.costs import CostParameters
 from repro.core.chunks import ChunkedDecomposition, DecompositionPolicy
 from repro.core.job import RenderJob, RenderTask
 from repro.core.tables import SchedulerTables
+from repro.obs.audit import REASON_FALLBACK
 
 
 class Trigger(enum.Enum):
@@ -65,6 +66,10 @@ class SchedulerContext:
     :class:`~repro.obs.metrics.MetricsRegistry` (or ``None`` when the
     metrics layer is off): policies may publish their own counters or
     histograms (guard with ``if ctx.metrics is not None``).
+    ``audit`` is the run's :class:`~repro.obs.audit.AuditLog` (or
+    ``None``, the default): when present, every :meth:`assign` also
+    records a decision-audit entry with the candidate-node snapshot and
+    the policy's reason code.
     """
 
     __slots__ = (
@@ -73,6 +78,8 @@ class SchedulerContext:
         "decomposition",
         "tracer",
         "metrics",
+        "audit",
+        "_audit_record",
         "_assignments",
         "_events",
         "_node_count",
@@ -86,12 +93,17 @@ class SchedulerContext:
         *,
         tracer=None,
         metrics=None,
+        audit=None,
     ) -> None:
         self.cluster = cluster
         self.tables = tables
         self.decomposition = decomposition
         self.tracer = tracer
         self.metrics = metrics
+        self.audit = audit
+        # Pre-bound audit hook (or None): assign() pays one load and one
+        # identity check on the unaudited path.
+        self._audit_record = audit.record_assignment if audit is not None else None
         self._assignments: List[Assignment] = []
         # Hot-path caches: the event queue (clock reads) and the node
         # count (fixed for a cluster's lifetime; failed nodes keep their
@@ -118,11 +130,26 @@ class SchedulerContext:
         """Decompose ``job`` under the active decomposition policy."""
         return job.decompose(self.decomposition)
 
-    def assign(self, task: RenderTask, node: int) -> None:
-        """Place ``task`` on ``node``, updating the head-node tables."""
+    def assign(
+        self, task: RenderTask, node: int, reason: Optional[str] = None
+    ) -> None:
+        """Place ``task`` on ``node``, updating the head-node tables.
+
+        ``reason`` is the policy's decision-audit reason code (one of
+        the :data:`~repro.obs.audit.REASON_CODES`); it is consulted only
+        when the run carries an audit log, and ``None`` lets the log
+        derive a code from the tables — so policies unaware of auditing
+        keep working.
+        """
         if not 0 <= node < self._node_count:
             raise ValueError(f"node {node} out of range")
-        self.tables.record_assignment(task, node, self._events._now)
+        now = self._events._now
+        audit_record = self._audit_record
+        if audit_record is not None:
+            # Audited before the tables absorb the assignment: the
+            # candidate snapshot must show the state the policy scored.
+            audit_record(task, node, self.tables, now, reason)
+        self.tables.record_assignment(task, node, now)
         self._assignments.append(Assignment(task, node))
 
     def take_assignments(self) -> List[Assignment]:
@@ -184,10 +211,11 @@ class Scheduler(ABC):
         Default: locality-aware greedy onto surviving nodes — tasks
         whose chunks have live replicas go there, the rest reload from
         the file system.  Policies may override (e.g. to fold orphans
-        back into their cycle queues).
+        back into their cycle queues).  Audited as ``fallback``: the
+        placement happens outside the policy's normal scoring loop.
         """
         for task in tasks:
-            ctx.assign(task, greedy_locality_aware(task, ctx))
+            ctx.assign(task, greedy_locality_aware(task, ctx), REASON_FALLBACK)
 
     def reset(self) -> None:
         """Clear internal state between simulation runs (default no-op)."""

@@ -23,6 +23,7 @@ from repro.core.scheduler_base import (
     Trigger,
     greedy_min_available,
 )
+from repro.obs.audit import REASON_ONLY_AVAILABLE
 
 
 class SFScheduler(Scheduler):
@@ -53,7 +54,9 @@ class SFScheduler(Scheduler):
         estimated.sort()  # shortest first; arrival order breaks ties
         for _est, _order, job in estimated:
             for task in job.tasks:
-                ctx.assign(task, greedy_min_available(task, ctx))
+                ctx.assign(
+                    task, greedy_min_available(task, ctx), REASON_ONLY_AVAILABLE
+                )
 
 
 __all__ = ["SFScheduler"]

@@ -419,6 +419,21 @@ class SchedulerTables:
             return render
         return self.io_estimate(chunk) + render
 
+    def estimate_components(
+        self, chunk: Chunk, group_size: int
+    ) -> Tuple[float, float]:
+        """``(cached_estimate, cold_estimate)`` for one chunk/group pair.
+
+        The node-independent halves of :meth:`exec_estimate`: render-only
+        when the chunk is resident, I/O + render otherwise.  One call
+        prices every candidate node of a decision (the audit snapshot
+        needs all of them at once).
+        """
+        render = self._render_memo_get((chunk.size, group_size))
+        if render is None:
+            render = self.cost.render_time(chunk.size, group_size)
+        return render, self.io_estimate(chunk) + render
+
     # -- Available table ------------------------------------------------------
 
     def predicted_available(self, node: int, now: float) -> float:

@@ -94,6 +94,9 @@ class ServiceFrontend:
             in non-drain runs.
         metrics: Optional :class:`~repro.obs.metrics.MetricsRegistry`;
             when given, every gate publishes its counters/gauges.
+        audit: Optional :class:`~repro.obs.audit.AuditLog`; when given,
+            entry-gate refusals (admission rejects, thinned frames) are
+            recorded as ``shed`` decisions.
     """
 
     def __init__(
@@ -104,9 +107,11 @@ class ServiceFrontend:
         target_framerate: float,
         horizon: Optional[float] = None,
         metrics=None,
+        audit=None,
     ) -> None:
         self.config = config
         self.service = service
+        self.audit = audit
         self._horizon = horizon
         self.requests_seen = 0
         self.forwarded = 0
@@ -161,12 +166,16 @@ class ServiceFrontend:
         now = self.service.cluster.now
         if self.admission is not None:
             if not self.admission.decide(request, now).admitted:
+                if self.audit is not None:
+                    self.audit.record_shed(now, request)
                 return
         if (
             self.degradation is not None
             and request.job_type is JobType.INTERACTIVE
             and not self.degradation.keep_frame(request.sequence)
         ):
+            if self.audit is not None:
+                self.audit.record_shed(now, request)
             return
         if self.queue is not None:
             self.queue.offer(request, dataset)

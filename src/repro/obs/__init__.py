@@ -1,6 +1,6 @@
-"""repro.obs — structured tracing, metrics & SLOs for the simulator.
+"""repro.obs — structured tracing, metrics, SLOs & decision audit.
 
-The subsystem has six pieces:
+The subsystem has eight pieces:
 
 * :mod:`repro.obs.tracer` — a lightweight virtual-time tracer (nested
   spans, instant events, counter samples) plus a zero-cost
@@ -16,7 +16,14 @@ The subsystem has six pieces:
   gauges, log-bucketed histograms), windowed time-series aggregation,
   Prometheus text exposition and JSONL export;
 * :mod:`repro.obs.slo` — service-level-objective monitors evaluating
-  framerate/latency targets (Definitions 3-4) over sliding windows.
+  framerate/latency targets (Definitions 3-4) over sliding windows;
+* :mod:`repro.obs.audit` — the decision audit log: per-placement reason
+  codes and candidate-node snapshots in a bounded ring buffer with an
+  optional streaming-JSONL flight recorder;
+* :mod:`repro.obs.causal` — the causal task graph: per-job critical
+  paths with latency attributed to scheduling / queueing / io / render /
+  composite phases, plus the two-run divergence diff behind the
+  ``repro explain`` CLI verb.
 
 Typical use::
 
@@ -36,6 +43,28 @@ Typical use::
     print(f"violation time: {report.total_violation_time:.2f}s")
 """
 
+from repro.obs.audit import (
+    REASON_CACHE_HIT,
+    REASON_CODES,
+    REASON_FALLBACK,
+    REASON_MIN_ESTIMATE,
+    REASON_ONLY_AVAILABLE,
+    REASON_SHED,
+    AuditConfig,
+    AuditLog,
+    CandidateState,
+    DecisionRecord,
+    snapshot_candidates,
+)
+from repro.obs.causal import (
+    PHASES,
+    CausalCollector,
+    CriticalPath,
+    CriticalPathAnalysis,
+    Divergence,
+    first_divergence,
+    phase_delta_table,
+)
 from repro.obs.chrome import chrome_trace_events, to_chrome_trace, write_chrome_trace
 from repro.obs.counters import (
     PER_NODE_TRACKS,
@@ -125,4 +154,22 @@ __all__ = [
     "SLOReport",
     "ViolationWindow",
     "slo_table",
+    "AuditConfig",
+    "AuditLog",
+    "CandidateState",
+    "DecisionRecord",
+    "snapshot_candidates",
+    "REASON_CACHE_HIT",
+    "REASON_MIN_ESTIMATE",
+    "REASON_ONLY_AVAILABLE",
+    "REASON_FALLBACK",
+    "REASON_SHED",
+    "REASON_CODES",
+    "PHASES",
+    "CausalCollector",
+    "CriticalPath",
+    "CriticalPathAnalysis",
+    "Divergence",
+    "first_divergence",
+    "phase_delta_table",
 ]

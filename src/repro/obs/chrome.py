@@ -9,8 +9,11 @@ Maps the tracer's virtual-time events onto the `Trace Event Format
   tracks) becomes a *thread* (``tid``), named via ``thread_name``
   metadata;
 * spans export as ``X``/``B``/``E`` phases, instants as ``i``, counter
-  samples as ``C``;
-* virtual seconds convert to the format's microseconds.
+  samples as ``C``, flow events (causal arrows between spans) as
+  ``s``/``t``/``f`` with their chain id in ``id``;
+* virtual seconds convert to the format's microseconds;
+* span/instant names are forced to ASCII (Perfetto's legacy JSON
+  importer mangles non-ASCII names) via backslash escapes.
 
 ``write_chrome_trace(path, tracer)`` produces a file you can drag into
 `ui.perfetto.dev <https://ui.perfetto.dev>`_ and see, per rendering
@@ -29,17 +32,35 @@ from repro.obs.tracer import Tracer
 _US = 1e6  # seconds → trace-format microseconds
 
 
+def _ascii(name: str) -> str:
+    """Force ``name`` to ASCII with backslash escapes (lossless)."""
+    if name.isascii():
+        return name
+    return name.encode("ascii", "backslashreplace").decode("ascii")
+
+
 def _metadata_events(tracer: Tracer) -> List[Dict[str, Any]]:
-    """``process_name`` / ``thread_name`` metadata rows for the tracer."""
+    """``process_name`` / ``thread_name`` metadata rows for the tracer.
+
+    Every track (``pid``) that appears in the recorded events gets a
+    ``process_name`` row — tracks never explicitly named fall back to
+    ``"track <pid>"`` so Perfetto still labels the row.
+    """
+    seen_pids = {e.pid for e in tracer.events}
+    seen_pids.update(tracer.process_names)
     out: List[Dict[str, Any]] = []
-    for pid in sorted(tracer.process_names):
+    for pid in sorted(seen_pids):
         out.append(
             {
                 "ph": "M",
                 "name": "process_name",
                 "pid": pid,
                 "tid": 0,
-                "args": {"name": tracer.process_names[pid]},
+                "args": {
+                    "name": _ascii(
+                        tracer.process_names.get(pid, f"track {pid}")
+                    )
+                },
             }
         )
         out.append(
@@ -58,7 +79,7 @@ def _metadata_events(tracer: Tracer) -> List[Dict[str, Any]]:
                 "name": "thread_name",
                 "pid": pid,
                 "tid": tid,
-                "args": {"name": lane},
+                "args": {"name": _ascii(lane)},
             }
         )
         out.append(
@@ -84,7 +105,7 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
     for e in tracer.events:
         row: Dict[str, Any] = {
             "ph": e.phase,
-            "name": e.name,
+            "name": _ascii(e.name),
             "ts": round(e.ts * _US, 3),
             "pid": e.pid,
             "tid": e.tid,
@@ -95,6 +116,10 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
             row["dur"] = round((e.dur or 0.0) * _US, 3)
         if e.phase == "i":
             row["s"] = "t"  # instant scope: thread
+        elif e.phase in ("s", "t", "f"):
+            row["id"] = e.flow_id
+            if e.phase == "f":
+                row["bp"] = "e"  # bind the arrow to the enclosing slice
         if e.args is not None:
             row["args"] = dict(e.args)
         out.append(row)

@@ -61,11 +61,22 @@ def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_suffix(labels: LabelKey) -> str:
     """Prometheus-style ``{k="v",...}`` rendering (empty for no labels)."""
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + inner + "}"
 
 
@@ -326,7 +337,9 @@ class MetricsRegistry:
             exposed = f"{name}_total" if kind == "counter" else name
             help_text = self._help.get(name)
             if help_text:
-                lines.append(f"# HELP {exposed} {help_text}")
+                # HELP text escapes backslash and newline (not quotes).
+                escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+                lines.append(f"# HELP {exposed} {escaped}")
             lines.append(f"# TYPE {exposed} {kind}")
             for m in metrics:
                 suffix = _label_suffix(m.labels)

@@ -58,13 +58,17 @@ class TraceEvent:
 
     Attributes mirror the Chrome trace-event fields: ``phase`` is the
     event type (``"X"`` complete span, ``"B"``/``"E"`` nested span
-    begin/end, ``"i"`` instant, ``"C"`` counter), ``ts`` is the virtual
-    start time in seconds, ``dur`` the duration in seconds (complete
-    spans only), ``pid``/``tid`` the track and lane, ``args`` an
-    arbitrary payload mapping.
+    begin/end, ``"i"`` instant, ``"C"`` counter, ``"s"``/``"t"``/``"f"``
+    flow start/step/end), ``ts`` is the virtual start time in seconds,
+    ``dur`` the duration in seconds (complete spans only), ``pid``/
+    ``tid`` the track and lane, ``args`` an arbitrary payload mapping,
+    ``flow_id`` the causal-chain id (flow phases only).
     """
 
-    __slots__ = ("phase", "name", "category", "ts", "dur", "pid", "tid", "args")
+    __slots__ = (
+        "phase", "name", "category", "ts", "dur", "pid", "tid", "args",
+        "flow_id",
+    )
 
     def __init__(
         self,
@@ -76,6 +80,7 @@ class TraceEvent:
         pid: int,
         tid: int,
         args: Optional[Mapping[str, Any]],
+        flow_id: Optional[int] = None,
     ) -> None:
         self.phase = phase
         self.name = name
@@ -85,6 +90,7 @@ class TraceEvent:
         self.pid = pid
         self.tid = tid
         self.args = args
+        self.flow_id = flow_id
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -244,6 +250,69 @@ class Tracer:
             TraceEvent("C", track, None, ts, None, pid, tid, dict(values))
         )
 
+    # -- flow events (causal edges) ----------------------------------------
+
+    def _flow(
+        self,
+        phase: str,
+        pid: int,
+        lane: str,
+        name: str,
+        ts: float,
+        flow_id: int,
+        category: Optional[str],
+    ) -> None:
+        tid = self.lane(pid, lane)
+        self._check_forward(pid, tid, ts)
+        self.events.append(
+            TraceEvent(phase, name, category, ts, None, pid, tid, None, flow_id)
+        )
+
+    def flow_start(
+        self,
+        pid: int,
+        lane: str,
+        name: str,
+        ts: float,
+        flow_id: int,
+        *,
+        category: Optional[str] = "flow",
+    ) -> None:
+        """Open causal chain ``flow_id`` at ``(pid, lane, ts)``.
+
+        Chrome flow events (``s``/``t``/``f``) draw arrows between the
+        spans they land on, connecting one job's submit → render →
+        composite → deliver chain across tracks.  Events sharing a
+        ``(name, flow_id)`` pair form one chain.
+        """
+        self._flow("s", pid, lane, name, ts, flow_id, category)
+
+    def flow_step(
+        self,
+        pid: int,
+        lane: str,
+        name: str,
+        ts: float,
+        flow_id: int,
+        *,
+        category: Optional[str] = "flow",
+    ) -> None:
+        """Add an intermediate hop to causal chain ``flow_id``."""
+        self._flow("t", pid, lane, name, ts, flow_id, category)
+
+    def flow_end(
+        self,
+        pid: int,
+        lane: str,
+        name: str,
+        ts: float,
+        flow_id: int,
+        *,
+        category: Optional[str] = "flow",
+    ) -> None:
+        """Terminate causal chain ``flow_id``."""
+        self._flow("f", pid, lane, name, ts, flow_id, category)
+
     # -- inspection --------------------------------------------------------
 
     def __len__(self) -> int:
@@ -318,6 +387,15 @@ class NullTracer:
         """Does nothing (tracing disabled)."""
 
     def counter(self, pid, track, ts, values) -> None:
+        """Does nothing (tracing disabled)."""
+
+    def flow_start(self, pid, lane, name, ts, flow_id, *, category="flow") -> None:
+        """Does nothing (tracing disabled)."""
+
+    def flow_step(self, pid, lane, name, ts, flow_id, *, category="flow") -> None:
+        """Does nothing (tracing disabled)."""
+
+    def flow_end(self, pid, lane, name, ts, flow_id, *, category="flow") -> None:
         """Does nothing (tracing disabled)."""
 
     def __len__(self) -> int:

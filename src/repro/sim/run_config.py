@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:
     from repro.frontend.config import FrontendConfig
+    from repro.obs.audit import AuditConfig
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
 
@@ -63,6 +64,14 @@ class RunConfig:
             tuples (picklable, so it survives ``workers=N`` sweeps) and
             backs the golden-trace determinism tests via
             ``result.assignment_trace_hash()``.
+        audit: ``True`` or an explicit
+            :class:`~repro.obs.audit.AuditConfig` enables the
+            decision-audit layer: every assignment records its
+            candidate-node snapshot and reason code
+            (``result.audit``), and the causal collector attributes
+            each completed job's latency to phases
+            (``result.critical_paths``).  ``False`` (default) is
+            bit-identical to a run without the audit subsystem.
     """
 
     drain: bool = False
@@ -76,6 +85,7 @@ class RunConfig:
     metrics_interval: Optional[float] = None
     frontend: Optional["FrontendConfig"] = None
     record_assignments: bool = False
+    audit: Union[bool, "AuditConfig"] = False
 
     def replace(self, **changes) -> "RunConfig":
         """A copy with the given fields changed."""

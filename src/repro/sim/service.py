@@ -52,6 +52,11 @@ class VisualizationService:
             counters, job-latency histograms, and scheduler-cost
             histograms into it; it is also shared with policies via
             ``ctx.metrics``.  ``None`` (default) costs nothing.
+        audit: Optional :class:`~repro.obs.audit.AuditLog`.  When
+            given, every placement routed through ``ctx.assign``
+            records a decision entry, and (if a tracer is also active)
+            the service emits Chrome flow events linking each job's
+            causal chain.  ``None`` (default) costs nothing.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class VisualizationService:
         collector: Optional[SimulationCollector] = None,
         tracer=None,
         metrics=None,
+        audit=None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
@@ -79,6 +85,11 @@ class VisualizationService:
         )
         self.tracer = active_tracer(tracer)
         self.metrics = metrics
+        self.audit = audit
+        # Flow events tie the causal chain together on the Chrome
+        # timeline; they need both the timeline (tracer) and the causal
+        # bookkeeping (audit) to mean anything.
+        self._flows = self.tracer is not None and audit is not None
         self._bind_metrics()
         self.ctx = SchedulerContext(
             cluster,
@@ -86,6 +97,7 @@ class VisualizationService:
             self.decomposition,
             tracer=self.tracer,
             metrics=self.metrics,
+            audit=self.audit,
         )
         self.collector = collector if collector is not None else SimulationCollector()
         cluster.add_task_finish_listener(self._on_task_finish)
@@ -246,6 +258,11 @@ class VisualizationService:
                 category="service",
                 args={"job": job.job_id, "user": job.user, "action": job.action},
             )
+            if self._flows:
+                self.tracer.flow_start(
+                    PID_HEAD, "jobs", f"job {job.job_id}",
+                    self.cluster.now, job.job_id,
+                )
         trigger = self.scheduler.trigger
         if trigger is Trigger.IMMEDIATE:
             self._run_scheduler([job])
@@ -308,6 +325,8 @@ class VisualizationService:
 
     def _run_scheduler(self, jobs: List[RenderJob]) -> None:
         """Invoke the policy, measure its cost, dispatch its assignments."""
+        if self.audit is not None:
+            self.audit.begin_invocation(self._events._now, len(jobs))
         t0 = _time.perf_counter()
         self.scheduler.schedule(jobs, self.ctx)
         elapsed = _time.perf_counter() - t0
@@ -416,6 +435,11 @@ class VisualizationService:
             category="composite",
             args={"job": job.job_id, "group": len(group_nodes)},
         )
+        if self._flows:
+            self.tracer.flow_step(
+                pid_for_node(root), "composite", f"job {job.job_id}",
+                now, job.job_id,
+            )
         self.tracer.instant(
             PID_HEAD,
             "jobs",
@@ -424,6 +448,10 @@ class VisualizationService:
             category="service",
             args={"job": job.job_id, "latency": job.finish_time - job.arrival_time},
         )
+        if self._flows:
+            self.tracer.flow_end(
+                PID_HEAD, "jobs", f"job {job.job_id}", now, job.job_id
+            )
 
     # -- state ---------------------------------------------------------------
 

@@ -43,6 +43,8 @@ from repro.reporting.analysis import (
 )
 from repro.reporting.collectors import JobRecord, SimulationCollector
 from repro.reporting.timeline import TimelineSampler
+from repro.obs.audit import AuditConfig, AuditLog
+from repro.obs.causal import CausalCollector, CriticalPathAnalysis
 from repro.obs.counters import CounterSampler, default_counter_interval
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -111,6 +113,8 @@ class SimulationResult:
     metrics: Optional["RunMetrics"] = None
     frontend: Optional["FrontendStats"] = None
     assignment_trace: Optional[List[AssignmentRecord]] = None
+    audit: Optional["AuditLog"] = None
+    critical_paths: Optional["CriticalPathAnalysis"] = None
 
     def assignment_trace_hash(self) -> str:
         """Digest of the recorded assignment trace.
@@ -305,13 +309,31 @@ def _run(
             if isinstance(config.metrics, MetricsRegistry)
             else MetricsRegistry()
         )
+    audit_log: Optional[AuditLog] = None
+    causal: Optional[CausalCollector] = None
+    if config.audit:
+        audit_cfg = (
+            config.audit
+            if isinstance(config.audit, AuditConfig)
+            else AuditConfig()
+        )
+        audit_log = AuditLog(
+            audit_cfg, scheduler=scheduler.name, scenario=scenario.name
+        )
+        causal = CausalCollector()
     service = VisualizationService(
         cluster,
         scheduler,
         scenario.system.chunk_max,
         tracer=live_tracer,
         metrics=registry,
+        audit=audit_log,
     )
+    if causal is not None:
+        # A per-job completion listener, not a per-task cluster listener:
+        # the cluster keeps its single-listener task-finish fast path and
+        # the collector fires once per job, after finish_time is set.
+        service.add_completion_listener(causal.on_job_complete)
     frontend: Optional[ServiceFrontend] = None
     if config.frontend is not None:
         frontend = ServiceFrontend(
@@ -320,6 +342,7 @@ def _run(
             target_framerate=scenario.target_framerate,
             horizon=None if drain else scenario.trace.duration,
             metrics=registry,
+            audit=audit_log,
         )
     metrics_sampler: Optional[MetricsSampler] = None
     if registry is not None:
@@ -344,6 +367,8 @@ def _run(
                 pid_for_node(node.node_id), f"render node {node.node_id}"
             )
             node.set_tracer(live_tracer)
+            if audit_log is not None:
+                node.set_flow_events(True)
         horizon_hint = scenario.trace.duration
         interval = (
             config.counter_interval
@@ -446,6 +471,10 @@ def _run(
         if gc_was_enabled:
             gc.enable()
 
+    if audit_log is not None:
+        # Flush and drop the JSONL stream handle so the log (and the
+        # result carrying it) stays picklable across sweep workers.
+        audit_log.close()
     return SimulationResult(
         scenario_name=scenario.name,
         scheduler_name=scheduler.name,
@@ -476,6 +505,8 @@ def _run(
         ),
         frontend=frontend.stats() if frontend is not None else None,
         assignment_trace=assignment_trace,
+        audit=audit_log,
+        critical_paths=causal.analysis() if causal is not None else None,
     )
 
 

@@ -1,0 +1,165 @@
+"""Causal critical paths: phase conservation, divergence diff, tables."""
+
+import math
+
+from repro.obs.audit import (
+    REASON_CACHE_HIT,
+    REASON_ONLY_AVAILABLE,
+    REASON_SHED,
+    AuditConfig,
+    DecisionRecord,
+)
+from repro.obs.causal import (
+    PHASES,
+    CriticalPath,
+    CriticalPathAnalysis,
+    first_divergence,
+    phase_delta_table,
+)
+from repro.sim.run_config import RunConfig
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import make_scenario
+
+
+def rec(user=0, action=0, sequence=0, task=0, node=0, reason=REASON_CACHE_HIT):
+    """A minimal DecisionRecord for divergence-matching tests."""
+    return DecisionRecord(
+        0.0, 0, user, action, sequence, "interactive", task, "ds", 0,
+        node, reason, (),
+    )
+
+
+def path(job_type="interactive", arrival=0.0, finish=1.0, cache_hit=True,
+         scheduling=0.1, queueing=0.2, io=0.0, render=0.6, composite=0.1):
+    return CriticalPath(
+        0, 0, 0, job_type, arrival, finish, 0, 0, cache_hit, 4,
+        scheduling, queueing, io, render, composite,
+    )
+
+
+class TestCriticalPath:
+    def test_latency_and_phase_values(self):
+        p = path()
+        assert p.latency == 1.0
+        values = p.phase_values()
+        assert tuple(values) == PHASES
+        assert math.isclose(sum(values.values()), p.latency)
+
+
+class TestAnalysis:
+    def test_empty_analysis_is_all_zero(self):
+        empty = CriticalPathAnalysis([])
+        assert len(empty) == 0
+        assert empty.mean_latency == 0.0
+        assert empty.cache_hit_fraction == 0.0
+        assert set(empty.phase_shares().values()) == {0.0}
+
+    def test_shares_sum_to_one(self):
+        analysis = CriticalPathAnalysis([path(), path(io=0.3, render=0.3)])
+        assert math.isclose(sum(analysis.phase_shares().values()), 1.0)
+
+    def test_filter_by_job_type(self):
+        analysis = CriticalPathAnalysis(
+            [path(job_type="interactive"), path(job_type="batch")]
+        )
+        assert len(analysis.filter("batch")) == 1
+        assert len(analysis.filter(None)) == 2
+
+    def test_table_renders(self):
+        text = CriticalPathAnalysis([path()]).table(title="OURS")
+        assert "OURS" in text
+        assert "1 critical paths" in text
+        for name in PHASES:
+            assert name in text
+
+
+class TestFirstDivergence:
+    def test_identical_streams_agree(self):
+        a = [rec(task=0, node=1), rec(task=1, node=2)]
+        b = [rec(task=0, node=1), rec(task=1, node=2)]
+        assert first_divergence(a, b) is None
+
+    def test_first_mismatch_in_a_order(self):
+        a = [rec(task=0, node=1), rec(task=1, node=2)]
+        b = [rec(task=1, node=5), rec(task=0, node=1)]  # order differs too
+        div = first_divergence(a, b)
+        assert div is not None
+        assert div.index == 1
+        assert div.a.node == 2 and div.b.node == 5
+
+    def test_occurrence_matching_for_redispatched_tasks(self):
+        # The same task decided twice (failure redispatch): first
+        # occurrences agree, second occurrences differ.
+        a = [rec(task=0, node=1), rec(task=0, node=3)]
+        b = [rec(task=0, node=1), rec(task=0, node=7)]
+        div = first_divergence(a, b)
+        assert div is not None
+        assert div.index == 1
+
+    def test_shed_records_skipped(self):
+        a = [rec(task=-1, node=-1, reason=REASON_SHED), rec(task=0, node=1)]
+        b = [rec(task=0, node=1)]
+        assert first_divergence(a, b) is None
+
+    def test_unmatched_tasks_skipped(self):
+        a = [rec(task=0, node=1), rec(task=9, node=4)]
+        b = [rec(task=0, node=1)]  # never decided task 9
+        assert first_divergence(a, b) is None
+
+
+class TestPhaseDeltaTable:
+    def test_renders_both_runs_and_all_phases(self):
+        a = CriticalPathAnalysis([path(io=0.0, render=0.6)])
+        b = CriticalPathAnalysis([path(io=0.4, render=0.2)])
+        text = phase_delta_table(a, b, "OURS", "FCFS")
+        assert "OURS" in text and "FCFS" in text
+        for name in PHASES:
+            assert name in text
+        assert "pp" in text  # share deltas in percentage points
+        assert "latency" in text
+
+    def test_empty_runs_do_not_crash(self):
+        text = phase_delta_table(
+            CriticalPathAnalysis([]), CriticalPathAnalysis([]), "A", "B"
+        )
+        assert "io" in text
+
+
+class TestCollectorOnRealRun:
+    """Critical paths built during a real simulation."""
+
+    def run(self, scheduler):
+        scenario = make_scenario(2, scale=0.05)
+        return run_simulation(
+            scenario,
+            scheduler,
+            RunConfig(audit=AuditConfig(capacity=None), drain=True),
+        )
+
+    def test_one_path_per_completed_job(self):
+        result = self.run("OURS")
+        assert result.critical_paths is not None
+        assert len(result.critical_paths) == result.jobs_completed
+
+    def test_phases_conserve_latency(self):
+        """The five phases sum exactly to each job's latency."""
+        result = self.run("OURS")
+        for p in result.critical_paths.paths:
+            total = sum(p.phase_values().values())
+            assert math.isclose(total, p.latency, rel_tol=0, abs_tol=1e-9)
+
+    def test_phases_are_non_negative(self):
+        result = self.run("FCFS")
+        for p in result.critical_paths.paths:
+            for name, value in p.phase_values().items():
+                assert value >= -1e-12, (name, value)
+
+    def test_locality_scheduler_has_cache_hit_bounding_tasks(self):
+        result = self.run("OURS")
+        analysis = result.critical_paths
+        assert analysis.cache_hit_fraction > 0.5
+        assert result.audit.reason_counts().get(REASON_CACHE_HIT, 0) > 0
+
+    def test_blind_scheduler_reasons_are_only_available(self):
+        result = self.run("FCFS")
+        assert set(result.audit.reason_counts()) == {REASON_ONLY_AVAILABLE}

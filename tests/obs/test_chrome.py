@@ -6,7 +6,7 @@ from collections import defaultdict
 from repro.obs.chrome import chrome_trace_events, to_chrome_trace, write_chrome_trace
 from repro.obs.tracer import Tracer
 
-VALID_PHASES = {"X", "B", "E", "i", "C", "M"}
+VALID_PHASES = {"X", "B", "E", "i", "C", "M", "s", "t", "f"}
 
 
 def small_tracer() -> Tracer:
@@ -81,6 +81,84 @@ class TestSchema:
         assert back["displayTimeUnit"] == "ms"
         assert back["otherData"] == {"scenario": "s1"}
         assert len(back["traceEvents"]) == len(doc["traceEvents"])
+
+
+class TestFlowExport:
+    def flow_tracer(self) -> Tracer:
+        tr = Tracer()
+        tr.flow_start(0, "jobs", "job 3", 0.0, 3)
+        tr.flow_step(1, "render", "job 3", 0.5, 3)
+        tr.flow_end(0, "jobs", "job 3", 1.0, 3)
+        return tr
+
+    def test_flow_rows_carry_chain_id(self):
+        rows = [
+            r
+            for r in chrome_trace_events(self.flow_tracer())
+            if r["ph"] in ("s", "t", "f")
+        ]
+        assert [r["ph"] for r in rows] == ["s", "t", "f"]
+        assert all(r["id"] == 3 for r in rows)
+        assert all(r["cat"] == "flow" for r in rows)
+
+    def test_flow_end_binds_to_enclosing_slice(self):
+        rows = [
+            r
+            for r in chrome_trace_events(self.flow_tracer())
+            if r["ph"] in ("s", "t", "f")
+        ]
+        assert rows[-1]["bp"] == "e"
+        assert "bp" not in rows[0]
+        assert "bp" not in rows[1]
+
+
+class TestMetadataFallback:
+    def test_unnamed_track_still_gets_process_name(self):
+        tr = Tracer()
+        tr.instant(5, "x", "evt", 0.0)  # pid 5 never named
+        rows = chrome_trace_events(tr)
+        names = {
+            r["pid"]: r["args"]["name"]
+            for r in rows
+            if r["ph"] == "M" and r["name"] == "process_name"
+        }
+        assert names[5] == "track 5"
+
+    def test_named_but_eventless_track_is_kept(self):
+        tr = Tracer()
+        tr.name_process(9, "spare node")
+        names = {
+            r["pid"]: r["args"]["name"]
+            for r in chrome_trace_events(tr)
+            if r["ph"] == "M" and r["name"] == "process_name"
+        }
+        assert names[9] == "spare node"
+
+
+class TestAsciiEscaping:
+    def test_non_ascii_names_escaped_losslessly(self):
+        tr = Tracer()
+        tr.name_process(0, "héad")
+        tr.instant(0, "lané", "rendér c0", 0.0)
+        rows = chrome_trace_events(tr)
+        instant = next(r for r in rows if r["ph"] == "i")
+        assert instant["name"] == "rend\\xe9r c0"
+        process = next(
+            r for r in rows if r["ph"] == "M" and r["name"] == "process_name"
+        )
+        assert process["args"]["name"] == "h\\xe9ad"
+        thread = next(
+            r for r in rows if r["ph"] == "M" and r["name"] == "thread_name"
+        )
+        assert thread["args"]["name"] == "lan\\xe9"
+        for row in rows:
+            assert row["name"].isascii()
+
+    def test_ascii_names_pass_through_unchanged(self):
+        tr = Tracer()
+        tr.instant(0, "jobs", "plain name", 0.0)
+        rows = chrome_trace_events(tr)
+        assert any(r["name"] == "plain name" for r in rows)
 
 
 class TestWrite:

@@ -160,6 +160,31 @@ class TestRegistry:
         assert "repro_lat_sum 2" in text
         assert "repro_lat_count 2" in text
 
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_jobs", labels={"dataset": 'vol "a"\\raw\nv2'}
+        ).inc(1)
+        text = reg.to_prometheus()
+        # Prometheus quoted label values escape \, ", and newline.
+        assert 'dataset="vol \\"a\\"\\\\raw\\nv2"' in text
+        assert "\n\n" not in text  # no raw newline leaked into a line
+
+    def test_label_lines_stay_single_line(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_depth", labels={"queue": "a\nb"}).set(2)
+        lines = reg.to_prometheus().splitlines()
+        series = [l for l in lines if l.startswith("repro_depth")]
+        assert series == ['repro_depth{queue="a\\nb"} 2']
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs", 'path C:\\x\nsecond "line"').inc()
+        lines = reg.to_prometheus().splitlines()
+        help_line = next(l for l in lines if l.startswith("# HELP"))
+        # HELP escapes \ and newline but leaves quotes alone.
+        assert help_line == '# HELP repro_jobs_total path C:\\\\x\\nsecond "line"'
+
     def test_snapshot_includes_quantiles(self):
         reg = MetricsRegistry()
         reg.histogram("repro_lat").observe(1.0)

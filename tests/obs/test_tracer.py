@@ -1,5 +1,7 @@
 """Tests for the virtual-time tracer: spans, nesting, ordering, counters."""
 
+import inspect
+
 import pytest
 
 from repro.obs.tracer import (
@@ -117,7 +119,76 @@ class TestEventsFor:
         assert tr.events_for(1, "unknown-lane") == []
 
 
+class TestFlows:
+    def test_flow_chain_recorded_with_ids(self):
+        tr = Tracer()
+        tr.flow_start(0, "jobs", "job 7", 0.0, 7)
+        tr.flow_step(1, "render", "job 7", 0.5, 7)
+        tr.flow_end(0, "jobs", "job 7", 1.0, 7)
+        rows = [(e.phase, e.pid, e.flow_id) for e in tr.events]
+        assert rows == [("s", 0, 7), ("t", 1, 7), ("f", 0, 7)]
+        assert all(e.category == "flow" for e in tr.events)
+
+    def test_flows_respect_lane_monotonicity(self):
+        tr = Tracer()
+        tr.instant(0, "jobs", "a", 5.0)
+        with pytest.raises(TraceError):
+            tr.flow_start(0, "jobs", "job 1", 4.0, 1)
+
+    def test_flows_are_not_spans(self):
+        tr = Tracer()
+        tr.flow_start(0, "jobs", "job 1", 0.0, 1)
+        tr.flow_end(0, "jobs", "job 1", 1.0, 1)
+        assert tr.span_count == 0
+        assert len(tr) == 2
+
+    def test_non_flow_events_have_no_flow_id(self):
+        tr = Tracer()
+        tr.instant(0, "jobs", "a", 0.0)
+        assert tr.events[0].flow_id is None
+
+
+def _param_shape(func):
+    """Signature shape without annotations: (name, kind, default)."""
+    return [
+        (p.name, p.kind, p.default)
+        for p in inspect.signature(func).parameters.values()
+    ]
+
+
 class TestNullTracer:
+    def test_protocol_conformance_with_tracer(self):
+        """NullTracer must mirror Tracer's full public API.
+
+        Compared by parameter shape rather than raw signature equality:
+        Tracer carries type annotations the no-op stubs drop, but names,
+        kinds, and defaults must match so either object is drop-in at
+        every call site.
+        """
+        public = [
+            name
+            for name, member in vars(Tracer).items()
+            if not name.startswith("_") and inspect.isfunction(member)
+        ]
+        assert "flow_start" in public  # sanity: the reflection is live
+        for name in public:
+            null_member = inspect.getattr_static(NullTracer, name, None)
+            assert null_member is not None, f"NullTracer missing {name}"
+            assert _param_shape(getattr(Tracer, name)) == _param_shape(
+                getattr(NullTracer, name)
+            ), name
+        tracer_props = {
+            name
+            for name, member in vars(Tracer).items()
+            if isinstance(member, property)
+        }
+        null_props = {
+            name
+            for name, member in vars(NullTracer).items()
+            if isinstance(member, property)
+        }
+        assert tracer_props <= null_props
+
     def test_disabled_and_empty(self):
         null = NullTracer()
         assert null.enabled is False
@@ -127,6 +198,9 @@ class TestNullTracer:
         null.instant(0, "io", "x", 0.0)
         null.counter(0, "c", 0.0, {"v": 1.0})
         null.name_process(0, "head")
+        null.flow_start(0, "jobs", "x", 0.0, 1)
+        null.flow_step(0, "jobs", "x", 0.5, 1)
+        null.flow_end(0, "jobs", "x", 1.0, 1)
         assert len(null) == 0
         assert null.span_count == 0
         assert null.counter_tracks() == []

@@ -107,6 +107,38 @@ def test_missing_baseline_dir_is_usage_error(tmp_path):
     assert proc.returncode == 2
 
 
+def test_dropped_metric_is_a_regression(dirs):
+    """A baseline leaf missing from fresh results must gate the build."""
+    results, baselines = dirs
+    fresh = json.loads((results / "BENCH_fig5.json").read_text())
+    del fresh["schedulers"]["OURS"]["hit_rate"]
+    (results / "BENCH_fig5.json").write_text(json.dumps(fresh))
+    proc = run_gate("--results", str(results), "--baselines", str(baselines))
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stdout
+    assert "hit_rate" in proc.stdout
+    assert "missing from fresh results" in proc.stdout
+
+
+def test_dropped_wall_clock_key_does_not_gate(dirs):
+    results, baselines = dirs
+    fresh = json.loads((results / "BENCH_fig5.json").read_text())
+    del fresh["schedulers"]["OURS"]["wall_s"]
+    (results / "BENCH_fig5.json").write_text(json.dumps(fresh))
+    proc = run_gate("--results", str(results), "--baselines", str(baselines))
+    assert proc.returncode == 0
+
+
+def test_new_metric_only_warns(dirs):
+    results, baselines = dirs
+    fresh = json.loads((results / "BENCH_fig5.json").read_text())
+    fresh["schedulers"]["OURS"]["brand_new"] = 1.0
+    (results / "BENCH_fig5.json").write_text(json.dumps(fresh))
+    proc = run_gate("--results", str(results), "--baselines", str(baselines))
+    assert proc.returncode == 0
+    assert "new metric" in proc.stdout
+
+
 def test_update_refreshes_baselines(dirs):
     results, baselines = dirs
     fresh = json.loads((results / "BENCH_fig5.json").read_text())
@@ -118,6 +150,20 @@ def test_update_refreshes_baselines(dirs):
     assert proc.returncode == 0
     updated = json.loads((baselines / "BENCH_fig5.json").read_text())
     assert updated["schedulers"]["OURS"]["interactive_fps"] == 99.0
+
+
+def test_update_prunes_stale_baselines(dirs):
+    """--update removes baselines whose bench emitted no fresh results."""
+    results, baselines = dirs
+    stale = baselines / "BENCH_gone.json"
+    stale.write_text(json.dumps(PAYLOAD))
+    proc = run_gate(
+        "--update", "--results", str(results), "--baselines", str(baselines)
+    )
+    assert proc.returncode == 0
+    assert not stale.exists()
+    assert "removed stale baseline" in proc.stdout
+    assert (baselines / "BENCH_fig5.json").exists()
 
 
 def test_committed_baselines_are_valid_json():
