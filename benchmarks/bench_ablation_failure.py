@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks._shared import bench_scale, emit_report
+from repro.faults import FaultPlan
 from repro.reporting.report import sweep_table
 from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
@@ -22,33 +23,47 @@ from repro.workload.scenarios import scenario_1
 SCALE = bench_scale(0.5)
 CRASHES = {0: [], 1: [(10.0 * SCALE, 3)], 2: [(10.0 * SCALE, 3), (18.0 * SCALE, 6)]}
 
-_RESULTS: dict = {}
+
+@pytest.fixture(scope="module")
+def results_cache():
+    """Module-scoped result memo — dropped when the module finishes, so
+    repeated bench sessions in one process don't accumulate results."""
+    cache: dict = {}
+    yield cache
+    cache.clear()
 
 
-def _run(crashes: int):
-    if crashes not in _RESULTS:
-        _RESULTS[crashes] = run_simulation(
+def _run(crashes: int, cache: dict):
+    if crashes not in cache:
+        cache[crashes] = run_simulation(
             scenario_1(scale=SCALE),
             "OURS",
-            config=RunConfig(node_failures=CRASHES[crashes]),
+            config=RunConfig(
+                faults=FaultPlan.from_node_failures(CRASHES[crashes])
+            ),
         )
-    return _RESULTS[crashes]
+    return cache[crashes]
 
 
 @pytest.mark.parametrize("crashes", sorted(CRASHES))
-def test_failure_point(benchmark, crashes):
-    result = benchmark.pedantic(_run, args=(crashes,), rounds=1, iterations=1)
+def test_failure_point(benchmark, crashes, results_cache):
+    result = benchmark.pedantic(
+        _run, args=(crashes, results_cache), rounds=1, iterations=1
+    )
     assert result.jobs_submitted > 0
 
 
-def test_failure_report(benchmark):
+def test_failure_report(benchmark, results_cache):
+    def _run_c(c):
+        return _run(c, results_cache)
+
     def build():
         return {
-            "fps": [_run(c).interactive_fps for c in sorted(CRASHES)],
+            "fps": [_run_c(c).interactive_fps for c in sorted(CRASHES)],
             "latency (s)": [
-                _run(c).interactive_latency.mean for c in sorted(CRASHES)
+                _run_c(c).interactive_latency.mean for c in sorted(CRASHES)
             ],
-            "hit rate %": [100 * _run(c).hit_rate for c in sorted(CRASHES)],
+            "hit rate %": [100 * _run_c(c).hit_rate for c in sorted(CRASHES)],
         }
 
     series = benchmark.pedantic(build, rounds=1, iterations=1)
@@ -75,5 +90,5 @@ def test_failure_report(benchmark):
     assert fps[0] > fps[1] > fps[2] > 1.0
     # Every crash run still completed a substantial share of its jobs.
     for c in sorted(CRASHES):
-        result = _run(c)
+        result = _run_c(c)
         assert result.jobs_completed > 0.25 * result.jobs_submitted

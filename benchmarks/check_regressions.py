@@ -84,6 +84,19 @@ TOLERANCES: Dict[str, Tuple[float, float]] = {
     "interactive_completed": (0.02, 1.0),
     "batch_completed": (0.05, 1.0),
     "hit_rate": (0.01, 0.002),
+    # Fault-storm numbers (bench_faults): virtual-time deterministic.
+    # Jobs lost and RCA outcomes are hard guarantees — zero drift.
+    "jobs_lost": (0.0, 0.0),
+    "detections": (0.0, 0.0),
+    "recovery_actions": (0.0, 0.0),
+    "detection_latency_mean": (0.05, 0.01),
+    "detection_latency_max": (0.05, 0.01),
+    "tasks_requeued": (0.05, 1.0),
+    "compliant_fraction": (0.05, 0.02),
+    "localized": (0.0, 0.0),
+    "recall": (0.0, 1e-9),
+    "false_positives": (0.0, 0.0),
+    "verdicts": (0.0, 0.0),
 }
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 
 from repro import RunConfig, run_simulation, scenario_1
+from repro.faults import FaultPlan
 from repro.reporting import sparkline
 
 
@@ -42,7 +43,10 @@ def main() -> None:
     failed = run_simulation(
         scenario,
         "OURS",
-        config=RunConfig(timeline_interval=0.25, node_failures=crashes),
+        config=RunConfig(
+            timeline_interval=0.25,
+            faults=FaultPlan.from_node_failures(crashes),
+        ),
     )
 
     for label, result in (("healthy", healthy), ("with crashes", failed)):

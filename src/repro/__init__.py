@@ -18,7 +18,11 @@ services, with:
 * a structured observability layer (virtual-time spans/counters, Chrome
   trace-event export, per-node io/render/composite/idle profiles), and
 * an overload-management frontend (admission control, backpressure,
-  SLO-driven graceful degradation) for demand beyond cluster capacity.
+  SLO-driven graceful degradation) for demand beyond cluster capacity,
+  and
+* a fault-injection + self-healing subsystem (deterministic fault
+  plans, oracle-free detection, audited recovery, root-cause analysis
+  over the decision audit log).
 
 Quickstart::
 
@@ -66,6 +70,16 @@ from repro.core import (
     make_scheduler,
     register_scheduler,
 )
+from repro.faults import (
+    CacheWipe,
+    DetectionConfig,
+    FaultPlan,
+    FaultReport,
+    NodeCrash,
+    RecoveryConfig,
+    StorageDegrade,
+    Straggler,
+)
 from repro.frontend import (
     AdmissionConfig,
     BackpressureConfig,
@@ -111,7 +125,7 @@ from repro.workload import (
     scenario_4,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Cluster",
@@ -136,6 +150,14 @@ __all__ = [
     "job_latency",
     "make_scheduler",
     "register_scheduler",
+    "CacheWipe",
+    "DetectionConfig",
+    "FaultPlan",
+    "FaultReport",
+    "NodeCrash",
+    "RecoveryConfig",
+    "StorageDegrade",
+    "Straggler",
     "AdmissionConfig",
     "BackpressureConfig",
     "DegradeConfig",

@@ -7,6 +7,10 @@ Subcommands:
 * ``explain`` — diff two schedulers' decision streams on one scenario:
   first divergent placement, reason-code mix, and the per-phase
   critical-path latency attribution table.
+* ``faults`` — run a scenario under an injected fault plan (crashes,
+  stragglers, cache wipes, storage degradation), print the detection /
+  recovery report, and localize the faults from the audit evidence
+  (root-cause analysis scored against the ground-truth plan).
 * ``render`` — sort-last render a synthetic dataset to a PPM image with
   the real ray caster.
 * ``animate`` — render an orbit animation of a dataset (PPM frames).
@@ -19,6 +23,8 @@ Examples::
     repro simulate --scenario 2 --load 2.5 \
         --admission sessions=8 --queue-limit 64:shed-oldest --degrade
     repro explain --scenario 2 --schedulers OURS,FCFS --scale 0.1
+    repro faults --scenario 1 --scale 0.5 --plan "crash@10:node=3,revive=20"
+    repro faults --scenario 1 --scale 0.5 --storm 11 --report rca.json
     repro render --dataset supernova --ranks 6 --out supernova.ppm
 """
 
@@ -196,6 +202,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain",
         action="store_true",
         help="simulate past the horizon until every job completes",
+    )
+
+    flt = sub.add_parser(
+        "faults",
+        help="inject faults, report self-healing + root-cause analysis",
+    )
+    flt.add_argument(
+        "--scenario", type=int, choices=sorted(SCENARIO_FACTORIES), default=1
+    )
+    flt.add_argument("--scheduler", default="OURS", help="one registry name")
+    flt.add_argument("--scale", type=float, default=0.5)
+    flt.add_argument("--seed", type=int, default=None)
+    flt.add_argument("--load", type=float, default=1.0)
+    flt.add_argument(
+        "--plan",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "fault plan: semicolon-separated kind@time[:key=value,...] "
+            "events; kinds crash (node=, revive=), straggler (node=, "
+            "render=, io=, until=), wipe (node=, dataset=), storage "
+            "(latency=, bw=, until=).  Example: "
+            "'crash@10:node=3,revive=20;storage@6:latency=5,until=12'"
+        ),
+    )
+    flt.add_argument(
+        "--storm",
+        metavar="SEED",
+        type=int,
+        default=None,
+        help=(
+            "seeded reproducible fault storm (one crash+revival, one "
+            "straggler, one cache wipe, one storage window) instead of "
+            "--plan; default when neither flag is given: --storm 11"
+        ),
+    )
+    flt.add_argument(
+        "--no-heal",
+        action="store_true",
+        help=(
+            "vanilla injection: no detection, no recovery (crashes use "
+            "the legacy instantly-aware §VI-D path)"
+        ),
+    )
+    flt.add_argument(
+        "--slo",
+        metavar="SPEC",
+        action="append",
+        default=None,
+        help=(
+            "SLO to evaluate (fps=TARGET, latency=SECONDS, or "
+            "latency:p99=SECONDS; repeatable); default: fps at the "
+            "scenario's target framerate"
+        ),
+    )
+    flt.add_argument(
+        "--slo-window",
+        type=float,
+        default=1.0,
+        help="SLO sliding-window length in simulated seconds (default 1.0)",
+    )
+    flt.add_argument(
+        "--audit",
+        metavar="PATH",
+        default=None,
+        help="also stream the decision audit log (JSONL) to PATH",
+    )
+    flt.add_argument(
+        "--rca-tolerance",
+        type=float,
+        default=2.0,
+        help=(
+            "onset-time tolerance in simulated seconds when grading "
+            "RCA verdicts against the injected plan (default 2.0)"
+        ),
+    )
+    flt.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the full machine-readable report (plan, detections, "
+            "recovery actions, SLO compliance, RCA verdicts + score) "
+            "as JSON to PATH"
+        ),
     )
 
     ren = sub.add_parser("render", help="sort-last render a dataset to PPM")
@@ -511,6 +602,143 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Inject a fault plan, print detection/recovery/RCA reports."""
+    import json
+
+    from repro.faults import FaultPlan, analyze, score
+    from repro.obs import AuditConfig, SLObjective, SLOMonitor, slo_table
+
+    name = args.scheduler.strip().upper()
+    if name not in SCHEDULER_NAMES:
+        print(
+            f"unknown scheduler: {name}; valid: {', '.join(SCHEDULER_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.plan is not None and args.storm is not None:
+        print("pass either --plan or --storm, not both", file=sys.stderr)
+        return 2
+    try:
+        scenario = make_scenario(
+            args.scenario, scale=args.scale, seed=args.seed, load=args.load
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    heal = not args.no_heal
+    try:
+        if args.plan is not None:
+            plan = FaultPlan.parse(args.plan, heal=heal)
+        else:
+            plan = FaultPlan.storm(
+                args.storm if args.storm is not None else 11,
+                node_count=scenario.system.node_count,
+                duration=scenario.trace.duration,
+                heal=heal,
+            )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        objectives = [
+            SLObjective.parse(spec, window=args.slo_window)
+            for spec in (
+                args.slo or [f"fps={scenario.target_framerate:g}"]
+            )
+        ]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(scenario.summary())
+    print(plan.describe())
+    print()
+    # RCA wants the complete decision stream, not a ring window.
+    audit_cfg = AuditConfig(
+        capacity=None,
+        jsonl_path=Path(args.audit) if args.audit else None,
+    )
+    config = RunConfig(drain=True, audit=audit_cfg, faults=plan)
+    try:
+        result = run_simulation(scenario, name, config=config)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = result.fault_report
+    print(f"{name}: {report.summary()}")
+    print(
+        f"    completed {result.jobs_completed}/{result.jobs_submitted} "
+        f"jobs, hit rate {result.hit_rate:.1%}, "
+        f"fps {result.interactive_fps:.2f}"
+    )
+    for detection in report.detections:
+        latency = (
+            f" ({detection.latency * 1e3:.0f} ms after injection)"
+            if detection.latency is not None
+            else ""
+        )
+        print(
+            f"    detected {detection.kind} on node {detection.node} "
+            f"at t={detection.time:.3f}s{latency}"
+        )
+    for action in report.actions:
+        count = f" ({action.count} tasks)" if action.count else ""
+        print(
+            f"    recovery {action.kind} on node {action.node} "
+            f"at t={action.time:.3f}s{count}"
+        )
+    slo_reports = SLOMonitor(objectives).evaluate(result)
+    print()
+    print(slo_table(slo_reports, title="SLO report"))
+    windows = [w for rep in slo_reports for w in rep.violations]
+    rca_report = analyze(
+        result.audit,
+        result.critical_paths.paths,
+        windows,
+        node_count=scenario.system.node_count,
+    )
+    grade = score(rca_report, plan, time_tolerance=args.rca_tolerance)
+    print()
+    print("root-cause analysis (from audit + critical paths alone):")
+    if not rca_report.verdicts:
+        print("    no fault localized")
+    for verdict in rca_report.verdicts:
+        print(f"    {verdict.describe()}")
+        for line in verdict.evidence:
+            print(f"        - {line}")
+    print(
+        f"    score vs ground truth: {grade['localized']}/{grade['total']} "
+        f"events localized within ±{args.rca_tolerance:g}s "
+        f"(recall {grade['recall']:.0%}, "
+        f"{grade['false_positives']} false positives)"
+    )
+    if args.audit:
+        print(f"audit log written to {args.audit}")
+    if args.report:
+        payload = {
+            "scenario": scenario.name,
+            "scheduler": name,
+            "plan": plan.describe(),
+            "self_healing": plan.self_healing,
+            "fault_report": report.to_dict(),
+            "slo": [
+                {
+                    "objective": rep.objective.describe(),
+                    "compliant_fraction": rep.compliant_fraction,
+                    "violations": len(rep.violations),
+                }
+                for rep in slo_reports
+            ],
+            "rca": rca_report.to_dict(),
+            "score": grade,
+        }
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report written to {path}")
+    return 0
+
+
 def cmd_render(args: argparse.Namespace) -> int:
     """Sort-last render a synthetic dataset to a PPM image."""
     volume = make_volume(args.dataset, (args.size, args.size, args.size))
@@ -589,6 +817,7 @@ def cmd_scenarios(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": cmd_simulate,
     "explain": cmd_explain,
+    "faults": cmd_faults,
     "render": cmd_render,
     "animate": cmd_animate,
     "schedulers": cmd_schedulers,

@@ -91,15 +91,22 @@ class Cluster:
 
     # -- wiring ------------------------------------------------------------
 
-    def add_task_finish_listener(self, callback: TaskFinishCallback) -> None:
+    def add_task_finish_listener(
+        self, callback: TaskFinishCallback, *, prepend: bool = False
+    ) -> None:
         """Register a callback fired on every task completion.
 
         With exactly one listener (the common case: the service), nodes
         call it directly; the fan-out wrapper is wired in only once a
-        second listener appears.
+        second listener appears.  ``prepend`` puts the callback ahead of
+        the existing listeners — the fault outlier detector uses this to
+        read pending-estimate state before the service consumes it.
         """
         listeners = self._task_finish_listeners
-        listeners.append(callback)
+        if prepend:
+            listeners.insert(0, callback)
+        else:
+            listeners.append(callback)
         target = callback if len(listeners) == 1 else self._notify_task_finish
         for node in self.nodes:
             node._on_task_finish = target

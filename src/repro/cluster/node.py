@@ -72,6 +72,8 @@ class RenderNode:
         "_running",
         "_loading",
         "_alive",
+        "render_factor",
+        "io_factor",
         "_tracer",
         "_flows",
         "_metrics",
@@ -130,6 +132,11 @@ class RenderNode:
         # across completions, crashes, and timed-out attempts).
         self._loading: set = set()
         self._alive = True
+        # Straggler degradation (fault injection): multipliers on the
+        # node's render and I/O times.  1.0 → healthy, hot path pays one
+        # float compare per task.
+        self.render_factor = 1.0
+        self.io_factor = 1.0
         # observability (None → zero-cost: one identity check per task)
         self._tracer = None
         self._flows = False
@@ -332,6 +339,8 @@ class RenderNode:
         now = self._events._now
         chunk = task.chunk
         io_time = self._storage.begin_load(chunk.size)
+        if self.io_factor != 1.0:
+            io_time *= self.io_factor
         spec = self._storage.spec
         if (
             spec.timeout is not None
@@ -394,6 +403,9 @@ class RenderNode:
                 pos = 0
             self._jitter_pos = pos + 1
             render_time *= 1.0 + jitter * buf[pos]
+        if self.render_factor != 1.0:
+            # Straggler degradation (fault injection).
+            render_time *= self.render_factor
 
         task.io_time = waited + io_time
         self.io_seconds += waited + io_time
@@ -479,9 +491,12 @@ class RenderNode:
 
     def _finish(self, task: RenderTask) -> None:
         """Completion event: record times, notify, start the next task."""
-        if not self._alive:
+        if not self._alive or task not in self._running:
             # The node crashed while this task was in flight; the stale
             # completion event is void (the task was re-dispatched).
+            # The membership test catches stale events that outlive a
+            # planned revival — the node is alive again, but the voided
+            # task finished elsewhere long ago.
             return
         now = self._events._now
         task.finish_time = now
@@ -545,10 +560,44 @@ class RenderNode:
             task.cache_hit = None
         self.cache.clear()
         if self._vram is not None:
-            # VRAM contents die with the node; a fresh model would only
-            # matter if the node rejoined, which we do not support.
+            # VRAM contents die with the node; a revived node starts
+            # with whatever the (now cold) model still tracks, which the
+            # first accesses repopulate.
             pass
         return orphans
+
+    def revive(self) -> None:
+        """Bring a crashed node back (planned revival, fault injection).
+
+        The process restarts empty: :meth:`fail` already cleared the
+        queue, the running set, and the cache, so rejoining is just the
+        liveness flip.  No-op when the node never crashed.
+        """
+        if self._alive:
+            return
+        self._alive = True
+        if self._tracer is not None:
+            self._tracer.instant(
+                self._pid,
+                "cache",
+                "node revived",
+                self._events.now,
+                category="service",
+            )
+
+    def steal_backlog(self) -> "list":
+        """Remove and return the queued (unstarted) tasks.
+
+        Speculative re-execution: tasks already running stay — they
+        finish (slowly) where they are, so no task completes twice.
+        Stolen tasks have their node slot reset for re-dispatch; their
+        other per-run state was never touched (they had not started).
+        """
+        stolen = list(self.queue)
+        self.queue.clear()
+        for task in stolen:
+            task.node = None
+        return stolen
 
     def drain_check(self) -> None:
         """Assert the node is quiescent (test helper)."""

@@ -38,15 +38,16 @@ class RRScheduler(Scheduler):
     def schedule(self, jobs: Sequence[RenderJob], ctx: SchedulerContext) -> None:
         p = ctx.node_count
         alive = ctx.tables.alive
+        quarantined = ctx.tables.quarantined
         for job in jobs:
             for task in ctx.decompose(job):
                 for _ in range(p):
                     node = self._next
                     self._next = (self._next + 1) % p
-                    if alive[node]:
+                    if alive[node] and not quarantined[node]:
                         break
                 else:
-                    raise RuntimeError("no alive rendering nodes")
+                    raise RuntimeError("no schedulable rendering nodes")
                 # Cyclic dealing consults neither load nor cache state.
                 ctx.assign(task, node, REASON_FALLBACK)
 

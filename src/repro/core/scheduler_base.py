@@ -204,18 +204,23 @@ class Scheduler(ABC):
         return 0
 
     def reschedule(
-        self, tasks: Sequence[RenderTask], ctx: SchedulerContext
+        self,
+        tasks: Sequence[RenderTask],
+        ctx: SchedulerContext,
+        reason: str = REASON_FALLBACK,
     ) -> None:
         """Re-place tasks orphaned by a node failure (paper §VI-D).
 
         Default: locality-aware greedy onto surviving nodes — tasks
         whose chunks have live replicas go there, the rest reload from
         the file system.  Policies may override (e.g. to fold orphans
-        back into their cycle queues).  Audited as ``fallback``: the
-        placement happens outside the policy's normal scoring loop.
+        back into their cycle queues).  Audited as ``fallback`` by
+        default: the placement happens outside the policy's normal
+        scoring loop.  The fault-recovery engine passes its own reason
+        codes (``requeue-crash``, ``speculative``) instead.
         """
         for task in tasks:
-            ctx.assign(task, greedy_locality_aware(task, ctx), REASON_FALLBACK)
+            ctx.assign(task, greedy_locality_aware(task, ctx), reason)
 
     def reset(self) -> None:
         """Clear internal state between simulation runs (default no-op)."""

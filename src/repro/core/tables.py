@@ -287,6 +287,7 @@ class SchedulerTables:
         "_pending_est",
         "_pending_per_node",
         "alive",
+        "quarantined",
         "backlog_index",
         "_render_memo_get",
     )
@@ -335,6 +336,9 @@ class SchedulerTables:
         self._pending_per_node: List[int] = [0] * node_count
         #: Liveness mask (paper §VI-D: failed nodes become unavailable).
         self.alive: List[bool] = [True] * node_count
+        #: Quarantine mask (fault recovery: stragglers withheld from
+        #: scheduling while still finishing their running work).
+        self.quarantined: List[bool] = [False] * node_count
 
     # -- Cache table --------------------------------------------------------
 
@@ -499,6 +503,56 @@ class SchedulerTables:
         self.available[node] = math.inf
         self._pending_per_node[node] = 0
 
+    def quarantine(self, node: int) -> None:
+        """Withhold ``node`` from scheduling without declaring it dead.
+
+        The node stays alive — work already executing there finishes and
+        corrects the tables — but its available time is pinned at
+        infinity so no greedy step ever selects it again.  Sticky for
+        the run unless :meth:`mark_node_recovered` lifts it.
+        """
+        self.quarantined[node] = True
+        self.available[node] = math.inf
+
+    def mark_node_recovered(self, node: int, now: float) -> None:
+        """Return a revived (or un-quarantined) node to scheduling.
+
+        The node rejoins with a cold cache: :meth:`mark_node_failed`
+        already dropped its mirror, and a revived process starts empty,
+        so only the liveness/quarantine masks and the available time
+        need resetting.
+        """
+        self.alive[node] = True
+        self.quarantined[node] = False
+        self.available[node] = now
+        self._pending_per_node[node] = 0
+
+    def cancel_assignment(self, task: RenderTask, node: int) -> None:
+        """Forget an in-flight prediction for a task being re-issued.
+
+        Used by speculative re-execution: the task was stolen back from
+        ``node``'s queue before starting, so its pending estimate must
+        not feed a later completion correction there.
+        """
+        self._pending_est.pop(task, None)
+        if self._pending_per_node[node] > 0:
+            self._pending_per_node[node] -= 1
+
+    def drop_cached(self, chunk: Chunk, node: int) -> None:
+        """Remove ``chunk`` from ``node``'s mirror (cache-wipe resync).
+
+        The inverse of :meth:`warm` — used when detection learns the
+        node's real cache lost entries behind the head node's back.
+        """
+        mirror = self.mirrors[node]
+        if mirror.evict(chunk):
+            nodes = self._replicas.get(chunk)
+            if nodes is not None:
+                nodes.discard(node)
+                if not nodes:
+                    del self._replicas[chunk]
+            self.backlog_index.count_changed(chunk)
+
     def warm(self, chunk: Chunk, node: int) -> None:
         """Mark ``chunk`` resident on ``node`` (pre-run cache warm-up).
 
@@ -518,15 +572,28 @@ class SchedulerTables:
         """
         est = self._pending_est.pop(task, None)
         self._pending_per_node[node] -= 1
-        if est is not None and task.start_time is not None:
-            actual = task.finish_time - task.start_time  # type: ignore[operator]
-            self.available[node] += actual - est
-        if self._pending_per_node[node] <= 0:
-            self._pending_per_node[node] = 0
-            self.available[node] = now
-        elif self.available[node] < now:
-            self.available[node] = now
-        if not task.cache_hit and task.io_time > 0:
+        if self.quarantined[node]:
+            # A quarantined node finishing its residual work must stay
+            # pinned at +inf — resetting Available would silently return
+            # it to scheduling.
+            if self._pending_per_node[node] < 0:
+                self._pending_per_node[node] = 0
+        else:
+            if est is not None and task.start_time is not None:
+                actual = task.finish_time - task.start_time  # type: ignore[operator]
+                self.available[node] += actual - est
+            if self._pending_per_node[node] <= 0:
+                self._pending_per_node[node] = 0
+                self.available[node] = now
+            elif self.available[node] < now:
+                self.available[node] = now
+        if (
+            not task.cache_hit
+            and task.io_time > 0
+            and not self.quarantined[node]
+        ):
+            # Quarantined stragglers' measurements are excluded: their
+            # degraded I/O would poison the global per-chunk estimate.
             self._io_estimate[task.chunk] = task.io_time
             self._estimate_memo.pop(task.chunk, None)
 

@@ -1,0 +1,51 @@
+"""Fault injection, self-healing scheduling, and root-cause analysis.
+
+Four layers (see DESIGN §11):
+
+* :mod:`repro.faults.plan` — declarative, seeded
+  :class:`~repro.faults.plan.FaultPlan` of typed fault events.
+* :mod:`repro.faults.detect` — heartbeat-timeout and
+  estimate-vs-actual outlier detectors.
+* :mod:`repro.faults.recovery` — scheduler-composable healing policies
+  (requeue, quarantine, speculative re-issue, cache rewarm).
+* :mod:`repro.faults.rca` — localizes the injected fault from the
+  audit log + critical paths, scored against the ground-truth plan.
+
+Entry points: ``RunConfig(faults=FaultPlan(...))``,
+``SimulationResult.fault_report``, and the ``repro faults`` CLI verb.
+"""
+
+from repro.faults.detect import Detection, HealthMonitor, NodeHealth
+from repro.faults.injector import FaultReport, FaultRuntime
+from repro.faults.plan import (
+    CacheWipe,
+    DetectionConfig,
+    FaultPlan,
+    NodeCrash,
+    RecoveryConfig,
+    StorageDegrade,
+    Straggler,
+)
+from repro.faults.recovery import RecoveryAction, RecoveryEngine
+from repro.faults.rca import RCAReport, RCAVerdict, analyze, score
+
+__all__ = [
+    "FaultPlan",
+    "NodeCrash",
+    "Straggler",
+    "CacheWipe",
+    "StorageDegrade",
+    "DetectionConfig",
+    "RecoveryConfig",
+    "NodeHealth",
+    "Detection",
+    "HealthMonitor",
+    "RecoveryAction",
+    "RecoveryEngine",
+    "FaultReport",
+    "FaultRuntime",
+    "RCAVerdict",
+    "RCAReport",
+    "analyze",
+    "score",
+]

@@ -1,0 +1,170 @@
+"""Fault detectors — layer 2 of :mod:`repro.faults`.
+
+Two detectors feed the head node's view of node health:
+
+* **Heartbeat timeout** — rendering nodes report liveness every
+  ``heartbeat_interval``; a node silent for ``heartbeat_timeout`` is
+  declared dead.  Probes are only scheduled while a crash awaits
+  detection, so fault-free stretches add no events (and faults-off runs
+  stay bit-identical).
+* **Estimate-vs-actual outliers** — the head node already predicts each
+  task's execution time (the Estimate table, §V-B).  A finished task
+  whose actual duration exceeds the prediction by ``outlier_ratio``
+  is an outlier; ``outlier_streak`` consecutive outliers on one node
+  raise a ``"straggler"`` verdict.  Separately, a *surprise miss* — the
+  head node's cache mirror said the chunk was resident but the task
+  reported a miss — is direct evidence the node's cache was wiped
+  behind the head node's back; ``outlier_streak`` surprise misses with
+  no intervening real hit raise a ``"wipe"`` verdict without waiting
+  for the (slower) duration signal.
+
+The :class:`HealthMonitor` is pure bookkeeping — it never touches the
+cluster or the tables.  The :class:`~repro.faults.injector.FaultRuntime`
+feeds it observations and reacts to its verdicts through the recovery
+engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.faults.plan import DetectionConfig
+
+
+class NodeHealth(enum.Enum):
+    """Head-node view of one rendering node's health."""
+
+    HEALTHY = "healthy"
+    #: Missed at least one heartbeat but not yet timed out.
+    SUSPECT = "suspect"
+    #: Heartbeat timeout expired — declared crashed.
+    DEAD = "dead"
+    #: Alive but quarantined (straggler) — no new work scheduled.
+    DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector verdict.
+
+    ``latency`` is the virtual-time gap between fault injection and
+    detection when the runtime can attribute the verdict to a known
+    injection; ``None`` for verdicts with no matching injection (a
+    detector false-positive, still worth reporting).
+    """
+
+    kind: str  # "crash" | "straggler" | "wipe"
+    node: int
+    time: float
+    latency: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (bench artifacts)."""
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "time": self.time,
+            "latency": self.latency,
+        }
+
+
+class HealthMonitor:
+    """Per-node health state + the two detectors' bookkeeping."""
+
+    def __init__(self, config: DetectionConfig, node_count: int) -> None:
+        self.config = config
+        self.node_count = node_count
+        self.health: List[NodeHealth] = [NodeHealth.HEALTHY] * node_count
+        self.last_seen: List[float] = [0.0] * node_count
+        self._streak: List[int] = [0] * node_count
+        self._miss_streak: List[int] = [0] * node_count
+        self._surprise_streak: List[int] = [0] * node_count
+
+    # -- heartbeat ---------------------------------------------------------
+
+    def beat(self, now: float, alive: Sequence[bool]) -> List[int]:
+        """One heartbeat probe: update liveness, return newly dead nodes."""
+        timeout = self.config.heartbeat_timeout
+        health = self.health
+        newly_dead: List[int] = []
+        for node, is_alive in enumerate(alive):
+            if is_alive:
+                self.last_seen[node] = now
+                if health[node] is NodeHealth.SUSPECT:
+                    health[node] = NodeHealth.HEALTHY
+            elif health[node] is not NodeHealth.DEAD:
+                if now - self.last_seen[node] >= timeout:
+                    health[node] = NodeHealth.DEAD
+                    newly_dead.append(node)
+                else:
+                    health[node] = NodeHealth.SUSPECT
+        return newly_dead
+
+    # -- outlier detector --------------------------------------------------
+
+    def observe_task(
+        self,
+        node: int,
+        estimate: float,
+        actual: float,
+        cache_hit: Optional[bool],
+        *,
+        surprise: bool = False,
+    ) -> Optional[str]:
+        """Feed one finished task; return a verdict when a streak trips.
+
+        ``surprise`` marks a surprise miss: the head node's mirror
+        predicted a cache hit but the task reported a miss.  Returns
+        ``"straggler"``, ``"wipe"``, or ``None``.  Streaks reset after a
+        verdict so one sustained fault raises a bounded number of
+        verdicts rather than one per task.
+        """
+        if estimate <= 0.0:
+            return None
+        # Wipe detector: the mirror is identical to the real cache by
+        # construction, so surprise misses only ever happen when the
+        # real cache lost content — accumulate them unconditionally
+        # (reload hits interleave with them, so a hit proves nothing).
+        if surprise:
+            self._surprise_streak[node] += 1
+            if self._surprise_streak[node] >= self.config.surprise_streak:
+                self._reset_streaks(node)
+                return "wipe"
+        # Straggler detector: sustained duration inflation.  A streak
+        # dominated by surprise misses is the wipe signature instead —
+        # the inflation is reload I/O, not a slow node.
+        if actual >= self.config.outlier_ratio * estimate:
+            self._streak[node] += 1
+            if surprise:
+                self._miss_streak[node] += 1
+            if self._streak[node] >= self.config.outlier_streak:
+                streak = self._streak[node]
+                misses = self._miss_streak[node]
+                self._reset_streaks(node)
+                return "wipe" if 2 * misses >= streak else "straggler"
+        else:
+            self._streak[node] = 0
+            self._miss_streak[node] = 0
+        return None
+
+    def _reset_streaks(self, node: int) -> None:
+        self._streak[node] = 0
+        self._miss_streak[node] = 0
+        self._surprise_streak[node] = 0
+
+    # -- state transitions -------------------------------------------------
+
+    def mark_degraded(self, node: int) -> None:
+        """Record a quarantined straggler (outliers there stop counting)."""
+        self.health[node] = NodeHealth.DEGRADED
+
+    def mark_recovered(self, node: int, now: float) -> None:
+        """Return a revived node to HEALTHY with fresh streaks."""
+        self.health[node] = NodeHealth.HEALTHY
+        self.last_seen[node] = now
+        self._reset_streaks(node)
+
+
+__all__ = ["NodeHealth", "Detection", "HealthMonitor"]

@@ -1,0 +1,471 @@
+"""Root-cause analysis — layer 4 of :mod:`repro.faults`.
+
+:func:`analyze` localizes injected faults (node, fault type, onset
+time) from what an operator of the real system would have: the decision
+audit log (:mod:`repro.obs.audit`), the per-job critical paths
+(:mod:`repro.obs.causal`), and optionally the SLO violation windows
+(:mod:`repro.obs.slo`) that triggered the investigation.  It never
+reads the ground-truth :class:`~repro.faults.plan.FaultPlan` — that is
+reserved for :func:`score`, which grades the verdicts afterwards.
+
+Heuristics, one per fault type:
+
+* **crash (self-healing runs)** — a ``requeue-crash`` audit record
+  names the node and anchors the onset; corroborated by the node
+  *disappearing*: present among chosen/candidate nodes before the
+  anchor, absent after.
+* **crash (vanilla runs)** — the legacy path reschedules orphans in a
+  burst of ``fallback`` records at one instant; the disappearing node
+  across that instant is the crashed one.
+* **straggler** — ``quarantine`` records name the node; the per-node
+  render-time inflation of critical paths bounded by that node
+  corroborates and back-dates the onset.
+* **cache wipe** — ``rewarm`` records name the node; onset is
+  back-dated to the last pre-detection completion bounded by the node
+  with a cache hit (the wipe happened after it).
+* **storage degradation** — no single node: the I/O phase of critical
+  paths inflates across at least half the nodes simultaneously; the
+  onset is where the inflation starts.
+
+Each verdict carries a confidence in [0, 1]: how many independent
+signals agreed (audit anchor, disappearance/inflation corroboration,
+SLO-window overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.audit import (
+    REASON_FALLBACK,
+    REASON_QUARANTINE,
+    REASON_REQUEUE_CRASH,
+    REASON_REWARM,
+)
+
+
+@dataclass(frozen=True)
+class RCAVerdict:
+    """One localized fault: what, where, when, and how sure."""
+
+    kind: str  # "crash" | "straggler" | "wipe" | "storage"
+    #: Implicated node (-1 for cluster-wide faults like storage).
+    node: int
+    #: Estimated fault onset (virtual seconds).
+    onset: float
+    confidence: float
+    #: Human-readable signals that produced the verdict.
+    evidence: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """One human-readable line for this verdict."""
+        where = "cluster-wide" if self.node < 0 else f"node {self.node}"
+        return (
+            f"{self.kind} @ {where}, onset ~{self.onset:.3f}s "
+            f"(confidence {self.confidence:.0%})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (CLI --report)."""
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "onset": self.onset,
+            "confidence": self.confidence,
+            "evidence": list(self.evidence),
+        }
+
+
+@dataclass
+class RCAReport:
+    """All verdicts for one run, most confident first."""
+
+    verdicts: List[RCAVerdict] = field(default_factory=list)
+    #: SLO violation windows the analysis was asked to explain.
+    windows_examined: int = 0
+
+    @property
+    def top(self) -> Optional[RCAVerdict]:
+        return self.verdicts[0] if self.verdicts else None
+
+    def for_kind(self, kind: str) -> List[RCAVerdict]:
+        """All verdicts of one fault kind."""
+        return [v for v in self.verdicts if v.kind == kind]
+
+    def describe(self) -> str:
+        """Semicolon-joined verdict lines (or a no-fault note)."""
+        if not self.verdicts:
+            return "no fault localized"
+        return "; ".join(v.describe() for v in self.verdicts)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (CLI --report)."""
+        return {
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "windows_examined": self.windows_examined,
+        }
+
+
+def _records_of(audit) -> List:
+    """Accept an AuditLog, a deque, or a plain record sequence."""
+    records = getattr(audit, "records", audit)
+    return list(records) if records is not None else []
+
+
+def _nodes_seen(records: Iterable, *, before: float) -> Dict[int, float]:
+    """node -> last time it was chosen or offered as a candidate."""
+    last: Dict[int, float] = {}
+    for r in records:
+        if r.time >= before:
+            continue
+        if r.node >= 0:
+            last[r.node] = r.time
+        for c in r.candidates:
+            last[c.node] = r.time
+    return last
+
+
+def _disappeared(records: Sequence, node: int, anchor: float) -> bool:
+    """True when ``node`` is never chosen/offered after ``anchor``."""
+    seen_before = False
+    for r in records:
+        involved = r.node == node or any(c.node == node for c in r.candidates)
+        if not involved:
+            continue
+        # Recovery bookkeeping rows name the node without offering it.
+        if r.reason in (REASON_REQUEUE_CRASH, REASON_QUARANTINE, REASON_REWARM):
+            continue
+        if r.time < anchor:
+            seen_before = True
+        elif r.time > anchor:
+            return False
+    return seen_before
+
+
+def _window_overlap(windows, onset: float) -> bool:
+    """Whether any violation window begins at or after the onset."""
+    return any(w.end >= onset for w in windows)
+
+
+def _crash_verdicts(records: Sequence, windows) -> List[RCAVerdict]:
+    out: List[RCAVerdict] = []
+    seen: set = set()
+    for r in records:
+        # Only the bookkeeping row (task_index < 0) names the crashed
+        # node; placement rows with this reason carry the surviving
+        # destinations.
+        if r.reason != REASON_REQUEUE_CRASH or r.task_index >= 0:
+            continue
+        if r.node in seen:
+            continue
+        seen.add(r.node)
+        evidence = [f"requeue-crash audit record at t={r.time:.3f}"]
+        confidence = 0.6
+        if _disappeared(records, r.node, r.time):
+            confidence += 0.3
+            evidence.append("node absent from all later decisions")
+        if windows and _window_overlap(windows, r.time):
+            confidence += 0.1
+            evidence.append("overlaps an SLO violation window")
+        out.append(
+            RCAVerdict(
+                "crash",
+                r.node,
+                r.time,
+                min(confidence, 1.0),
+                tuple(evidence),
+            )
+        )
+    return out
+
+
+def _vanilla_crash_verdicts(records: Sequence, windows) -> List[RCAVerdict]:
+    """Crashes on runs without the recovery vocabulary.
+
+    The legacy path reschedules every orphan in one burst of
+    ``fallback`` records at the crash instant; the node that was being
+    used before that instant and never again is the crashed one.
+    """
+    bursts: Dict[float, int] = {}
+    for r in records:
+        if r.reason == REASON_FALLBACK and r.task_index >= 0:
+            bursts[r.time] = bursts.get(r.time, 0) + 1
+    out: List[RCAVerdict] = []
+    claimed: set = set()
+    for anchor in sorted(t for t, n in bursts.items() if n >= 2):
+        candidates = _nodes_seen(records, before=anchor)
+        vanished = [
+            node
+            for node in candidates
+            if node not in claimed and _disappeared(records, node, anchor)
+        ]
+        if len(vanished) != 1:
+            continue
+        node = vanished[0]
+        claimed.add(node)
+        evidence = [
+            f"fallback re-placement burst at t={anchor:.3f}",
+            "node absent from all later decisions",
+        ]
+        confidence = 0.7
+        if windows and _window_overlap(windows, anchor):
+            confidence += 0.1
+            evidence.append("overlaps an SLO violation window")
+        out.append(
+            RCAVerdict("crash", node, anchor, confidence, tuple(evidence))
+        )
+    return out
+
+
+def _render_inflation(paths: Sequence, node: int, anchor: float) -> float:
+    """Ratio of the node's mean bounded render time after vs before."""
+    before: List[float] = []
+    after: List[float] = []
+    for p in paths:
+        if p.bounding_node != node or p.render <= 0:
+            continue
+        (after if p.finish >= anchor else before).append(p.render)
+    if not before or not after:
+        return 1.0
+    return (sum(after) / len(after)) / (sum(before) / len(before))
+
+
+def _straggler_verdicts(records: Sequence, paths, windows) -> List[RCAVerdict]:
+    out: List[RCAVerdict] = []
+    seen: set = set()
+    for r in records:
+        if r.reason != REASON_QUARANTINE or r.node in seen:
+            continue
+        seen.add(r.node)
+        evidence = [f"quarantine audit record at t={r.time:.3f}"]
+        confidence = 0.6
+        onset = r.time
+        inflation = _render_inflation(paths, r.node, r.time)
+        if inflation >= 1.5:
+            confidence += 0.3
+            evidence.append(
+                f"render time on node {r.node} inflated {inflation:.1f}x"
+            )
+            # Back-date to the first genuinely slow completion on the
+            # node: render above 1.5x the other nodes' typical render.
+            others = sorted(
+                p.render
+                for p in paths
+                if p.bounding_node != r.node and p.render > 0
+            )
+            if others:
+                typical = others[len(others) // 2]
+                slow = [
+                    p.finish
+                    for p in paths
+                    if p.bounding_node == r.node
+                    and p.finish < r.time
+                    and p.render >= 1.5 * typical
+                ]
+                if slow:
+                    onset = max(min(slow), 0.0)
+        if windows and _window_overlap(windows, onset):
+            confidence += 0.1
+            evidence.append("overlaps an SLO violation window")
+        out.append(
+            RCAVerdict(
+                "straggler",
+                r.node,
+                onset,
+                min(confidence, 1.0),
+                tuple(evidence),
+            )
+        )
+    return out
+
+
+def _wipe_verdicts(records: Sequence, paths, windows) -> List[RCAVerdict]:
+    out: List[RCAVerdict] = []
+    seen: set = set()
+    for r in records:
+        if r.reason != REASON_REWARM or r.node in seen:
+            continue
+        seen.add(r.node)
+        evidence = [f"rewarm audit record at t={r.time:.3f}"]
+        confidence = 0.7
+        # A wiped cache reveals itself as *reload* misses: misses that
+        # begin after the node was demonstrably warm (hits started
+        # earlier).  The first such miss started at the moment the wipe
+        # was discovered on the node, which bounds the onset tightly.
+        # The last pre-detection hit is a weaker signal — reloaded
+        # chunks hit again while the backlog drains, so late hits do
+        # not imply a late wipe.
+        hit_paths = [
+            p
+            for p in paths
+            if p.bounding_node == r.node and p.cache_hit and p.finish < r.time
+        ]
+        onset = max(r.time - 0.5, 0.0)
+        if hit_paths:
+            warm_from = min(p.finish - p.render for p in hit_paths)
+            reload_starts = [
+                max(p.finish - p.io - p.render, 0.0)
+                for p in paths
+                if p.bounding_node == r.node
+                and not p.cache_hit
+                and p.io > 0
+                and p.finish <= r.time
+                and p.finish - p.io - p.render > warm_from
+            ]
+            if reload_starts:
+                onset = min(reload_starts)
+                evidence.append(
+                    f"first reload miss on node {r.node} "
+                    f"started ~t={onset:.3f}"
+                )
+                confidence += 0.2
+            else:
+                onset = max(p.finish for p in hit_paths)
+                evidence.append(
+                    f"last cache hit on node {r.node} at t={onset:.3f}"
+                )
+                confidence += 0.1
+        if windows and _window_overlap(windows, onset):
+            evidence.append("overlaps an SLO violation window")
+        out.append(
+            RCAVerdict(
+                "wipe", r.node, onset, min(confidence, 1.0), tuple(evidence)
+            )
+        )
+    return out
+
+
+def _storage_verdicts(paths, node_count: int, windows) -> List[RCAVerdict]:
+    """Cluster-wide I/O inflation: many nodes slow at once."""
+    missed = [p for p in paths if not p.cache_hit and p.io > 0]
+    if len(missed) < 8 or node_count < 2:
+        return []
+    # Median I/O time of all misses is the healthy baseline — a bounded
+    # degradation window inflates a minority of loads well past it.
+    ios = sorted(p.io for p in missed)
+    base = ios[len(ios) // 2]
+    if base <= 0:
+        return []
+    inflated = [p for p in missed if p.io >= 2.0 * base]
+    if len(inflated) < 4:
+        return []
+    nodes_inflated = {p.bounding_node for p in inflated}
+    # Cluster-wide means several distinct nodes slow at once: half of a
+    # small cluster, or at least four nodes of a large one (a window of
+    # inflated loads can't plausibly touch half of 64 nodes).
+    if len(nodes_inflated) < max(2, min(node_count // 2, 4)):
+        # Localized slowness is a straggler's signature, not storage's.
+        return []
+    # The earliest inflated load *started* roughly its own I/O time
+    # before it finished; that bounds the degradation onset.
+    onset = max(min(p.finish - p.io for p in inflated), 0.0)
+    evidence = [
+        f"I/O inflated >=2x over the median on "
+        f"{len(nodes_inflated)}/{node_count} nodes",
+        f"earliest inflated load started ~t={onset:.3f}",
+    ]
+    confidence = 0.6 + 0.2 * min(2.0 * len(inflated) / len(missed), 1.0)
+    if windows and _window_overlap(windows, onset):
+        confidence += 0.1
+        evidence.append("overlaps an SLO violation window")
+    return [
+        RCAVerdict(
+            "storage", -1, onset, min(confidence, 1.0), tuple(evidence)
+        )
+    ]
+
+
+def analyze(
+    audit,
+    paths: Sequence = (),
+    windows: Sequence = (),
+    *,
+    node_count: Optional[int] = None,
+) -> RCAReport:
+    """Localize injected faults from operator-visible evidence only.
+
+    Args:
+        audit: The run's :class:`~repro.obs.audit.AuditLog` (or a plain
+            sequence of :class:`~repro.obs.audit.DecisionRecord`).
+        paths: The run's :class:`~repro.obs.causal.CriticalPath` list
+            (pass ``result.critical_paths.paths``).
+        windows: Optional :class:`~repro.obs.slo.ViolationWindow` list —
+            the symptom being investigated; raises confidence of
+            verdicts that explain it.
+        node_count: Cluster size; inferred from the evidence when
+            omitted (needed only for the storage heuristic).
+    """
+    records = _records_of(audit)
+    paths = list(paths)
+    windows = list(windows)
+    if node_count is None:
+        seen = {r.node for r in records if r.node >= 0}
+        seen.update(p.bounding_node for p in paths)
+        node_count = (max(seen) + 1) if seen else 0
+    verdicts: List[RCAVerdict] = []
+    verdicts.extend(_crash_verdicts(records, windows))
+    if not verdicts:
+        verdicts.extend(_vanilla_crash_verdicts(records, windows))
+    verdicts.extend(_straggler_verdicts(records, paths, windows))
+    verdicts.extend(_wipe_verdicts(records, paths, windows))
+    verdicts.extend(_storage_verdicts(paths, node_count, windows))
+    verdicts.sort(key=lambda v: (-v.confidence, v.onset))
+    return RCAReport(verdicts=verdicts, windows_examined=len(windows))
+
+
+def score(
+    report: RCAReport,
+    plan,
+    *,
+    time_tolerance: float = 1.0,
+) -> Dict[str, object]:
+    """Grade verdicts against the ground-truth plan (evaluation only).
+
+    A planned event is *localized* when some verdict matches its kind,
+    its node (for node-scoped faults), and falls within
+    ``time_tolerance`` seconds of the true onset.  Returns the recall,
+    the per-event outcomes, and the count of verdicts matching nothing
+    (false positives).
+    """
+    matched_verdicts: set = set()
+    events_out: List[dict] = []
+    localized = 0
+    for event in plan.events:
+        node = getattr(event, "node", None)
+        want_node = -1 if node is None else node
+        # Cluster-wide events (storage, or a wipe of every node) match a
+        # verdict on any node.
+        node_agnostic = event.kind == "storage" or node is None
+        hit = None
+        for i, v in enumerate(report.verdicts):
+            if i in matched_verdicts or v.kind != event.kind:
+                continue
+            if not node_agnostic and v.node != want_node:
+                continue
+            if abs(v.onset - event.time) > time_tolerance:
+                continue
+            hit = i
+            break
+        if hit is not None:
+            matched_verdicts.add(hit)
+            localized += 1
+        events_out.append(
+            {
+                "kind": event.kind,
+                "node": want_node,
+                "time": event.time,
+                "localized": hit is not None,
+            }
+        )
+    total = len(plan.events)
+    return {
+        "events": events_out,
+        "localized": localized,
+        "total": total,
+        "recall": localized / total if total else 1.0,
+        "false_positives": len(report.verdicts) - len(matched_verdicts),
+    }
+
+
+__all__ = ["RCAVerdict", "RCAReport", "analyze", "score"]

@@ -27,6 +27,14 @@ Reason codes (the closed vocabulary, one per decision):
 * ``shed`` — the request never reached a node: the overload frontend
   refused it (admission reject, frame thinning).  Shed records carry
   ``node = -1`` and ``task_index = -1``.
+* ``requeue-crash`` — the fault-recovery engine re-placed a task
+  stranded on a node whose crash the heartbeat detector confirmed.
+* ``quarantine`` — a straggling node was removed from scheduling
+  (non-placement record: ``task_index = -1``, ``node`` = the node).
+* ``speculative`` — a quarantined node's unstarted backlog was
+  re-issued onto healthy nodes.
+* ``rewarm`` — the head node's cache mirror was resynced after a
+  detected wipe and lost replicas re-loaded (non-placement record).
 
 Records live in a bounded ring buffer (:class:`AuditLog`) so an
 always-on flight recorder has a fixed memory ceiling; an optional
@@ -72,6 +80,14 @@ REASON_ONLY_AVAILABLE = "only-available"
 REASON_FALLBACK = "fallback"
 #: The overload frontend refused the request before scheduling.
 REASON_SHED = "shed"
+#: Recovery re-placed a task stranded by a detected node crash.
+REASON_REQUEUE_CRASH = "requeue-crash"
+#: Recovery removed a straggling node from scheduling.
+REASON_QUARANTINE = "quarantine"
+#: Recovery re-issued a quarantined node's unstarted backlog.
+REASON_SPECULATIVE = "speculative"
+#: Recovery resynced a wiped node's cache mirror and reloaded replicas.
+REASON_REWARM = "rewarm"
 
 #: The closed reason-code vocabulary, in rough goodness order.
 REASON_CODES: Tuple[str, ...] = (
@@ -80,6 +96,10 @@ REASON_CODES: Tuple[str, ...] = (
     REASON_ONLY_AVAILABLE,
     REASON_FALLBACK,
     REASON_SHED,
+    REASON_REQUEUE_CRASH,
+    REASON_QUARANTINE,
+    REASON_SPECULATIVE,
+    REASON_REWARM,
 )
 
 
@@ -516,6 +536,31 @@ class AuditLog:
             )
         )
 
+    def record_recovery(self, now: float, reason: str, node: int) -> None:
+        """Audit a non-placement recovery action (quarantine, rewarm).
+
+        Placement-shaped recovery (``requeue-crash``, ``speculative``)
+        flows through ``SchedulerContext.assign`` like any other
+        decision; this records the actions that change node state
+        without placing a task, with ``task_index = -1``.
+        """
+        self._append(
+            DecisionRecord(
+                now,
+                self.invocations,
+                -1,
+                -1,
+                -1,
+                "recovery",
+                -1,
+                "",
+                -1,
+                node,
+                reason,
+                (),
+            )
+        )
+
     def _append(self, record: DecisionRecord) -> None:
         self._ring_append(record)
         totals = self.reason_totals
@@ -634,6 +679,10 @@ __all__ = [
     "REASON_ONLY_AVAILABLE",
     "REASON_FALLBACK",
     "REASON_SHED",
+    "REASON_REQUEUE_CRASH",
+    "REASON_QUARANTINE",
+    "REASON_SPECULATIVE",
+    "REASON_REWARM",
     "REASON_CODES",
     "AuditConfig",
     "CandidateState",

@@ -17,10 +17,12 @@ internally, so the two spellings are bit-identical.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
     from repro.frontend.config import FrontendConfig
     from repro.obs.audit import AuditConfig
     from repro.obs.metrics import MetricsRegistry
@@ -41,8 +43,16 @@ class RunConfig:
             enables it).
         timeline_interval: Sample cluster dynamics every this many
             simulated seconds (``result.timeline``); ``None`` disables.
-        node_failures: Crash schedule — ``(time, node_id)`` pairs,
-            recovered per the paper's §VI-D design.
+        node_failures: Deprecated crash schedule — ``(time, node_id)``
+            pairs, recovered per the paper's §VI-D design.  Converted
+            internally to an equivalent vanilla
+            :class:`~repro.faults.plan.FaultPlan` (bit-identical) with
+            a :class:`DeprecationWarning`; use ``faults`` instead.
+        faults: Optional :class:`~repro.faults.plan.FaultPlan` — the
+            fault-injection subsystem (crashes, stragglers, cache
+            wipes, storage degradation, plus detection/recovery when
+            the plan carries them).  ``None`` (default) is
+            bit-identical to a run without the subsystem.
         tracer: Optional :class:`~repro.obs.tracer.Tracer` recording
             spans and counter tracks.
         counter_interval: Sampling period of the tracer's counter
@@ -86,6 +96,32 @@ class RunConfig:
     frontend: Optional["FrontendConfig"] = None
     record_assignments: bool = False
     audit: Union[bool, "AuditConfig"] = False
+    faults: Optional["FaultPlan"] = None
+
+    def __post_init__(self) -> None:
+        if self.node_failures:
+            # Deprecation shim: fold the legacy pairs into an equivalent
+            # vanilla FaultPlan.  The injector schedules those crashes
+            # through the exact same (time, callback, priority) slots
+            # the old hook used, so the two spellings stay bit-identical.
+            from repro.faults.plan import FaultPlan
+
+            if self.faults is not None:
+                raise ValueError(
+                    "pass either faults=FaultPlan(...) or the deprecated "
+                    "node_failures=..., not both"
+                )
+            warnings.warn(
+                "RunConfig(node_failures=...) is deprecated; use "
+                "faults=FaultPlan.from_node_failures(...) (or a full "
+                "FaultPlan) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(
+                self, "faults", FaultPlan.from_node_failures(self.node_failures)
+            )
+            object.__setattr__(self, "node_failures", None)
 
     def replace(self, **changes) -> "RunConfig":
         """A copy with the given fields changed."""

@@ -113,6 +113,12 @@ class VisualizationService:
         #: decomposition); this aggregate only answers ``has_work``.
         self._tasks_inflight = 0
         self._events = cluster.events
+        #: Optional fault-injection hook: ``guard(assignment) -> bool``.
+        #: Returning True absorbs the placement (the head node believes
+        #: it was dispatched; the fault runtime stashes the task).  None
+        #: → one identity check per dispatch batch, faults-off runs stay
+        #: bit-identical.
+        self._dispatch_guard = None
         self._cycle_armed = False
         self._window_generation = 0
         self._completion_listeners: List = []
@@ -354,8 +360,30 @@ class VisualizationService:
     def _dispatch(self, assignments) -> None:
         self._tasks_inflight += len(assignments)
         dispatch = self.cluster.dispatch
-        for assignment in assignments:
-            dispatch(assignment.task, assignment.node)
+        guard = self._dispatch_guard
+        if guard is None:
+            for assignment in assignments:
+                dispatch(assignment.task, assignment.node)
+        else:
+            for assignment in assignments:
+                # An absorbed task stays counted in flight — the head
+                # node believes the (silently dead) node is executing
+                # it, and the count is reconciled at crash detection.
+                if not guard(assignment):
+                    dispatch(assignment.task, assignment.node)
+
+    def requeue_tasks(self, tasks: List[RenderTask], *, reason: str) -> None:
+        """Re-place recovered tasks through the scheduler's policy.
+
+        The fault-recovery path: callers (the recovery engine) have
+        already reconciled the tables and in-flight counts; this routes
+        the tasks back through ``reschedule`` so every re-placement is
+        audited with the given recovery reason and dispatches the
+        resulting assignments.
+        """
+        if tasks:
+            self.scheduler.reschedule(tasks, self.ctx, reason=reason)
+            self._dispatch(self.ctx.take_assignments())
 
     # -- fault tolerance (paper §VI-D) -------------------------------------
 

@@ -23,7 +23,10 @@ import gc
 import hashlib
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultReport
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.event_queue import PRIORITY_ARRIVAL, EventQueue
@@ -115,6 +118,7 @@ class SimulationResult:
     assignment_trace: Optional[List[AssignmentRecord]] = None
     audit: Optional["AuditLog"] = None
     critical_paths: Optional["CriticalPathAnalysis"] = None
+    fault_report: Optional["FaultReport"] = None
 
     def assignment_trace_hash(self) -> str:
         """Digest of the recorded assignment trace.
@@ -414,13 +418,23 @@ def _run(
         sampler = TimelineSampler(config.timeline_interval, horizon=horizon_hint)
         sampler.attach(service)
 
-    if config.node_failures:
-        for fail_time, node_id in config.node_failures:
-            if not 0 <= node_id < cluster.node_count:
-                raise ValueError(f"node_failures references node {node_id}")
-            events.schedule(
-                fail_time, service.fail_node, node_id, priority=PRIORITY_ARRIVAL
-            )
+    fault_runtime = None
+    if config.faults is not None:
+        # Lazy import: fault-free runs never touch the subsystem.  The
+        # runtime schedules every planned event here — the exact event-
+        # queue position the legacy node_failures hook used, so vanilla
+        # crash plans stay bit-identical to the deprecated spelling.
+        from repro.faults.injector import FaultRuntime
+
+        fault_runtime = FaultRuntime(
+            config.faults,
+            events,
+            cluster,
+            service,
+            tracer=live_tracer,
+            audit=audit_log,
+        )
+        fault_runtime.arm()
 
     submit = (
         frontend.submit_request if frontend is not None else service.submit_request
@@ -507,6 +521,9 @@ def _run(
         assignment_trace=assignment_trace,
         audit=audit_log,
         critical_paths=causal.analysis() if causal is not None else None,
+        fault_report=(
+            fault_runtime.finalize() if fault_runtime is not None else None
+        ),
     )
 
 

@@ -54,7 +54,7 @@ class TestRR:
         sched = RRScheduler()
         for k in range(4):
             harness.tables.mark_node_failed(k)
-        with pytest.raises(RuntimeError, match="no alive"):
+        with pytest.raises(RuntimeError, match="no schedulable"):
             sched.schedule([harness.job(dataset_1g)], harness.ctx)
 
     def test_reset(self, harness):

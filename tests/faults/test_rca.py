@@ -1,0 +1,117 @@
+"""Root-cause analysis: localize injected faults from evidence alone.
+
+The analyzer sees only what a real operator would have — the decision
+audit log, the per-job critical paths, and SLO violation windows — never
+the fault plan.  ``score`` then grades its verdicts against the plan as
+ground truth.  These tests pin the acceptance bar: a single injected
+crash is localized to the right node on more than one scenario, and the
+straggler/wipe detectors' evidence chains name the right node too.
+"""
+
+import pytest
+
+from repro.faults import (
+    CacheWipe,
+    DetectionConfig,
+    FaultPlan,
+    NodeCrash,
+    RecoveryConfig,
+    Straggler,
+    analyze,
+    score,
+)
+from repro.obs import AuditConfig
+from repro.sim.run_config import RunConfig
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import make_scenario
+
+SCALE = 0.05
+#: Onset grading tolerance: detection latency is bounded below by one
+#: task duration (a multi-second reload), so ±2 s is the honest bar.
+TOLERANCE = 2.0
+
+
+def healed(*events) -> FaultPlan:
+    return FaultPlan(
+        events=tuple(events),
+        detection=DetectionConfig(),
+        recovery=RecoveryConfig(),
+    )
+
+
+def localize(plan, *, number=1):
+    """Run the plan, then analyze from audit + paths alone."""
+    scenario = make_scenario(number, scale=SCALE)
+    result = run_simulation(
+        scenario,
+        "OURS",
+        RunConfig(drain=True, audit=AuditConfig(capacity=None), faults=plan),
+    )
+    report = analyze(
+        result.audit,
+        result.critical_paths.paths,
+        [],
+        node_count=scenario.system.node_count,
+    )
+    return report, score(report, plan, time_tolerance=TOLERANCE)
+
+
+class TestCrashLocalization:
+    @pytest.mark.parametrize("number", [1, 2])
+    def test_crash_localized_on_scenario(self, number):
+        plan = healed(NodeCrash(1.0, 2, revive_at=2.2))
+        report, grade = localize(plan, number=number)
+        assert grade["recall"] == 1.0
+        assert grade["false_positives"] == 0
+        verdict = report.verdicts[0]
+        assert verdict.kind == "crash"
+        assert verdict.node == 2
+
+    def test_vanilla_crash_localized_from_fallback_bursts(self):
+        """Even without detection audit rows, the permanent loss of a
+        node shows up as fallback re-placements + disappearance."""
+        plan = FaultPlan(events=(NodeCrash(1.0, 2),))
+        report, grade = localize(plan)
+        assert grade["recall"] == 1.0
+        assert report.verdicts[0].node == 2
+
+
+class TestStragglerAndWipeLocalization:
+    def test_straggler_localized(self):
+        plan = healed(Straggler(1.0, 3, render_factor=6.0))
+        report, grade = localize(plan)
+        assert grade["recall"] == 1.0
+        assert grade["false_positives"] == 0
+        verdict = report.verdicts[0]
+        assert verdict.kind == "straggler"
+        assert verdict.node == 3
+
+    def test_wipe_localized(self):
+        plan = healed(CacheWipe(2.0, node=1))
+        report, grade = localize(plan)
+        assert grade["recall"] == 1.0
+        assert grade["false_positives"] == 0
+        verdict = report.verdicts[0]
+        assert verdict.kind == "wipe"
+        assert verdict.node == 1
+
+
+class TestReportShape:
+    def test_no_faults_no_verdicts(self):
+        report, _ = localize(healed())
+        assert not report.verdicts
+
+    def test_verdicts_carry_evidence(self):
+        plan = healed(NodeCrash(1.0, 2, revive_at=2.2))
+        report, _ = localize(plan)
+        verdict = report.verdicts[0]
+        assert verdict.evidence
+        assert 0.0 < verdict.confidence <= 1.0
+        assert verdict.onset >= 0.0
+
+    def test_report_round_trips_to_dict(self):
+        plan = healed(NodeCrash(1.0, 2, revive_at=2.2))
+        report, _ = localize(plan)
+        payload = report.to_dict()
+        assert payload["verdicts"][0]["kind"] == "crash"
+        assert payload["verdicts"][0]["node"] == 2

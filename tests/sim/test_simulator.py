@@ -115,22 +115,17 @@ class TestCompareSchedulers:
 
 class TestNodeFailureInjection:
     def test_crash_schedule_survives(self):
-        result = run_simulation(
-            tiny_scenario(duration=3.0),
-            "OURS",
-            config=RunConfig(node_failures=[(1.0, 1)]),
-        )
+        # The legacy spelling still works (behind a DeprecationWarning).
+        with pytest.warns(DeprecationWarning, match="node_failures"):
+            config = RunConfig(node_failures=[(1.0, 1)])
+        result = run_simulation(tiny_scenario(duration=3.0), "OURS", config=config)
         assert result.jobs_completed > 0
         # Degrades versus the healthy run but keeps serving.
         healthy = run_simulation(tiny_scenario(duration=3.0), "OURS")
         assert result.interactive_fps <= healthy.interactive_fps
 
     def test_invalid_node_rejected(self):
-        import pytest as _pytest
-
-        with _pytest.raises(ValueError, match="node_failures"):
-            run_simulation(
-                tiny_scenario(duration=1.0),
-                "OURS",
-                config=RunConfig(node_failures=[(0.5, 99)]),
-            )
+        with pytest.warns(DeprecationWarning, match="node_failures"):
+            config = RunConfig(node_failures=[(0.5, 99)])
+        with pytest.raises(ValueError, match="fault plan references node"):
+            run_simulation(tiny_scenario(duration=1.0), "OURS", config=config)

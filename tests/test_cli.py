@@ -41,6 +41,15 @@ class TestParser:
         assert args.queue_limit is None
         assert args.degrade is False
 
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.scenario == 1
+        assert args.scheduler == "OURS"
+        assert args.plan is None and args.storm is None
+        assert args.no_heal is False
+        assert args.rca_tolerance == 2.0
+        assert args.report is None
+
     def test_overload_flags_parse(self):
         args = build_parser().parse_args(
             [
@@ -175,6 +184,68 @@ class TestCommands:
         data = out.read_bytes()
         assert data.startswith(b"P6\n24 24\n255\n")
         assert "wrote" in capsys.readouterr().out
+
+
+class TestFaultsCommand:
+    def test_storm_smoke(self, capsys):
+        code = main(
+            ["faults", "--scenario", "1", "--scale", "0.05", "--storm", "11"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan (self-healing" in out
+        assert "jobs lost" in out
+        assert "score vs ground truth" in out
+
+    def test_explicit_plan_no_heal(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--scenario", "1",
+                "--scale", "0.05",
+                "--plan", "crash@1:node=2",
+                "--no-heal",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan (vanilla" in out
+
+    def test_report_and_audit_written(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "rca.json"
+        audit = tmp_path / "fault-audit.jsonl"
+        code = main(
+            [
+                "faults",
+                "--scenario", "1",
+                "--scale", "0.05",
+                "--plan", "crash@1:node=2,revive=2.2",
+                "--audit", str(audit),
+                "--report", str(report),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert payload["self_healing"] is True
+        assert payload["fault_report"]["jobs_lost"] == 0
+        assert audit.exists() and audit.stat().st_size > 0
+        capsys.readouterr()
+
+    def test_unknown_scheduler_rejected(self, capsys):
+        assert main(["faults", "--scheduler", "BOGUS"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_bad_plan_rejected(self, capsys):
+        assert main(["faults", "--plan", "meteor@1:node=0"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_plan_and_storm_exclusive(self, capsys):
+        assert (
+            main(["faults", "--plan", "crash@1:node=0", "--storm", "7"]) == 2
+        )
+        assert "--plan" in capsys.readouterr().err
 
 
 class TestAnimateCommand:
