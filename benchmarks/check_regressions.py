@@ -68,6 +68,12 @@ SKIP_KEYS = {
     "full_tracer_relative_rate",
     "metrics_registry_relative_rate",
     "audit_relative_rate",
+    # Per-stage wall clocks from bench_report_overhead — their hard
+    # bound lives as an assert inside the bench itself.
+    "simulate_wall_s",
+    "extract_wall_s",
+    "render_svg_wall_s",
+    "render_html_wall_s",
 }
 
 #: (relative tolerance, absolute floor) per leaf key.  The absolute
@@ -97,6 +103,16 @@ TOLERANCES: Dict[str, Tuple[float, float]] = {
     "recall": (0.0, 1e-9),
     "false_positives": (0.0, 0.0),
     "verdicts": (0.0, 0.0),
+    # Report content pins (bench_report_overhead): the trace and the
+    # renderer are virtual-time deterministic, so the model's counts
+    # and the rendered byte sizes must not move at all.
+    "segments": (0.0, 0.0),
+    "residency_spans": (0.0, 0.0),
+    "datasets": (0.0, 0.0),
+    "markers": (0.0, 0.0),
+    "paths": (0.0, 0.0),
+    "svg_bytes": (0.0, 0.0),
+    "html_bytes": (0.0, 0.0),
 }
 
 

@@ -50,7 +50,7 @@ def main() -> None:
     )
 
     for label, result in (("healthy", healthy), ("with crashes", failed)):
-        tl = result.timeline
+        tl = result.timeline_samples
         print(f"--- {label} ---")
         print(
             f"fps {result.interactive_fps:6.2f} | mean latency "

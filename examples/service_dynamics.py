@@ -24,7 +24,7 @@ from repro.reporting import sparkline
 
 
 def describe(result) -> None:
-    tl = result.timeline
+    tl = result.timeline_samples
     print(f"--- {result.scheduler_name} ---")
     print(
         f"fps {result.interactive_fps:6.2f} | mean latency "

@@ -125,7 +125,7 @@ from repro.workload import (
     scenario_4,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Cluster",

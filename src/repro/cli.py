@@ -54,6 +54,18 @@ from repro.workload.scenarios import SCENARIO_FACTORIES, make_scenario
 _TFS = {"fire": fire, "cool_warm": cool_warm, "gray": grayscale_ramp}
 
 
+def package_version() -> str:
+    """The installed distribution's version; source-tree fallback."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -62,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'A Job Scheduling Design for Visualization "
             "Services using GPU Clusters' (CLUSTER 2012)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -202,6 +219,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain",
         action="store_true",
         help="simulate past the horizon until every job completes",
+    )
+
+    rep = sub.add_parser(
+        "report",
+        help="render a self-contained HTML run report (Gantt + heatmaps)",
+    )
+    rep.add_argument(
+        "--scenario", type=int, choices=sorted(SCENARIO_FACTORIES), default=2
+    )
+    rep.add_argument(
+        "--schedulers",
+        "--scheduler",
+        dest="schedulers",
+        default="OURS,FCFS",
+        help=(
+            "one registry name for a single-run report, or two "
+            "comma-separated names for the side-by-side A/B comparison "
+            "with first divergence marked (default OURS,FCFS)"
+        ),
+    )
+    rep.add_argument("--scale", type=float, default=0.1)
+    rep.add_argument("--seed", type=int, default=None)
+    rep.add_argument("--load", type=float, default=1.0)
+    rep.add_argument(
+        "--drain",
+        action="store_true",
+        help="simulate past the horizon until every job completes",
+    )
+    rep.add_argument(
+        "--out",
+        metavar="PATH",
+        default="run.html",
+        help="output HTML file (default run.html)",
+    )
+    rep.add_argument(
+        "--svg",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also write each run's standalone timeline SVG; with two "
+            "schedulers the name is inserted before the extension"
+        ),
+    )
+    rep.add_argument(
+        "--bins",
+        type=int,
+        default=60,
+        help="time bins of the cache-residency heatmap (default 60)",
+    )
+    rep.add_argument(
+        "--slo",
+        metavar="SPEC",
+        action="append",
+        default=None,
+        help=(
+            "SLO whose violation windows are overlaid (fps=TARGET, "
+            "latency=SECONDS, latency:p99=SECONDS; repeatable); "
+            "default: fps at the scenario's target framerate"
+        ),
+    )
+    rep.add_argument(
+        "--plan",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "optional fault plan to inject (same syntax as "
+            "'repro faults --plan'); onset/detection/recovery markers "
+            "are drawn on the timeline"
+        ),
     )
 
     flt = sub.add_parser(
@@ -602,6 +688,107 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the self-contained HTML run report (optionally A/B)."""
+    from repro.core.job import reset_job_ids
+    from repro.obs import (
+        AuditConfig,
+        SLObjective,
+        SLOMonitor,
+        Tracer,
+        first_divergence,
+        render_report_html,
+        render_timeline_svg,
+        write_report,
+    )
+
+    names = [n.strip().upper() for n in args.schedulers.split(",") if n.strip()]
+    if not 1 <= len(names) <= 2:
+        print(
+            f"report takes one or two schedulers, got {len(names)}",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [n for n in names if n not in SCHEDULER_NAMES]
+    if unknown:
+        print(
+            f"unknown scheduler(s): {', '.join(unknown)}; "
+            f"valid: {', '.join(SCHEDULER_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.bins < 1:
+        print(f"--bins must be >= 1, got {args.bins}", file=sys.stderr)
+        return 2
+    plan = None
+    if args.plan is not None:
+        from repro.faults import FaultPlan
+
+        try:
+            plan = FaultPlan.parse(args.plan, heal=True)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    models = []
+    results = []
+    for name in names:
+        # Fresh ids per run: trace span names embed the process-global
+        # job id, and the report must be byte-identical across reruns.
+        reset_job_ids()
+        try:
+            scenario = make_scenario(
+                args.scenario, scale=args.scale, seed=args.seed, load=args.load
+            )
+            objectives = [
+                SLObjective.parse(spec)
+                for spec in (
+                    args.slo or [f"fps={scenario.target_framerate:g}"]
+                )
+            ]
+            config = RunConfig(
+                drain=args.drain,
+                tracer=Tracer(),
+                audit=AuditConfig(capacity=None),
+                faults=plan,
+            )
+            result = run_simulation(scenario, name, config=config)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        slo_reports = SLOMonitor(objectives).evaluate(result)
+        results.append(result)
+        models.append(result.timeline(slo_reports=slo_reports))
+    divergence = None
+    if len(results) == 2:
+        divergence = first_divergence(
+            list(results[0].audit), list(results[1].audit)
+        )
+    page = render_report_html(
+        models,
+        divergence=divergence,
+        version=package_version(),
+        bins=args.bins,
+    )
+    write_report(args.out, page)
+    print(f"wrote {args.out}")
+    if args.svg is not None:
+        div_time = divergence.a.time if divergence is not None else None
+        for model in models:
+            path = Path(args.svg)
+            if len(models) > 1:
+                path = path.with_name(
+                    f"{path.stem}.{model.scheduler}{path.suffix or '.svg'}"
+                )
+            write_report(
+                str(path),
+                render_timeline_svg(
+                    model, bins=args.bins, divergence_time=div_time
+                ),
+            )
+            print(f"wrote {path}")
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     """Inject a fault plan, print detection/recovery/RCA reports."""
     import json
@@ -817,6 +1004,7 @@ def cmd_scenarios(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": cmd_simulate,
     "explain": cmd_explain,
+    "report": cmd_report,
     "faults": cmd_faults,
     "render": cmd_render,
     "animate": cmd_animate,

@@ -133,7 +133,15 @@ class LRUChunkCache:
         return True
 
     def clear(self) -> None:
-        """Drop every cached chunk."""
+        """Drop every cached chunk.
+
+        The observer sees one evict per dropped chunk — a node crash or
+        cache wipe ends every residency interval in the trace, exactly
+        like ordinary LRU pressure would.
+        """
+        if self.observer is not None:
+            for chunk in list(self._entries):
+                self.observer("evict", chunk)
         self._entries.clear()
         self._used = 0
 

@@ -259,16 +259,25 @@ class RenderNode:
         )
 
     def _on_cache_event(self, kind: str, chunk) -> None:
-        """Cache observer: emit eviction instants (inserts are the
-        cache-miss instants already emitted on the task path)."""
-        if kind == "evict":
+        """Cache observer: emit insert/evict instants.
+
+        The structured args (dataset, index, bytes) make chunk residency
+        reconstructable from the instant stream alone — the timeline
+        model pairs each insert with its evict (or the end of the run)
+        to draw the cache-residency heatmap.
+        """
+        if kind in ("insert", "evict"):
             self._tracer.instant(
                 self._pid,
                 "cache",
-                f"evict {chunk.key}",
+                f"{kind} {chunk.key}",
                 self._events.now,
                 category="cache",
-                args={"bytes": chunk.size},
+                args={
+                    "dataset": chunk.dataset,
+                    "index": chunk.index,
+                    "bytes": chunk.size,
+                },
             )
 
     def _on_vram_event(self, kind: str, chunk) -> None:

@@ -16,7 +16,7 @@ Entry points: ``RunConfig(faults=FaultPlan(...))``,
 """
 
 from repro.faults.detect import Detection, HealthMonitor, NodeHealth
-from repro.faults.injector import FaultReport, FaultRuntime
+from repro.faults.injector import FaultReport, FaultRuntime, Injection
 from repro.faults.plan import (
     CacheWipe,
     DetectionConfig,
@@ -44,6 +44,7 @@ __all__ = [
     "RecoveryEngine",
     "FaultReport",
     "FaultRuntime",
+    "Injection",
     "RCAVerdict",
     "RCAReport",
     "analyze",

@@ -30,7 +30,7 @@ jobs-lost tally.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, NamedTuple, Optional, Set
 
 from repro.cluster.event_queue import PRIORITY_ARRIVAL, PRIORITY_CYCLE
 from repro.faults.detect import Detection, HealthMonitor, NodeHealth
@@ -44,6 +44,31 @@ from repro.faults.plan import (
 from repro.faults.recovery import RecoveryAction, RecoveryEngine
 
 
+class Injection(NamedTuple):
+    """One planned fault as injected: kind, target, onset, and lift.
+
+    ``node`` is ``-1`` for cluster-wide events (full wipes, storage
+    degradation); ``until`` is the planned lift time — revival, straggler
+    clear, storage restore — or ``None`` when the fault is permanent.
+    Recorded at arm time straight from the plan, so the list is
+    deterministic and available even on runs that end mid-fault.
+    """
+
+    kind: str
+    node: int
+    time: float
+    until: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (bench artifacts, CLI --report)."""
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "time": self.time,
+            "until": self.until,
+        }
+
+
 @dataclass
 class FaultReport:
     """What the fault subsystem did and observed during one run."""
@@ -54,6 +79,7 @@ class FaultReport:
     wipes: int = 0
     storage_faults: int = 0
     revivals: int = 0
+    injections: List[Injection] = field(default_factory=list)
     detections: List[Detection] = field(default_factory=list)
     actions: List[RecoveryAction] = field(default_factory=list)
     jobs_submitted: int = 0
@@ -119,6 +145,7 @@ class FaultReport:
             "wipes": self.wipes,
             "storage_faults": self.storage_faults,
             "revivals": self.revivals,
+            "injections": [i.to_dict() for i in self.injections],
             "detections": [d.to_dict() for d in self.detections],
             "actions": [a.to_dict() for a in self.actions],
             "detection_latency_mean": self.detection_latency_mean,
@@ -180,6 +207,18 @@ class FaultRuntime:
             )
         events = self.events
         for event in self.plan.events:
+            until = getattr(event, "until", None)
+            if isinstance(event, NodeCrash):
+                until = event.revive_at
+            target = getattr(event, "node", None)
+            self.report.injections.append(
+                Injection(
+                    event.kind,
+                    target if target is not None else -1,
+                    event.time,
+                    until,
+                )
+            )
             if isinstance(event, NodeCrash):
                 self.report.crashes += 1
                 if self.monitor is not None:

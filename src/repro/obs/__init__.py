@@ -88,6 +88,11 @@ from repro.obs.metrics import (
     log_buckets,
 )
 from repro.obs.profile import ClusterProfile, NodeProfile
+from repro.obs.report import (
+    render_report_html,
+    render_timeline_svg,
+    write_report,
+)
 from repro.obs.slo import (
     SLObjective,
     SLOMonitor,
@@ -110,6 +115,17 @@ from repro.obs.tracer import (
     Tracer,
     active_tracer,
     pid_for_node,
+)
+from repro.obs.timeline import (
+    Marker,
+    PathOverlay,
+    ResidencySpan,
+    Segment,
+    Series,
+    TimelineError,
+    TimelineModel,
+    Window,
+    extract_timeline,
 )
 
 __all__ = [
@@ -172,4 +188,16 @@ __all__ = [
     "Divergence",
     "first_divergence",
     "phase_delta_table",
+    "TimelineError",
+    "TimelineModel",
+    "Segment",
+    "Series",
+    "ResidencySpan",
+    "Marker",
+    "Window",
+    "PathOverlay",
+    "extract_timeline",
+    "render_timeline_svg",
+    "render_report_html",
+    "write_report",
 ]

@@ -1,0 +1,873 @@
+"""Self-contained SVG/HTML run reports from the timeline model.
+
+Zero-dependency renderer for :class:`~repro.obs.timeline.TimelineModel`:
+pure stdlib, emitting a **standalone SVG** (the schedule drawing alone)
+or a **single-file HTML report** — run-summary tiles, per-node Gantt
+lanes, utilization and queue-pressure tracks, the dataset→node
+cache-residency heatmap, SLO/fault overlays, decision-reason mix,
+per-phase latency shares, and the worst-p99 jobs with their critical
+paths drawn onto the timeline.  Given two models (an A/B run over the
+identical workload) it renders them side by side with the first
+diverging scheduling decision marked on both.
+
+Everything is deterministic: floats are formatted with fixed precision,
+mappings are emitted in sorted order, and the model itself carries no
+wall-clock quantities — the same seeded run always produces the
+byte-identical file.  No external assets, no JavaScript; hover detail
+rides on native SVG ``<title>`` tooltips and every chart has a table
+twin, so the report degrades to plain text gracefully.
+
+Colors follow the repo-wide chart palette (validated for CVD safety in
+light and dark mode); dark mode is driven by ``prefers-color-scheme``
+via CSS custom properties, with light values as fallbacks so the
+standalone SVG renders correctly in bare viewers.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.causal import PHASES, Divergence
+from repro.obs.timeline import LANE_KINDS, Segment, TimelineModel
+
+# -- palette (see docs: validated categorical order, fixed, never cycled) --
+
+#: Gantt / phase colors, light and dark steps of the same hues.
+#: Stack adjacency (scheduling→queueing→io→render→composite) passes the
+#: CVD and normal-vision floors in both modes.
+_PALETTE = {
+    "io": ("#eb6834", "#d95926"),
+    "render": ("#2a78d6", "#3987e5"),
+    "composite": ("#1baf7a", "#199e70"),
+    "scheduling": ("#e87ba4", "#d55181"),
+    "queueing": ("#4a3aa7", "#9085e9"),
+    "path": ("#e34948", "#e66767"),
+}
+
+#: Status colors (fixed, never themed) for fault/SLO overlays.
+_STATUS = {
+    "good": "#0ca30c",
+    "warning": "#fab219",
+    "serious": "#ec835a",
+    "critical": "#d03b3b",
+}
+
+#: Sequential blue ramp (13 steps, light→dark) for the residency heatmap.
+_HEAT_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+_MARKER_STATUS = {"onset": "serious", "detection": "warning", "recovery": "good"}
+
+# -- geometry ----------------------------------------------------------------
+
+_WIDTH = 960
+_M_LEFT = 150
+_M_RIGHT = 20
+_PLOT_W = _WIDTH - _M_LEFT - _M_RIGHT
+_LANE_H = 10
+_LANE_GAP = 2
+_ROW_PAD = 6
+_TRACK_H = 36
+_HEAT_CELL_H = 10
+_FONT = 'font-family="system-ui,-apple-system,\'Segoe UI\',sans-serif"'
+
+
+def _esc(value) -> str:
+    """HTML/XML-escape any value (names may be non-ASCII or hostile)."""
+    return html.escape(str(value), quote=True)
+
+
+def _n(value: float) -> str:
+    """Deterministic coordinate format: fixed 2 decimals, trimmed."""
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+def _secs(t: float) -> str:
+    """Deterministic time label in seconds."""
+    return f"{t:.3f}s"
+
+
+def _ms(t: float) -> str:
+    return f"{t * 1e3:.2f} ms"
+
+
+def _pct(v: float) -> str:
+    return f"{v * 100.0:.1f}%"
+
+
+def _tick_step(span: float) -> float:
+    """A clean tick interval giving ~6-10 ticks over ``span``."""
+    if span <= 0:
+        return 1.0
+    raw = span / 8.0
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        if raw <= mult * magnitude:
+            return mult * magnitude
+    return 10.0 * magnitude
+
+
+class _Svg:
+    """Tiny deterministic SVG assembler."""
+
+    def __init__(self) -> None:
+        self.parts: List[str] = []
+
+    def add(self, text: str) -> None:
+        self.parts.append(text)
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        cls: str,
+        title: Optional[str] = None,
+        rx: float = 0.0,
+        style: str = "",
+    ) -> None:
+        attrs = (
+            f'x="{_n(x)}" y="{_n(y)}" width="{_n(max(w, 0.0))}" '
+            f'height="{_n(max(h, 0.0))}" class="{cls}"'
+        )
+        if rx:
+            attrs += f' rx="{_n(rx)}"'
+        if style:
+            attrs += f' style="{style}"'
+        if title:
+            self.add(f"<rect {attrs}><title>{_esc(title)}</title></rect>")
+        else:
+            self.add(f"<rect {attrs}/>")
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float, cls: str
+    ) -> None:
+        self.add(
+            f'<line x1="{_n(x1)}" y1="{_n(y1)}" x2="{_n(x2)}" '
+            f'y2="{_n(y2)}" class="{cls}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        cls: str,
+        anchor: str = "start",
+        size: int = 11,
+    ) -> None:
+        self.add(
+            f'<text x="{_n(x)}" y="{_n(y)}" class="{cls}" '
+            f'text-anchor="{anchor}" font-size="{size}" {_FONT}>'
+            f"{_esc(content)}</text>"
+        )
+
+    def polyline(
+        self, points: Sequence[Tuple[float, float]], cls: str,
+        title: Optional[str] = None,
+    ) -> None:
+        pts = " ".join(f"{_n(x)},{_n(y)}" for x, y in points)
+        if title:
+            self.add(
+                f'<polyline points="{pts}" class="{cls}">'
+                f"<title>{_esc(title)}</title></polyline>"
+            )
+        else:
+            self.add(f'<polyline points="{pts}" class="{cls}"/>')
+
+    def circle(
+        self, cx: float, cy: float, r: float, cls: str,
+        title: Optional[str] = None,
+    ) -> None:
+        body = f'<circle cx="{_n(cx)}" cy="{_n(cy)}" r="{_n(r)}" class="{cls}"'
+        if title:
+            self.add(body + f"><title>{_esc(title)}</title></circle>")
+        else:
+            self.add(body + "/>")
+
+
+def _coalesce(segments: Sequence[Segment], min_span: float) -> List[Tuple[float, float, int, str, bool]]:
+    """Merge a lane's segments so no drawn bar is thinner than ``min_span``.
+
+    Dense smoke-scale runs produce tens of thousands of sub-pixel spans;
+    drawing each would bloat the file without adding legibility.  The
+    walk keeps segments chronological and merges a segment into the
+    previous drawn bar while the bar is still thinner than ``min_span``
+    and the gap to it is smaller than ``min_span`` — so idle gaps wide
+    enough to *see* always survive.  Returns ``(start, end, count,
+    label, truncated)`` bars.
+    """
+    bars: List[Tuple[float, float, int, str, bool]] = []
+    for seg in segments:
+        if bars:
+            start, end, count, label, truncated = bars[-1]
+            if seg.start - end < min_span and (end - start) < min_span:
+                bars[-1] = (
+                    start,
+                    max(end, seg.end),
+                    count + 1,
+                    label,
+                    truncated or seg.truncated,
+                )
+                continue
+        bars.append((seg.start, seg.end, 1, seg.label, seg.truncated))
+    return bars
+
+
+def _svg_class_css(scope: str) -> str:
+    """The class rules the SVG body uses, scoped under ``scope``.
+
+    Every color is a ``var()`` with the light value as fallback, so a
+    bare SVG viewer that ignores the variables still renders correctly.
+    """
+    v = {name: pair[0] for name, pair in _PALETTE.items()}
+    s = _STATUS
+    return f"""{scope} .rr-io {{ fill: var(--rr-io, {v['io']}); }}
+{scope} .rr-render {{ fill: var(--rr-render, {v['render']}); }}
+{scope} .rr-composite {{ fill: var(--rr-composite, {v['composite']}); }}
+{scope} .rr-trunc {{ fill: var(--rr-critical, {s['critical']}); }}
+{scope} .rr-t1 {{ fill: var(--rr-ink, #0b0b0b); }}
+{scope} .rr-t2 {{ fill: var(--rr-ink2, #52514e); }}
+{scope} .rr-tm {{ fill: var(--rr-muted, #898781); }}
+{scope} .rr-grid {{ stroke: var(--rr-grid, #e1e0d9); stroke-width: 1; }}
+{scope} .rr-base {{ stroke: var(--rr-baseline, #c3c2b7); stroke-width: 1; }}
+{scope} .rr-busy-line {{ stroke: var(--rr-render, {v['render']}); stroke-width: 2; fill: none; stroke-linejoin: round; stroke-linecap: round; }}
+{scope} .rr-busy-fill {{ fill: var(--rr-render, {v['render']}); opacity: 0.1; }}
+{scope} .rr-q1 {{ stroke: var(--rr-render, {v['render']}); stroke-width: 2; fill: none; stroke-linejoin: round; stroke-linecap: round; }}
+{scope} .rr-q2 {{ stroke: var(--rr-io, {v['io']}); stroke-width: 2; fill: none; stroke-linejoin: round; stroke-linecap: round; }}
+{scope} .rr-win-slo {{ fill: {s['critical']}; opacity: 0.12; }}
+{scope} .rr-win-storage {{ fill: {s['serious']}; opacity: 0.12; }}
+{scope} .rr-mark-onset {{ stroke: {s['serious']}; stroke-width: 1.5; }}
+{scope} .rr-mark-detection {{ stroke: {s['warning']}; stroke-width: 1.5; }}
+{scope} .rr-mark-recovery {{ stroke: {s['good']}; stroke-width: 1.5; }}
+{scope} .rr-mark-divergence {{ stroke: var(--rr-ink, #0b0b0b); stroke-width: 1.5; }}
+{scope} .rr-glyph-onset {{ fill: {s['serious']}; }}
+{scope} .rr-glyph-detection {{ fill: {s['warning']}; }}
+{scope} .rr-glyph-recovery {{ fill: {s['good']}; }}
+{scope} .rr-path {{ stroke: var(--rr-path, {v['path']}); stroke-width: 2; fill: none; stroke-linejoin: round; stroke-linecap: round; }}
+{scope} .rr-path-dot {{ fill: var(--rr-path, {v['path']}); stroke: var(--rr-surface, #fcfcfb); stroke-width: 2; }}
+"""
+
+
+def render_timeline_svg(
+    model: TimelineModel,
+    *,
+    bins: int = 60,
+    divergence_time: Optional[float] = None,
+    standalone: bool = True,
+) -> str:
+    """Render one run's schedule drawing as a self-contained SVG.
+
+    Args:
+        model: The extracted timeline.
+        bins: Residency-heatmap time bins.
+        divergence_time: When set (A/B reports), a labelled vertical
+            marker is drawn at this instant.
+        standalone: Embed the style block (with light-mode fallbacks and
+            a dark-mode media query) so the file works outside the HTML
+            report.  The report embeds SVGs with ``standalone=False``
+            and supplies the CSS once.
+    """
+    span = max(model.end, 1e-9)
+
+    def x_of(t: float) -> float:
+        return _M_LEFT + _PLOT_W * min(max(t, 0.0), span) / span
+
+    svg = _Svg()
+    min_span = span * 1.5 / _PLOT_W  # ~1.5px
+    y = 18.0
+
+    # Legend row (identity never rides on color alone: swatch + label).
+    lx = _M_LEFT
+    for kind in LANE_KINDS:
+        svg.rect(lx, y - 9, 14, 9, f"rr-{kind}", rx=2)
+        svg.text(lx + 18, y, kind, "rr-t2", size=10)
+        lx += 18 + 9 * len(kind) + 16
+    svg.rect(lx, y - 9, 14, 9, "rr-trunc", rx=2)
+    svg.text(lx + 18, y, "cut by crash", "rr-t2", size=10)
+    lx += 18 + 9 * len("cut by crash") + 16
+    if model.paths:
+        svg.line(lx, y - 4, lx + 14, y - 4, "rr-path")
+        svg.text(lx + 18, y, "p99 critical path", "rr-t2", size=10)
+    y += 14.0
+
+    # Time axis.
+    axis_y = y
+    step = _tick_step(span)
+    ticks: List[float] = []
+    t = 0.0
+    while t <= span + step * 1e-6:
+        ticks.append(min(t, span))
+        t += step
+    for tick in ticks:
+        svg.text(x_of(tick), axis_y + 10, _secs(tick), "rr-tm", "middle", 9)
+    y = axis_y + 16
+
+    # Gantt rows.
+    gantt_top = y
+    node_rows: List[Tuple[int, float, float]] = []  # (node, top, height)
+    for node in range(model.node_count):
+        lanes = model.lanes_for(node)
+        height = max(1, len(lanes)) * (_LANE_H + _LANE_GAP) + _ROW_PAD
+        node_rows.append((node, y, height))
+        svg.text(
+            _M_LEFT - 10, y + height / 2 + 3, f"node {node}", "rr-t1", "end", 11
+        )
+        lane_y = y + _ROW_PAD / 2
+        by_lane: Dict[Tuple[str, str], List[Segment]] = {}
+        for seg in model.segments:
+            if seg.node == node:
+                by_lane.setdefault((seg.kind, seg.lane), []).append(seg)
+        for kind, lane in lanes:
+            svg.line(
+                _M_LEFT, lane_y + _LANE_H / 2, _WIDTH - _M_RIGHT,
+                lane_y + _LANE_H / 2, "rr-grid",
+            )
+            for start, end, count, label, truncated in _coalesce(
+                by_lane.get((kind, lane), []), min_span
+            ):
+                x0, x1 = x_of(start), x_of(end)
+                title = (
+                    f"node {node} · {lane}: "
+                    + (label if count == 1 else f"{count} tasks")
+                    + f" · {_secs(start)}–{_secs(end)}"
+                    + (" · cut short by crash" if truncated else "")
+                )
+                svg.rect(
+                    x0, lane_y, max(x1 - x0, 0.75), _LANE_H,
+                    f"rr-{kind}" + (" rr-has-trunc" if truncated else ""),
+                    title=title, rx=1,
+                )
+                if truncated:
+                    svg.rect(
+                        max(x1 - 1.5, x0), lane_y, 1.5, _LANE_H, "rr-trunc",
+                    )
+            lane_y += _LANE_H + _LANE_GAP
+        y += height
+    gantt_bottom = y
+    if model.node_count == 0:
+        svg.text(_M_LEFT, y + 12, "(no nodes)", "rr-tm", size=10)
+        y += 20
+        gantt_bottom = y
+
+    # Vertical gridlines across the gantt.
+    for tick in ticks:
+        svg.line(x_of(tick), gantt_top, x_of(tick), gantt_bottom, "rr-grid")
+
+    # Overlay windows (washes) spanning the gantt region.
+    for win in model.windows:
+        cls = "rr-win-slo" if win.kind == "slo-violation" else "rr-win-storage"
+        x0, x1 = x_of(win.start), x_of(win.end)
+        svg.rect(
+            x0, gantt_top, max(x1 - x0, 1.0), gantt_bottom - gantt_top, cls,
+            title=f"{win.label} · {_secs(win.start)}–{_secs(win.end)}",
+        )
+
+    # Fault markers: vertical hairline + glyph (never color alone: the
+    # glyph shape differs per kind and every marker carries a tooltip).
+    for marker in model.markers:
+        mx = x_of(marker.time)
+        svg.line(mx, gantt_top, mx, gantt_bottom, f"rr-mark-{marker.kind}")
+        title = f"{marker.label} @ {_secs(marker.time)}"
+        gy = gantt_top + 4
+        if marker.kind == "onset":  # triangle
+            svg.add(
+                f'<path d="M {_n(mx)} {_n(gy - 4)} L {_n(mx - 4)} {_n(gy + 4)} '
+                f'L {_n(mx + 4)} {_n(gy + 4)} Z" class="rr-glyph-onset">'
+                f"<title>{_esc(title)}</title></path>"
+            )
+        elif marker.kind == "detection":  # diamond
+            svg.add(
+                f'<path d="M {_n(mx)} {_n(gy - 4)} L {_n(mx + 4)} {_n(gy)} '
+                f'L {_n(mx)} {_n(gy + 4)} L {_n(mx - 4)} {_n(gy)} Z" '
+                f'class="rr-glyph-detection"><title>{_esc(title)}</title></path>'
+            )
+        else:  # circle
+            svg.circle(mx, gy, 4, "rr-glyph-recovery", title=title)
+
+    # First-divergence marker (A/B reports).
+    if divergence_time is not None:
+        dx = x_of(divergence_time)
+        svg.line(dx, gantt_top - 12, dx, gantt_bottom, "rr-mark-divergence")
+        anchor = "start" if dx < _WIDTH - 140 else "end"
+        svg.text(
+            dx + (4 if anchor == "start" else -4), gantt_top - 4,
+            f"first divergence @ {_secs(divergence_time)}", "rr-t1", anchor, 10,
+        )
+
+    # Worst critical paths drawn onto their bounding node's row.
+    row_center = {node: top + h / 2 for node, top, h in node_rows}
+    for path in model.paths:
+        py = row_center.get(path.node)
+        if py is None:
+            continue
+        points = [
+            (x_of(path.arrival), py),
+            (x_of(path.assign), py),
+            (x_of(path.start), py),
+            (x_of(path.io_done), py),
+            (x_of(path.render_done), py),
+            (x_of(path.finish), py),
+        ]
+        phases = path.phase_values()
+        title = (
+            f"p99 path · user {path.user} action {path.action} "
+            f"seq {path.sequence} ({path.job_type}) · node {path.node} · "
+            f"latency {_ms(path.latency)} · "
+            + " · ".join(f"{k} {_ms(vv)}" for k, vv in phases.items())
+            + (" · cache hit" if path.cache_hit else " · cache miss")
+        )
+        svg.polyline(points, "rr-path", title=title)
+        for px, _ in points[1:-1]:
+            svg.circle(px, py, 2.5, "rr-path-dot")
+        svg.circle(x_of(path.finish), py, 4, "rr-path-dot", title=title)
+
+    y = gantt_bottom + 12
+
+    # Busy-nodes track (single series: title names it, no legend box).
+    busy = model.busy_fraction()
+    svg.text(_M_LEFT - 10, y + _TRACK_H / 2 + 3, "busy fraction", "rr-t2", "end", 10)
+    svg.line(_M_LEFT, y + _TRACK_H, _WIDTH - _M_RIGHT, y + _TRACK_H, "rr-base")
+    if busy.times:
+        pts = [(x_of(t), y + _TRACK_H * (1.0 - v)) for t, v in zip(busy.times, busy.values)]
+        fill_pts = [(pts[0][0], y + _TRACK_H)] + pts + [(pts[-1][0], y + _TRACK_H)]
+        svg.add(
+            '<polygon points="'
+            + " ".join(f"{_n(px)},{_n(py)}" for px, py in fill_pts)
+            + '" class="rr-busy-fill"/>'
+        )
+        svg.polyline(pts, "rr-busy-line", title="busy nodes / node count")
+    y += _TRACK_H + 14
+
+    # Queue-pressure track (two series -> legend).
+    queued = model.counters.get("queued jobs")
+    backlog = model.counters.get("node backlog")
+    peak = max(
+        [1.0]
+        + list(queued.values if queued else ())
+        + list(backlog.values if backlog else ())
+    )
+    svg.text(_M_LEFT - 10, y + _TRACK_H / 2 + 3, "queue depth", "rr-t2", "end", 10)
+    svg.line(_M_LEFT, y + _TRACK_H, _WIDTH - _M_RIGHT, y + _TRACK_H, "rr-base")
+    for series, cls in ((queued, "rr-q1"), (backlog, "rr-q2")):
+        if series and series.times:
+            pts = [
+                (x_of(t), y + _TRACK_H * (1.0 - v / peak))
+                for t, v in zip(series.times, series.values)
+            ]
+            svg.polyline(pts, cls, title=f"{series.name} (peak {peak:g})")
+    lx = _M_LEFT
+    ly = y + _TRACK_H + 11
+    svg.line(lx, ly - 3, lx + 14, ly - 3, "rr-q1")
+    svg.text(lx + 18, ly, "queued jobs", "rr-t2", size=10)
+    lx += 18 + 9 * len("queued jobs") + 10
+    svg.line(lx, ly - 3, lx + 14, ly - 3, "rr-q2")
+    svg.text(lx + 18, ly, "node backlog", "rr-t2", size=10)
+    svg.text(
+        _WIDTH - _M_RIGHT, ly, f"peak {peak:g}", "rr-tm", "end", 10
+    )
+    y += _TRACK_H + 22
+
+    # Cache-residency heatmap: one block per dataset, one row per node.
+    heat = model.heatmap(bins)
+    if heat:
+        bin_w = _PLOT_W / bins
+        for dataset in model.datasets:
+            rows = heat.get(dataset)
+            if rows is None:
+                continue
+            svg.text(_M_LEFT, y + 10, f"cache residency · {dataset}", "rr-t2", size=10)
+            y += 16
+            for node in sorted(rows):
+                svg.text(
+                    _M_LEFT - 10, y + _HEAT_CELL_H - 2, f"node {node}",
+                    "rr-tm", "end", 9,
+                )
+                row = rows[node]
+                for b, value in enumerate(row):
+                    if value <= 0.0:
+                        continue
+                    ramp_i = min(
+                        len(_HEAT_RAMP) - 1, int(value * len(_HEAT_RAMP))
+                    )
+                    t0 = span * b / bins
+                    t1 = span * (b + 1) / bins
+                    svg.rect(
+                        _M_LEFT + b * bin_w, y, bin_w - 0.5,
+                        _HEAT_CELL_H, "rr-heat",
+                        title=(
+                            f"{dataset} on node {node} · "
+                            f"{_secs(t0)}–{_secs(t1)} · {_pct(value)} resident"
+                        ),
+                        style=f"fill:{_HEAT_RAMP[ramp_i]}",
+                    )
+                y += _HEAT_CELL_H + 2
+            y += 8
+        svg.text(_M_LEFT, y + 10, "share of dataset resident:", "rr-tm", size=9)
+        lx = _M_LEFT + 150
+        for i, color in enumerate(_HEAT_RAMP):
+            svg.rect(lx + i * 16, y + 2, 15.5, 10, "rr-heat", style=f"fill:{color}")
+        svg.text(lx - 4, y + 11, "0%", "rr-tm", "end", 9)
+        svg.text(lx + len(_HEAT_RAMP) * 16 + 4, y + 11, "100%", "rr-tm", size=9)
+        y += 24
+
+    height = y + 8
+    style = ""
+    if standalone:
+        style = (
+            "<style>svg.rr-svg { background: var(--rr-surface, #fcfcfb); }\n"
+            + _svg_class_css("svg.rr-svg")
+            + "@media (prefers-color-scheme: dark) { svg.rr-svg {"
+            + " --rr-surface: #1a1a19; --rr-ink: #ffffff; --rr-ink2: #c3c2b7;"
+            + " --rr-grid: #2c2c2a; --rr-baseline: #383835;"
+            + "".join(
+                f" --rr-{name}: {pair[1]};"
+                for name, pair in sorted(_PALETTE.items())
+            )
+            + " } }</style>"
+        )
+    header = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" class="rr-svg" '
+        f'viewBox="0 0 {_WIDTH} {_n(height)}" width="{_WIDTH}" '
+        f'height="{_n(height)}" role="img" '
+        f'aria-label="schedule timeline for {_esc(model.scheduler)}">'
+    )
+    return header + style + "".join(svg.parts) + "</svg>"
+
+
+# -- HTML report -------------------------------------------------------------
+
+
+def _css() -> str:
+    light_vars = "".join(
+        f"  --rr-{name}: {pair[0]};\n" for name, pair in sorted(_PALETTE.items())
+    )
+    dark_vars = "".join(
+        f"  --rr-{name}: {pair[1]};\n" for name, pair in sorted(_PALETTE.items())
+    )
+    return f""":root {{
+  color-scheme: light;
+  --rr-surface: #fcfcfb;
+  --rr-page: #f9f9f7;
+  --rr-ink: #0b0b0b;
+  --rr-ink2: #52514e;
+  --rr-muted: #898781;
+  --rr-grid: #e1e0d9;
+  --rr-baseline: #c3c2b7;
+  --rr-critical: {_STATUS['critical']};
+{light_vars}}}
+@media (prefers-color-scheme: dark) {{
+  :root {{
+    color-scheme: dark;
+    --rr-surface: #1a1a19;
+    --rr-page: #0d0d0d;
+    --rr-ink: #ffffff;
+    --rr-ink2: #c3c2b7;
+    --rr-grid: #2c2c2a;
+    --rr-baseline: #383835;
+{dark_vars}  }}
+}}
+* {{ box-sizing: border-box; }}
+body {{
+  margin: 0; padding: 24px;
+  background: var(--rr-page); color: var(--rr-ink);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}}
+h1 {{ font-size: 22px; margin: 0 0 2px; }}
+h2 {{ font-size: 15px; margin: 28px 0 8px; }}
+h3 {{ font-size: 13px; margin: 18px 0 6px; color: var(--rr-ink2); }}
+.rr-sub {{ color: var(--rr-ink2); margin: 0 0 18px; }}
+.rr-card {{
+  background: var(--rr-surface); border-radius: 8px; padding: 16px;
+  margin-bottom: 16px; border: 1px solid rgba(11,11,11,0.10);
+}}
+@media (prefers-color-scheme: dark) {{
+  .rr-card {{ border-color: rgba(255,255,255,0.10); }}
+}}
+.rr-tiles {{ display: flex; flex-wrap: wrap; gap: 12px; }}
+.rr-tile {{
+  background: var(--rr-surface); border-radius: 8px; padding: 10px 14px;
+  min-width: 108px; border: 1px solid rgba(11,11,11,0.10);
+}}
+@media (prefers-color-scheme: dark) {{
+  .rr-tile {{ border-color: rgba(255,255,255,0.10); }}
+}}
+.rr-tile .label {{ color: var(--rr-ink2); font-size: 11px; }}
+.rr-tile .value {{ font-weight: 600; font-size: 20px; }}
+.rr-tile .who {{ color: var(--rr-muted); font-size: 10px; }}
+.rr-cols {{ display: grid; grid-template-columns: 1fr 1fr; gap: 16px; }}
+@media (max-width: 1100px) {{ .rr-cols {{ grid-template-columns: 1fr; }} }}
+svg.rr-svg {{ width: 100%; height: auto; background: var(--rr-surface); border-radius: 6px; }}
+{_svg_class_css("svg.rr-svg")}
+table {{ border-collapse: collapse; width: 100%; font-size: 12px; }}
+th, td {{
+  text-align: right; padding: 4px 8px;
+  border-bottom: 1px solid var(--rr-grid);
+  font-variant-numeric: tabular-nums;
+}}
+th {{ color: var(--rr-ink2); font-weight: 600; }}
+th:first-child, td:first-child {{ text-align: left; }}
+.rr-bar-row {{ display: flex; align-items: center; gap: 8px; margin: 2px 0; }}
+.rr-bar-label {{ width: 130px; font-size: 12px; color: var(--rr-ink2); text-align: right; flex: none; }}
+.rr-bar-track {{ flex: 1; display: flex; }}
+.rr-bar {{ height: 14px; border-radius: 0 4px 4px 0; }}
+.rr-bar-value {{ font-size: 11px; color: var(--rr-ink2); margin-left: 6px; font-variant-numeric: tabular-nums; }}
+.rr-stack {{ display: flex; height: 18px; gap: 2px; border-radius: 4px; overflow: hidden; }}
+.rr-stack div {{ height: 100%; }}
+.rr-key {{ display: inline-flex; align-items: center; gap: 6px; margin-right: 14px; font-size: 12px; color: var(--rr-ink2); }}
+.rr-key i {{ width: 12px; height: 12px; border-radius: 3px; display: inline-block; }}
+.rr-diverge {{
+  border-left: 3px solid var(--rr-ink); padding: 8px 12px; margin: 8px 0;
+  background: var(--rr-surface); font-size: 13px;
+}}
+.rr-footer {{ color: var(--rr-muted); font-size: 11px; margin-top: 24px; }}
+"""
+
+
+def _tile(label: str, value: str, who: str = "") -> str:
+    sub = f'<div class="who">{_esc(who)}</div>' if who else ""
+    return (
+        f'<div class="rr-tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div>{sub}</div>'
+    )
+
+
+def _summary_tiles(model: TimelineModel) -> str:
+    s = model.summary
+    who = model.scheduler
+    tiles = [
+        _tile("delivered fps", f"{s.get('interactive_fps', 0.0):.2f}", who),
+        _tile(
+            "jobs completed",
+            f"{s.get('jobs_completed', 0)}/{s.get('jobs_submitted', 0)}",
+            who,
+        ),
+        _tile("cache hit rate", _pct(s.get("hit_rate", 0.0)), who),
+        _tile("mean latency", _ms(s.get("mean_latency", 0.0)), who),
+        _tile("p99 latency", _ms(s.get("p99_latency", 0.0)), who),
+        _tile("node utilization", _pct(s.get("mean_node_utilization", 0.0)), who),
+    ]
+    return "".join(tiles)
+
+
+def _series_color(index: int) -> str:
+    # Categorical slots in fixed order (render-blue, io-orange): the A/B
+    # report never has more than two series.
+    return "var(--rr-render)" if index == 0 else "var(--rr-io)"
+
+
+def _reason_mix(models: Sequence[TimelineModel]) -> str:
+    """Grouped horizontal bars: decision-reason counts per scheduler."""
+    reasons = sorted(
+        {r for m in models for r in m.reason_counts},
+        key=lambda r: (-max(m.reason_counts.get(r, 0) for m in models), r),
+    )
+    if not reasons:
+        return "<p class='rr-sub'>(no audit log recorded)</p>"
+    peak = max(
+        max(m.reason_counts.get(r, 0) for m in models) for r in reasons
+    )
+    peak = max(peak, 1)
+    rows = []
+    for reason in reasons:
+        for i, model in enumerate(models):
+            count = model.reason_counts.get(reason, 0)
+            width = 100.0 * count / peak
+            label = reason if i == 0 else ""
+            rows.append(
+                f'<div class="rr-bar-row">'
+                f'<div class="rr-bar-label">{_esc(label)}</div>'
+                f'<div class="rr-bar-track"><div class="rr-bar" '
+                f'style="width:{width:.2f}%;background:{_series_color(i)}">'
+                f'</div><span class="rr-bar-value">{count}</span></div></div>'
+            )
+    legend = ""
+    if len(models) > 1:
+        legend = "<p>" + "".join(
+            f'<span class="rr-key"><i style="background:{_series_color(i)}">'
+            f"</i>{_esc(m.scheduler)}</span>"
+            for i, m in enumerate(models)
+        ) + "</p>"
+    return legend + "".join(rows)
+
+
+def _phase_key() -> str:
+    return "<p>" + "".join(
+        f'<span class="rr-key"><i style="background:var(--rr-{name})"></i>'
+        f"{_esc(name)}</span>"
+        for name in PHASES
+    ) + "</p>"
+
+
+def _phase_stacks(models: Sequence[TimelineModel]) -> str:
+    """One stacked share bar per scheduler + the numbers as a table."""
+    out = [_phase_key()]
+    for model in models:
+        shares = model.phase_shares()
+        cells = "".join(
+            f'<div style="width:{shares[name] * 100.0:.2f}%;'
+            f'background:var(--rr-{name})"></div>'
+            for name in PHASES
+            if shares[name] > 0
+        )
+        out.append(
+            f'<div class="rr-bar-row"><div class="rr-bar-label">'
+            f'{_esc(model.scheduler)}</div>'
+            f'<div class="rr-bar-track"><div class="rr-stack" '
+            f'style="flex:1">{cells}</div></div></div>'
+        )
+    header = "".join(
+        f"<th>{_esc(name)}</th>" for name in PHASES
+    )
+    rows = []
+    for model in models:
+        shares = model.phase_shares()
+        cells = "".join(f"<td>{_pct(shares[name])}</td>" for name in PHASES)
+        rows.append(f"<tr><td>{_esc(model.scheduler)}</td>{cells}</tr>")
+    out.append(
+        f"<table><thead><tr><th>scheduler</th>{header}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+    return "".join(out)
+
+
+def _worst_jobs_table(model: TimelineModel) -> str:
+    if not model.paths:
+        return "<p class='rr-sub'>(no critical paths recorded)</p>"
+    rows = []
+    for p in model.paths:
+        phases = p.phase_values()
+        rows.append(
+            "<tr>"
+            f"<td>user {p.user} · action {p.action} · seq {p.sequence}</td>"
+            f"<td>{_esc(p.job_type)}</td><td>{p.node}</td>"
+            f"<td>{_ms(p.latency)}</td>"
+            + "".join(f"<td>{_ms(phases[name])}</td>" for name in PHASES)
+            + f"<td>{'hit' if p.cache_hit else 'miss'}</td></tr>"
+        )
+    header = "".join(f"<th>{_esc(name)} </th>" for name in PHASES)
+    return (
+        "<table><thead><tr><th>job</th><th>type</th><th>node</th>"
+        f"<th>latency</th>{header}<th>cache</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _divergence_block(divergence: Optional[Divergence]) -> str:
+    if divergence is None:
+        return (
+            '<div class="rr-diverge">Every matched scheduling decision '
+            "agrees — the two runs placed identical tasks identically.</div>"
+        )
+    a, b = divergence.a, divergence.b
+    return (
+        '<div class="rr-diverge">'
+        f"<strong>First divergence</strong> at decision #{divergence.index} "
+        f"(t={_secs(a.time)}): task {a.task_index} of user {a.user} "
+        f"action {a.action} seq {a.sequence} on dataset "
+        f"<code>{_esc(a.dataset)}</code> — "
+        f"placed on node {a.node} ({_esc(a.reason)}) vs "
+        f"node {b.node} ({_esc(b.reason)})."
+        "</div>"
+    )
+
+
+def render_report_html(
+    models: Sequence[TimelineModel],
+    *,
+    divergence: Optional[Divergence] = None,
+    version: str = "",
+    bins: int = 60,
+    title: str = "",
+) -> str:
+    """Render the single-file HTML run report.
+
+    One model renders a single-run report; two render the A/B comparison
+    side by side with the first diverging decision marked on both
+    timelines.  The output is fully self-contained (inline CSS, inline
+    SVG, no scripts, no external assets).
+    """
+    if not models:
+        raise ValueError("render_report_html needs at least one timeline model")
+    models = list(models)
+    first = models[0]
+    names = " vs ".join(m.scheduler for m in models)
+    page_title = title or f"repro run report · {first.scenario} · {names}"
+    div_time = divergence.a.time if divergence is not None else None
+
+    svgs = [
+        render_timeline_svg(
+            m, bins=bins, divergence_time=div_time, standalone=False
+        )
+        for m in models
+    ]
+    if len(svgs) > 1:
+        timeline_block = '<div class="rr-cols">' + "".join(
+            f"<div><h3>{_esc(m.scheduler)}</h3>{svg}</div>"
+            for m, svg in zip(models, svgs)
+        ) + "</div>"
+    else:
+        timeline_block = svgs[0]
+
+    sections = [
+        f"<h1>{_esc(page_title)}</h1>",
+        (
+            '<p class="rr-sub">scenario '
+            f"<strong>{_esc(first.scenario)}</strong> · horizon "
+            f"{_secs(first.horizon)} · {first.node_count} nodes · target "
+            f"{first.target_framerate:.2f} fps</p>"
+        ),
+        '<div class="rr-tiles">'
+        + "".join(_summary_tiles(m) for m in models)
+        + "</div>",
+    ]
+    if len(models) > 1:
+        sections.append("<h2>First divergence</h2>")
+        sections.append(_divergence_block(divergence))
+    sections.append("<h2>Schedule timeline</h2>")
+    sections.append(f'<div class="rr-card">{timeline_block}</div>')
+    sections.append("<h2>Scheduler decision-reason mix</h2>")
+    sections.append(f'<div class="rr-card">{_reason_mix(models)}</div>')
+    sections.append("<h2>Critical-path phase shares</h2>")
+    sections.append(f'<div class="rr-card">{_phase_stacks(models)}</div>')
+    for model in models:
+        sections.append(
+            f"<h2>Worst p99 jobs · {_esc(model.scheduler)}</h2>"
+        )
+        sections.append(f'<div class="rr-card">{_worst_jobs_table(model)}</div>')
+    footer_version = f"repro {version} · " if version else ""
+    sections.append(
+        f'<p class="rr-footer">{_esc(footer_version)}deterministic report: '
+        "virtual-time data only, byte-identical for a fixed scenario seed. "
+        "Hover any mark for detail; every chart has a table twin.</p>"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8"/>\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1"/>\n'
+        f"<title>{_esc(page_title)}</title>\n"
+        f"<style>\n{_css()}</style>\n</head>\n<body>\n"
+        + "\n".join(sections)
+        + "\n</body>\n</html>\n"
+    )
+
+
+def write_report(path: str, content: str) -> None:
+    """Write a rendered report (UTF-8, newline-normalized)."""
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(content)
+
+
+__all__ = [
+    "render_timeline_svg",
+    "render_report_html",
+    "write_report",
+]

@@ -42,7 +42,8 @@ class RunConfig:
         storage_seed: Seed for I/O jitter (when the storage spec
             enables it).
         timeline_interval: Sample cluster dynamics every this many
-            simulated seconds (``result.timeline``); ``None`` disables.
+            simulated seconds (``result.timeline_samples``); ``None``
+            disables.
         node_failures: Deprecated crash schedule — ``(time, node_id)``
             pairs, recovered per the paper's §VI-D design.  Converted
             internally to an equivalent vanilla

@@ -110,7 +110,7 @@ class SimulationResult:
     tasks_executed: int = 0
     tasks_hit: int = 0
     tasks_missed: int = 0
-    timeline: Optional["TimelineSampler"] = None
+    timeline_samples: Optional["TimelineSampler"] = None
     profile: Optional["ClusterProfile"] = None
     tracer: Optional["Tracer"] = None
     metrics: Optional["RunMetrics"] = None
@@ -208,6 +208,23 @@ class SimulationResult:
         return self.collector.scheduling.mean_cost_per_job_us
 
     # -- observability -----------------------------------------------------
+
+    def timeline(self, *, slo_reports=(), top_paths: int = 3):
+        """Join this run's recorders into one drawable timeline model.
+
+        Requires the run to have carried a tracer
+        (``RunConfig(tracer=Tracer())``); audit, critical-path, and
+        fault data are folded in when present.  See
+        :func:`repro.obs.timeline.extract_timeline`.
+
+        Raises:
+            repro.obs.timeline.TimelineError: If no trace was recorded.
+        """
+        from repro.obs.timeline import extract_timeline
+
+        return extract_timeline(
+            self, slo_reports=slo_reports, top_paths=top_paths
+        )
 
     def node_utilization_fractions(self) -> Dict[int, Dict[str, float]]:
         """Per-node ``{io, render, composite, idle}`` fractions.
@@ -504,7 +521,7 @@ def _run(
         tasks_executed=sum(n.tasks_executed for n in cluster.nodes),
         tasks_hit=sum(n.cache_hits for n in cluster.nodes),
         tasks_missed=sum(n.cache_misses for n in cluster.nodes),
-        timeline=sampler,
+        timeline_samples=sampler,
         profile=ClusterProfile.from_cluster(cluster, max(events.now, 1e-9)),
         tracer=live_tracer,
         metrics=(

@@ -71,8 +71,8 @@ def _run_point(
     the whole cluster) before the result crosses the process boundary.
     """
     result = _run(scenario_factory(point), _instantiate(scheduler), config)
-    if result.timeline is not None:
-        result.timeline._service = None
+    if result.timeline_samples is not None:
+        result.timeline_samples._service = None
     return result
 
 

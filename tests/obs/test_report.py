@@ -1,0 +1,122 @@
+"""Tests for the SVG/HTML run-report renderer (repro.obs.report)."""
+
+import xml.dom.minidom
+
+from repro.core.chunks import dataset_suite
+from repro.core.job import reset_job_ids
+from repro.obs import (
+    AuditConfig,
+    Tracer,
+    first_divergence,
+    render_report_html,
+    render_timeline_svg,
+    write_report,
+)
+from repro.sim.config import system_linux8
+from repro.sim.run_config import RunConfig
+from repro.sim.simulator import run_simulation
+from repro.util.units import GiB
+from repro.workload.actions import persistent_actions
+from repro.workload.scenarios import Scenario
+
+
+def tiny_scenario(duration=2.0, datasets=2, nodes=4, prefix="ds"):
+    system = system_linux8(node_count=nodes)
+    suite = dataset_suite(datasets, 2 * GiB, prefix=prefix)
+    trace = persistent_actions(
+        suite, duration, target_framerate=100.0 / 3.0, seed=0, name="tiny"
+    )
+    return Scenario(name="tiny", system=system, trace=trace, prewarm=True)
+
+
+def traced_run(scheduler="OURS", **scenario_kwargs):
+    reset_job_ids()
+    return run_simulation(
+        tiny_scenario(**scenario_kwargs),
+        scheduler,
+        config=RunConfig(tracer=Tracer(), audit=AuditConfig(capacity=None)),
+    )
+
+
+class TestSvg:
+    def test_standalone_svg_is_wellformed_and_selfcontained(self):
+        model = traced_run().timeline()
+        svg = render_timeline_svg(model)
+        xml.dom.minidom.parseString(svg)
+        assert svg.startswith("<svg")
+        assert "<style>" in svg  # standalone carries its own palette
+        assert "prefers-color-scheme: dark" in svg
+        # Self-contained: the only URL is the SVG namespace itself.
+        assert "http" not in svg.replace("http://www.w3.org/2000/svg", "")
+        # The core chart pieces are drawn.
+        assert "rr-io" in svg and "rr-render" in svg and "rr-composite" in svg
+        assert "cache residency" in svg
+        assert "busy fraction" in svg and "queue depth" in svg
+        assert "p99 critical path" in svg
+
+    def test_embedded_svg_has_no_style_block(self):
+        model = traced_run().timeline()
+        assert "<style>" not in render_timeline_svg(model, standalone=False)
+
+    def test_divergence_marker_drawn(self):
+        model = traced_run().timeline()
+        svg = render_timeline_svg(model, divergence_time=model.end / 2)
+        assert "first divergence" in svg
+        assert "rr-mark-divergence" in svg
+
+
+class TestHtml:
+    def test_report_is_selfcontained_html(self):
+        model = traced_run().timeline()
+        page = render_report_html([model], version="0.0.0-test")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<script" not in page
+        assert "http" not in page.replace("http://www.w3.org/2000/svg", "")
+        assert page.count("<svg") == 1
+        assert "0.0.0-test" in page
+        # Every chart has its table twin.
+        assert "<table>" in page
+
+    def test_ab_report_side_by_side_with_divergence(self):
+        results = [traced_run("OURS"), traced_run("FCFS")]
+        models = [r.timeline() for r in results]
+        divergence = first_divergence(
+            list(results[0].audit), list(results[1].audit)
+        )
+        page = render_report_html(models, divergence=divergence)
+        assert page.count("<svg") == 2
+        assert "rr-cols" in page  # side-by-side layout
+        assert "First divergence" in page
+        if divergence is not None:
+            assert "rr-mark-divergence" in page
+            assert f"node {divergence.a.node}" in page
+
+    def test_byte_identical_across_reruns(self):
+        def build():
+            results = [traced_run("OURS"), traced_run("FCFS")]
+            models = [r.timeline() for r in results]
+            divergence = first_divergence(
+                list(results[0].audit), list(results[1].audit)
+            )
+            return render_report_html(
+                models, divergence=divergence, version="1.0"
+            )
+
+        assert build() == build()
+
+    def test_non_ascii_names_are_escaped(self):
+        model = traced_run(prefix="数据集<&>").timeline()
+        page = render_report_html([model])
+        svg = render_timeline_svg(model)
+        xml.dom.minidom.parseString(svg)
+        for doc in (page, svg):
+            assert "数据集" in doc
+            assert "<&>" not in doc  # raw brackets never survive escaping
+            assert "&lt;&amp;&gt;" in doc
+
+    def test_write_report_roundtrip(self, tmp_path):
+        model = traced_run().timeline()
+        page = render_report_html([model])
+        out = tmp_path / "run.html"
+        write_report(str(out), page)
+        assert out.read_text(encoding="utf-8") == page

@@ -48,24 +48,24 @@ class TestSamplerEndToEnd:
 
     def test_sample_count_matches_duration(self, result):
         # 6 s horizon / 0.25 s ≈ 24 samples (+/- the final tick).
-        assert 20 <= len(result.timeline.samples) <= 27
+        assert 20 <= len(result.timeline_samples.samples) <= 27
 
     def test_times_monotone(self, result):
-        times = result.timeline.series("time")
+        times = result.timeline_samples.series("time")
         assert times == sorted(times)
         assert times[0] == 0.0
 
     def test_jobs_completed_monotone(self, result):
-        completed = result.timeline.series("jobs_completed")
+        completed = result.timeline_samples.series("jobs_completed")
         assert all(b >= a for a, b in zip(completed, completed[1:]))
 
     def test_busy_nodes_bounded(self, result):
-        busy = result.timeline.series("busy_nodes")
+        busy = result.timeline_samples.series("busy_nodes")
         assert all(0 <= b <= 8 for b in busy)
 
     def test_completion_rate_length(self, result):
-        rates = result.timeline.completion_rate()
-        assert len(rates) == len(result.timeline.samples) - 1
+        rates = result.timeline_samples.completion_rate()
+        assert len(rates) == len(result.timeline_samples.samples) - 1
         assert all(r >= 0 for r in rates)
 
     def test_sampler_does_not_prolong_simulation(self):
@@ -83,4 +83,4 @@ class TestSamplerEndToEnd:
 
     def test_no_timeline_by_default(self):
         result = run_simulation(scenario_1(scale=0.05), "OURS")
-        assert result.timeline is None
+        assert result.timeline_samples is None

@@ -276,3 +276,94 @@ class TestAnimateCommand:
         )
         assert code == 0
         assert out.exists()
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {__version__}"
+
+
+class TestReportCommand:
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.scenario == 2
+        assert args.schedulers == "OURS,FCFS"
+        assert args.scale == 0.1
+        assert args.out == "run.html"
+        assert args.bins == 60
+        assert args.svg is None and args.plan is None
+
+    def test_report_writes_selfcontained_ab_html(self, tmp_path, capsys):
+        out = tmp_path / "run.html"
+        code = main(
+            [
+                "report", "--scenario", "2", "--scale", "0.03",
+                "--schedulers", "OURS,FCFS", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        page = out.read_text(encoding="utf-8")
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.count("<svg") == 2
+        assert "First divergence" in page
+        assert "<script" not in page
+        assert "http" not in page.replace("http://www.w3.org/2000/svg", "")
+
+    def test_report_single_scheduler_with_svg(self, tmp_path):
+        out = tmp_path / "run.html"
+        svg_out = tmp_path / "tl.svg"
+        code = main(
+            [
+                "report", "--scenario", "1", "--scale", "0.05",
+                "--scheduler", "OURS", "--out", str(out),
+                "--svg", str(svg_out),
+            ]
+        )
+        assert code == 0
+        assert out.exists() and svg_out.exists()
+        assert svg_out.read_text(encoding="utf-8").startswith("<svg")
+
+    def test_report_rerun_is_byte_identical(self, tmp_path):
+        outs = []
+        for name in ("a.html", "b.html"):
+            out = tmp_path / name
+            assert (
+                main(
+                    [
+                        "report", "--scenario", "2", "--scale", "0.03",
+                        "--out", str(out),
+                    ]
+                )
+                == 0
+            )
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_report_unknown_scheduler(self, capsys):
+        assert main(["report", "--schedulers", "BOGUS"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_report_too_many_schedulers(self, capsys):
+        assert main(["report", "--schedulers", "OURS,FCFS,SF"]) == 2
+        assert "one or two" in capsys.readouterr().err
+
+    def test_report_with_fault_plan(self, tmp_path):
+        out = tmp_path / "faulty.html"
+        code = main(
+            [
+                "report", "--scenario", "1", "--scale", "0.1",
+                "--scheduler", "OURS", "--drain",
+                "--plan", "crash@1:node=1,revive=2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        page = out.read_text(encoding="utf-8")
+        assert "crash injected" in page
