@@ -21,7 +21,6 @@ import time
 from typing import Dict
 
 from benchmarks._shared import bench_scale, emit_json, emit_report
-from repro.core.job import reset_job_ids
 from repro.obs import (
     AuditConfig,
     Tracer,
@@ -44,7 +43,6 @@ def _run_pipeline() -> Dict[str, Dict[str, float]]:
     results, models = [], []
     sim_wall = extract_wall = 0.0
     for name in SCHEDULERS:
-        reset_job_ids()
         scenario = scenario_2(scale=SCALE)
         start = time.perf_counter()
         result = run_simulation(

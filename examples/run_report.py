@@ -21,7 +21,6 @@ from __future__ import annotations
 import argparse
 
 from repro import RunConfig, run_simulation, scenario_2
-from repro.core.job import reset_job_ids
 from repro.obs import (
     AuditConfig,
     SLObjective,
@@ -41,9 +40,9 @@ def main() -> None:
 
     results, models = [], []
     for name in ("OURS", "FCFS"):
-        # Fresh job ids per run keep trace span names — and therefore
-        # the rendered bytes — identical across reruns.
-        reset_job_ids()
+        # Each run carries its own job-id allocator counting from 0,
+        # so trace span names — and the rendered bytes — are identical
+        # across reruns with no reset bookkeeping.
         scenario = scenario_2(scale=args.scale)
         result = run_simulation(
             scenario,

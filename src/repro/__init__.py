@@ -19,24 +19,55 @@ services, with:
   trace-event export, per-node io/render/composite/idle profiles), and
 * an overload-management frontend (admission control, backpressure,
   SLO-driven graceful degradation) for demand beyond cluster capacity,
-  and
 * a fault-injection + self-healing subsystem (deterministic fault
   plans, oracle-free detection, audited recovery, root-cause analysis
-  over the decision audit log).
+  over the decision audit log), and
+* a fleet-scale federation tier: N independent simulator shards behind
+  a user router (consistent-hash or dataset-locality-aware) with a
+  deterministic merged report.
+
+Public API
+----------
+
+Two convenience entry points cover the common cases end to end:
+
+* :func:`simulate` — build a Table II scenario and run it on one
+  simulated cluster; returns a
+  :class:`~repro.sim.SimulationResult`.
+* :func:`federate` — shard a scenario across a federation of
+  simulators; returns a :class:`~repro.federation.FederatedResult`.
+
+Everything they accept (``RunConfig``, ``FederationConfig``,
+``Scenario`` factories, scheduler names) and everything they return is
+exported here; the lower-level building blocks
+(:func:`run_simulation`, :func:`run_federation`, the scheduler
+registry, the obs/faults/frontend subsystems) stay public for
+composed use.
 
 Quickstart::
 
-    from repro import RunConfig, run_simulation, scenario_1
+    from repro import simulate
 
-    result = run_simulation(scenario_1(scale=0.2), "OURS")
+    result = simulate(scenario=1, scheduler="OURS", scale=0.2)
     print(result.summary().row())
+
+Federated fleet::
+
+    from repro import FederationConfig, federate
+
+    merged = federate(
+        scenario=4,
+        scale=0.1,
+        config=FederationConfig(shards=8, router="locality"),
+    )
+    print(merged.shard_table())
 
 Overloaded service with protection::
 
-    from repro import FrontendConfig, make_scenario
+    from repro import FrontendConfig, RunConfig, make_scenario, simulate
 
     overloaded = make_scenario(2, scale=0.2, load=2.5)
-    protected = run_simulation(
+    protected = simulate(
         overloaded,
         "OURS",
         config=RunConfig(frontend=FrontendConfig.protective()),
@@ -57,6 +88,7 @@ from repro.core import (
     Chunk,
     ChunkedDecomposition,
     Dataset,
+    JobIdAllocator,
     JobType,
     RenderJob,
     RenderTask,
@@ -69,6 +101,13 @@ from repro.core import (
     job_latency,
     make_scheduler,
     register_scheduler,
+)
+from repro.federation import (
+    FederatedResult,
+    FederationConfig,
+    build_shards,
+    plan_replication,
+    run_federation,
 )
 from repro.faults import (
     CacheWipe,
@@ -125,9 +164,71 @@ from repro.workload import (
     scenario_4,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
+
+
+def simulate(scenario=1, scheduler="OURS", *, config=None, scale=1.0,
+             seed=None, load=1.0, users=1):
+    """Run one scenario on one simulated cluster (the simple front door).
+
+    Args:
+        scenario: A Table II scenario number (1-4) or an already-built
+            :class:`Scenario`.
+        scheduler: Registry name (``OURS``, ``FCFS``, ...) or a
+            :class:`Scheduler` instance.
+        config: Optional :class:`RunConfig`.
+        scale, seed, load, users: Scenario-builder knobs, used only
+            when ``scenario`` is a number.
+
+    Returns:
+        The :class:`~repro.sim.SimulationResult`.
+    """
+    if not isinstance(scenario, Scenario):
+        scenario = make_scenario(
+            scenario, scale=scale, seed=seed, load=load, users=users
+        )
+    return run_simulation(scenario, scheduler, config=config)
+
+
+def federate(scenario=4, scheduler="OURS", *, config=None, scale=1.0,
+             seed=None, load=1.0, users=None):
+    """Run one scenario across a federation of simulator shards.
+
+    Args:
+        scenario: A Table II scenario number (1-4) or an already-built
+            :class:`Scenario`.
+        scheduler: Per-shard scheduling policy (name or instance).
+        config: Optional :class:`FederationConfig`; defaults to two
+            locality-routed shards.
+        scale, seed, load, users: Scenario-builder knobs, used only
+            when ``scenario`` is a number.  ``users`` defaults to the
+            shard count so each shard sees about one Table II load
+            after routing.
+
+    Returns:
+        The merged :class:`~repro.federation.FederatedResult`.
+    """
+    if config is None:
+        config = FederationConfig()
+    if not isinstance(scenario, Scenario):
+        scenario = make_scenario(
+            scenario,
+            scale=scale,
+            seed=seed,
+            load=load,
+            users=config.shards if users is None else users,
+        )
+    return run_federation(scenario, scheduler, config)
+
 
 __all__ = [
+    "simulate",
+    "federate",
+    "FederationConfig",
+    "FederatedResult",
+    "run_federation",
+    "build_shards",
+    "plan_replication",
     "Cluster",
     "CostParameters",
     "EventQueue",
@@ -138,6 +239,7 @@ __all__ = [
     "Chunk",
     "ChunkedDecomposition",
     "Dataset",
+    "JobIdAllocator",
     "JobType",
     "RenderJob",
     "RenderTask",

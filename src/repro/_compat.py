@@ -1,0 +1,79 @@
+"""Single funnel for every deprecation shim in the package.
+
+Three legacy surfaces survive from the pre-1.x API:
+
+* ``run_simulation(..., **legacy_kwargs)`` — keyword arguments that
+  predate the frozen :class:`repro.sim.RunConfig` (PR 3),
+* ``repro.metrics`` — the old name of :mod:`repro.reporting` (it
+  collided with the :mod:`repro.obs.metrics` runtime registry),
+* ``RunConfig(node_failures=[(t, node), ...])`` — the ad-hoc crash
+  pairs that predate :class:`repro.faults.FaultPlan` (PR 6).
+
+All three warn through :func:`warn_deprecated` below, so there is one
+tested warning path, one place to flip warnings into errors when a
+shim's removal release arrives, and one module to delete afterwards.
+
+Deprecation policy (also in README): a shim warns with
+:class:`DeprecationWarning` for at least one minor release before
+removal; the warning text names the replacement.  The test suite runs
+with first-party ``DeprecationWarning`` promoted to errors, so in-tree
+code can never depend on a shim.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+__all__ = ["warn_deprecated", "import_stacklevel"]
+
+
+def warn_deprecated(message: str, *, stacklevel: int) -> None:
+    """Emit a :class:`DeprecationWarning` attributed to the caller.
+
+    ``stacklevel`` counts from the *shim* (the function the user
+    actually called), exactly as if the shim invoked
+    :func:`warnings.warn` itself — this helper adds one level for its
+    own frame, so call sites keep the stacklevel they used before the
+    funnel existed.
+    """
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
+def import_stacklevel() -> int:
+    """Stack level of the nearest frame outside the import machinery.
+
+    For module-body deprecation warnings (the ``repro.metrics`` alias):
+    a plain ``stacklevel=2`` attributes the warning to the import
+    machinery when the import came through
+    :func:`importlib.import_module` (its ``importlib/__init__.py`` frame
+    is *not* one of the bootstrap frames :func:`warnings.warn` skips on
+    its own) — misleading in the warning text, and invisible to
+    per-module warning filters (pytest's
+    ``error::DeprecationWarning:tests...`` config never matched it).
+    Walk outward to the first frame that is not import machinery,
+    counting levels exactly as ``warn()`` does: frames CPython's
+    stacklevel walk treats as internal (importlib bootstrap) don't
+    count.
+
+    The returned level is relative to the deprecated module's body, for
+    a direct :func:`warnings.warn` call there; when warning through
+    :func:`warn_deprecated` instead, pass the value unchanged — the
+    helper compensates for its own frame.
+    """
+    level = 1  # the warn() call in the deprecated module's body
+    try:
+        frame = sys._getframe(2)  # the module body's caller
+    except ValueError:  # imported with no caller frame (direct exec)
+        return level + 1
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if "importlib" in filename and "_bootstrap" in filename:
+            # warn() skips these without counting; mirror that.
+            frame = frame.f_back
+            continue
+        level += 1
+        if "importlib" not in filename and not filename.startswith("<frozen"):
+            break
+        frame = frame.f_back
+    return level

@@ -4,6 +4,9 @@ Subcommands:
 
 * ``simulate`` — run a Table II scenario under one or more schedulers
   and print the Fig. 4-7 style comparison row(s).
+* ``federate`` — shard one scenario across N independent simulators
+  behind a user router (consistent-hash or locality-aware), then print
+  the merged per-shard grid, fleet totals, and merged SLO tables.
 * ``explain`` — diff two schedulers' decision streams on one scenario:
   first divergent placement, reason-code mix, and the per-phase
   critical-path latency attribution table.
@@ -22,6 +25,7 @@ Examples::
     repro simulate --scenario 1 --schedulers OURS,FCFS --scale 0.5
     repro simulate --scenario 2 --load 2.5 \
         --admission sessions=8 --queue-limit 64:shed-oldest --degrade
+    repro federate --scenario 4 --shards 8 --router locality
     repro explain --scenario 2 --schedulers OURS,FCFS --scale 0.1
     repro faults --scenario 1 --scale 0.5 --plan "crash@10:node=3,revive=20"
     repro faults --scenario 1 --scale 0.5 --storm 11 --report rca.json
@@ -66,6 +70,181 @@ def package_version() -> str:
         return __version__
 
 
+# ---------------------------------------------------------------------------
+# Shared flag groups (argparse parent parsers)
+#
+# Every simulation-driving verb (simulate / federate / explain / report /
+# faults) takes the same core flags; each factory below builds one
+# ``add_help=False`` parent so the verbs declare them once and stay in
+# lockstep.  Factories take the per-verb defaults as parameters — parents
+# are instantiated per verb, never shared, so defaults cannot leak.
+# ---------------------------------------------------------------------------
+
+
+def _scenario_parent(
+    *, scenario: int = 1, scale: float = 1.0
+) -> argparse.ArgumentParser:
+    """--scenario/--scale/--seed/--load: which workload, at what size."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scenario",
+        type=int,
+        choices=sorted(SCENARIO_FACTORIES),
+        default=scenario,
+    )
+    parent.add_argument("--scale", type=float, default=scale)
+    parent.add_argument("--seed", type=int, default=None)
+    parent.add_argument(
+        "--load",
+        type=float,
+        default=1.0,
+        help=(
+            "arrival-rate multiplier for the mixed scenarios (2-4): "
+            "2.5 submits 2.5x the Table II demand (overload studies)"
+        ),
+    )
+    return parent
+
+
+def _schedulers_parent(
+    *, default: str, help_text: str
+) -> argparse.ArgumentParser:
+    """--schedulers/--scheduler (comma list) for the comparison verbs."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--schedulers",
+        "--scheduler",
+        dest="schedulers",
+        default=default,
+        help=help_text,
+    )
+    return parent
+
+
+def _scheduler_parent(*, default: str = "OURS") -> argparse.ArgumentParser:
+    """--scheduler (exactly one registry name)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scheduler", default=default, help="one registry name"
+    )
+    return parent
+
+
+def _drain_parent() -> argparse.ArgumentParser:
+    """--drain: run past the horizon until every job completes."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--drain",
+        action="store_true",
+        help="simulate past the horizon until every job completes",
+    )
+    return parent
+
+
+def _slo_parent(
+    *, help_text: str, window: bool = True
+) -> argparse.ArgumentParser:
+    """--slo (repeatable SPEC) and optionally --slo-window."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--slo",
+        metavar="SPEC",
+        action="append",
+        default=None,
+        help=help_text,
+    )
+    if window:
+        parent.add_argument(
+            "--slo-window",
+            type=float,
+            default=1.0,
+            help=(
+                "SLO sliding-window length in simulated seconds "
+                "(default 1.0)"
+            ),
+        )
+    return parent
+
+
+def _plan_parent(*, help_text: str) -> argparse.ArgumentParser:
+    """--plan: a fault-plan SPEC."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--plan", metavar="SPEC", default=None, help=help_text
+    )
+    return parent
+
+
+def _overload_parent() -> argparse.ArgumentParser:
+    """--admission/--queue-limit/--degrade: the frontend overload knobs."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--admission",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "enable admission control; SPEC is key=value pairs joined "
+            "by ',' from: sessions=N (global concurrent-session cap), "
+            "rate=R (per-user token-bucket requests/s), burst=B "
+            "(bucket capacity, default 2*rate).  Example: "
+            "--admission sessions=8,rate=50"
+        ),
+    )
+    parent.add_argument(
+        "--queue-limit",
+        metavar="N[:POLICY]",
+        default=None,
+        help=(
+            "bound the head-node job queue at N outstanding jobs; "
+            "POLICY is block (default), shed-oldest, shed-newest, or "
+            "degrade.  Example: --queue-limit 64:shed-oldest"
+        ),
+    )
+    parent.add_argument(
+        "--degrade",
+        action="store_true",
+        help=(
+            "enable SLO-driven graceful degradation (quality ladder: "
+            "frame-rate thinning, then reduced resolution)"
+        ),
+    )
+    return parent
+
+
+def _metrics_parent() -> argparse.ArgumentParser:
+    """--metrics PATH: registry on, JSONL + Prometheus exposition out."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable the metrics registry and write structured JSONL "
+            "(one event per window sample / SLO violation) to PATH, "
+            "plus a Prometheus text exposition next to it (.prom); "
+            "with several runs, the run name is inserted before the "
+            "file extension"
+        ),
+    )
+    return parent
+
+
+def _audit_parent(*, help_text: str) -> argparse.ArgumentParser:
+    """--audit PATH: stream the decision audit log as JSONL."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--audit", metavar="PATH", default=None, help=help_text
+    )
+    return parent
+
+
+_SLO_SPEC_HELP = (
+    "evaluate a service-level objective and print the violation "
+    "report; SPEC is fps=TARGET, latency=SECONDS, or "
+    "latency:p99=SECONDS (repeatable)"
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -82,62 +261,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="run a scenario under schedulers")
-    sim.add_argument(
-        "--scenario", type=int, choices=sorted(SCENARIO_FACTORIES), default=1
-    )
-    sim.add_argument(
-        "--schedulers",
-        "--scheduler",
-        dest="schedulers",
-        default="OURS",
-        help="comma-separated registry names (or 'all')",
-    )
-    sim.add_argument("--scale", type=float, default=1.0)
-    sim.add_argument("--seed", type=int, default=None)
-    sim.add_argument(
-        "--load",
-        type=float,
-        default=1.0,
-        help=(
-            "arrival-rate multiplier for the mixed scenarios (2-4): "
-            "2.5 submits 2.5x the Table II demand (overload studies)"
-        ),
-    )
-    sim.add_argument(
-        "--drain",
-        action="store_true",
-        help="simulate past the horizon until every job completes",
-    )
-    sim.add_argument(
-        "--admission",
-        metavar="SPEC",
-        default=None,
-        help=(
-            "enable admission control; SPEC is key=value pairs joined "
-            "by ',' from: sessions=N (global concurrent-session cap), "
-            "rate=R (per-user token-bucket requests/s), burst=B "
-            "(bucket capacity, default 2*rate).  Example: "
-            "--admission sessions=8,rate=50"
-        ),
-    )
-    sim.add_argument(
-        "--queue-limit",
-        metavar="N[:POLICY]",
-        default=None,
-        help=(
-            "bound the head-node job queue at N outstanding jobs; "
-            "POLICY is block (default), shed-oldest, shed-newest, or "
-            "degrade.  Example: --queue-limit 64:shed-oldest"
-        ),
-    )
-    sim.add_argument(
-        "--degrade",
-        action="store_true",
-        help=(
-            "enable SLO-driven graceful degradation (quality ladder: "
-            "frame-rate thinning, then reduced resolution)"
-        ),
+    sim = sub.add_parser(
+        "simulate",
+        help="run a scenario under schedulers",
+        parents=[
+            _scenario_parent(scenario=1, scale=1.0),
+            _schedulers_parent(
+                default="OURS",
+                help_text="comma-separated registry names (or 'all')",
+            ),
+            _drain_parent(),
+            _overload_parent(),
+            _metrics_parent(),
+            _slo_parent(help_text=_SLO_SPEC_HELP),
+            _audit_parent(
+                help_text=(
+                    "enable the decision audit log and stream every "
+                    "placement decision (reason code + candidate "
+                    "snapshot) to PATH as JSONL; with several "
+                    "schedulers, the scheduler name is inserted before "
+                    "the file extension"
+                )
+            ),
+        ],
     )
     sim.add_argument(
         "--per-action",
@@ -159,93 +305,128 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-node io/render/composite/idle breakdown",
     )
-    sim.add_argument(
-        "--metrics",
+
+    fed = sub.add_parser(
+        "federate",
+        help="shard a scenario across N simulators behind a user router",
+        parents=[
+            _scenario_parent(scenario=4, scale=1.0),
+            _scheduler_parent(),
+            _drain_parent(),
+            _overload_parent(),
+            _metrics_parent(),
+            _slo_parent(help_text=_SLO_SPEC_HELP),
+        ],
+    )
+    fed.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="independent head-node shards to run (default 2)",
+    )
+    fed.add_argument(
+        "--router",
+        choices=["hash", "locality"],
+        default="locality",
+        help=(
+            "user->shard placement: 'hash' (consistent-hash ring) or "
+            "'locality' (dataset-residency-aware; default)"
+        ),
+    )
+    fed.add_argument(
+        "--replication",
+        choices=["auto", "mirror", "partition"],
+        default="auto",
+        help=(
+            "dataset homing across shards: 'mirror' (every shard "
+            "warms everything), 'partition' (demand-balanced split), "
+            "or 'auto' (partition for the locality router, mirror for "
+            "hash; default)"
+        ),
+    )
+    fed.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help=(
+            "user-population multiplier applied to the scenario "
+            "(default: the shard count, so each shard sees about one "
+            "Table II load after routing)"
+        ),
+    )
+    fed.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool width for running shards concurrently "
+            "(default 1 = serial; results are bit-identical either way)"
+        ),
+    )
+    fed.add_argument(
+        "--frontend-scope",
+        choices=["shard", "global"],
+        default="shard",
+        help=(
+            "how the overload caps apply: per shard as written, or as "
+            "fleet totals divided across shards (default shard)"
+        ),
+    )
+    fed.add_argument(
+        "--out",
         metavar="PATH",
         default=None,
-        help=(
-            "enable the metrics registry and write structured JSONL "
-            "(one event per window sample / SLO violation) to PATH, "
-            "plus a Prometheus text exposition next to it (.prom); "
-            "with several schedulers, the scheduler name is inserted "
-            "before the file extension"
-        ),
-    )
-    sim.add_argument(
-        "--slo",
-        metavar="SPEC",
-        action="append",
-        default=None,
-        help=(
-            "evaluate a service-level objective and print the violation "
-            "report; SPEC is fps=TARGET, latency=SECONDS, or "
-            "latency:p99=SECONDS (repeatable)"
-        ),
-    )
-    sim.add_argument(
-        "--slo-window",
-        type=float,
-        default=1.0,
-        help="SLO sliding-window length in simulated seconds (default 1.0)",
-    )
-    sim.add_argument(
-        "--audit",
-        metavar="PATH",
-        default=None,
-        help=(
-            "enable the decision audit log and stream every placement "
-            "decision (reason code + candidate snapshot) to PATH as "
-            "JSONL; with several schedulers, the scheduler name is "
-            "inserted before the file extension"
-        ),
+        help="also write the self-contained federation HTML report",
     )
 
-    exp = sub.add_parser(
+    sub.add_parser(
         "explain",
         help="diff two schedulers' decisions and phase attribution",
-    )
-    exp.add_argument(
-        "--scenario", type=int, choices=sorted(SCENARIO_FACTORIES), default=2
-    )
-    exp.add_argument(
-        "--schedulers",
-        default="OURS,FCFS",
-        help="exactly two comma-separated registry names (default OURS,FCFS)",
-    )
-    exp.add_argument("--scale", type=float, default=0.1)
-    exp.add_argument("--seed", type=int, default=None)
-    exp.add_argument("--load", type=float, default=1.0)
-    exp.add_argument(
-        "--drain",
-        action="store_true",
-        help="simulate past the horizon until every job completes",
+        parents=[
+            _scenario_parent(scenario=2, scale=0.1),
+            _schedulers_parent(
+                default="OURS,FCFS",
+                help_text=(
+                    "exactly two comma-separated registry names "
+                    "(default OURS,FCFS)"
+                ),
+            ),
+            _drain_parent(),
+        ],
     )
 
     rep = sub.add_parser(
         "report",
         help="render a self-contained HTML run report (Gantt + heatmaps)",
-    )
-    rep.add_argument(
-        "--scenario", type=int, choices=sorted(SCENARIO_FACTORIES), default=2
-    )
-    rep.add_argument(
-        "--schedulers",
-        "--scheduler",
-        dest="schedulers",
-        default="OURS,FCFS",
-        help=(
-            "one registry name for a single-run report, or two "
-            "comma-separated names for the side-by-side A/B comparison "
-            "with first divergence marked (default OURS,FCFS)"
-        ),
-    )
-    rep.add_argument("--scale", type=float, default=0.1)
-    rep.add_argument("--seed", type=int, default=None)
-    rep.add_argument("--load", type=float, default=1.0)
-    rep.add_argument(
-        "--drain",
-        action="store_true",
-        help="simulate past the horizon until every job completes",
+        parents=[
+            _scenario_parent(scenario=2, scale=0.1),
+            _schedulers_parent(
+                default="OURS,FCFS",
+                help_text=(
+                    "one registry name for a single-run report, or two "
+                    "comma-separated names for the side-by-side A/B "
+                    "comparison with first divergence marked "
+                    "(default OURS,FCFS)"
+                ),
+            ),
+            _drain_parent(),
+            _slo_parent(
+                window=False,
+                help_text=(
+                    "SLO whose violation windows are overlaid "
+                    "(fps=TARGET, latency=SECONDS, latency:p99=SECONDS; "
+                    "repeatable); default: fps at the scenario's target "
+                    "framerate"
+                ),
+            ),
+            _plan_parent(
+                help_text=(
+                    "optional fault plan to inject (same syntax as "
+                    "'repro faults --plan'); onset/detection/recovery "
+                    "markers are drawn on the timeline"
+                )
+            ),
+        ],
     )
     rep.add_argument(
         "--out",
@@ -268,50 +449,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=60,
         help="time bins of the cache-residency heatmap (default 60)",
     )
-    rep.add_argument(
-        "--slo",
-        metavar="SPEC",
-        action="append",
-        default=None,
-        help=(
-            "SLO whose violation windows are overlaid (fps=TARGET, "
-            "latency=SECONDS, latency:p99=SECONDS; repeatable); "
-            "default: fps at the scenario's target framerate"
-        ),
-    )
-    rep.add_argument(
-        "--plan",
-        metavar="SPEC",
-        default=None,
-        help=(
-            "optional fault plan to inject (same syntax as "
-            "'repro faults --plan'); onset/detection/recovery markers "
-            "are drawn on the timeline"
-        ),
-    )
 
     flt = sub.add_parser(
         "faults",
         help="inject faults, report self-healing + root-cause analysis",
-    )
-    flt.add_argument(
-        "--scenario", type=int, choices=sorted(SCENARIO_FACTORIES), default=1
-    )
-    flt.add_argument("--scheduler", default="OURS", help="one registry name")
-    flt.add_argument("--scale", type=float, default=0.5)
-    flt.add_argument("--seed", type=int, default=None)
-    flt.add_argument("--load", type=float, default=1.0)
-    flt.add_argument(
-        "--plan",
-        metavar="SPEC",
-        default=None,
-        help=(
-            "fault plan: semicolon-separated kind@time[:key=value,...] "
-            "events; kinds crash (node=, revive=), straggler (node=, "
-            "render=, io=, until=), wipe (node=, dataset=), storage "
-            "(latency=, bw=, until=).  Example: "
-            "'crash@10:node=3,revive=20;storage@6:latency=5,until=12'"
-        ),
+        parents=[
+            _scenario_parent(scenario=1, scale=0.5),
+            _scheduler_parent(),
+            _plan_parent(
+                help_text=(
+                    "fault plan: semicolon-separated "
+                    "kind@time[:key=value,...] events; kinds crash "
+                    "(node=, revive=), straggler (node=, render=, io=, "
+                    "until=), wipe (node=, dataset=), storage "
+                    "(latency=, bw=, until=).  Example: "
+                    "'crash@10:node=3,revive=20;"
+                    "storage@6:latency=5,until=12'"
+                )
+            ),
+            _slo_parent(
+                help_text=(
+                    "SLO to evaluate (fps=TARGET, latency=SECONDS, or "
+                    "latency:p99=SECONDS; repeatable); default: fps at "
+                    "the scenario's target framerate"
+                )
+            ),
+            _audit_parent(
+                help_text="also stream the decision audit log (JSONL) to PATH"
+            ),
+        ],
     )
     flt.add_argument(
         "--storm",
@@ -331,29 +497,6 @@ def build_parser() -> argparse.ArgumentParser:
             "vanilla injection: no detection, no recovery (crashes use "
             "the legacy instantly-aware §VI-D path)"
         ),
-    )
-    flt.add_argument(
-        "--slo",
-        metavar="SPEC",
-        action="append",
-        default=None,
-        help=(
-            "SLO to evaluate (fps=TARGET, latency=SECONDS, or "
-            "latency:p99=SECONDS; repeatable); default: fps at the "
-            "scenario's target framerate"
-        ),
-    )
-    flt.add_argument(
-        "--slo-window",
-        type=float,
-        default=1.0,
-        help="SLO sliding-window length in simulated seconds (default 1.0)",
-    )
-    flt.add_argument(
-        "--audit",
-        metavar="PATH",
-        default=None,
-        help="also stream the decision audit log (JSONL) to PATH",
     )
     flt.add_argument(
         "--rca-tolerance",
@@ -599,6 +742,85 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_federate(args: argparse.Namespace) -> int:
+    """Shard one scenario across N simulators; print the merged report."""
+    from repro.federation import FederationConfig, run_federation
+    from repro.obs import SLObjective, slo_table
+
+    name = args.scheduler.strip().upper()
+    if name not in SCHEDULER_NAMES:
+        print(
+            f"unknown scheduler: {name}; valid: {', '.join(SCHEDULER_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        frontend = _parse_frontend(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    users = args.users if args.users is not None else args.shards
+    try:
+        config = FederationConfig(
+            shards=args.shards,
+            router=args.router,
+            replication=args.replication,
+            run=RunConfig(
+                drain=args.drain, metrics=bool(args.metrics), frontend=frontend
+            ),
+            workers=args.workers,
+            frontend_scope=args.frontend_scope,
+        )
+        scenario = make_scenario(
+            args.scenario,
+            scale=args.scale,
+            seed=args.seed,
+            load=args.load,
+            users=users,
+        )
+        objectives = [
+            SLObjective.parse(spec, window=args.slo_window)
+            for spec in (args.slo or [f"fps={scenario.target_framerate:g}"])
+        ]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(scenario.summary())
+    print(
+        f"federation: {config.shards} shard(s), router={config.router}, "
+        f"replication={config.resolved_replication}, users x{users}, "
+        f"workers={config.workers}"
+    )
+    print()
+    result = run_federation(scenario, name, config)
+    print(result.shard_table())
+    merged_frontend = result.frontend
+    if merged_frontend is not None:
+        print(f"    {merged_frontend.summary()}")
+    print()
+    print(slo_table(result.evaluate_slos(objectives), title="SLO report (merged)"))
+    if args.metrics:
+        base = Path(args.metrics)
+        for index, shard_result in enumerate(result.shard_results):
+            path = base.with_name(
+                f"{base.stem}.shard{index}{base.suffix or '.jsonl'}"
+            )
+            run_metrics = shard_result.metrics
+            run_metrics.write_jsonl(path)
+            run_metrics.write_prometheus(path.with_suffix(".prom"))
+            print(
+                f"metrics written to {path} "
+                f"(+ {path.with_suffix('.prom').name})"
+            )
+    if args.out:
+        from repro.obs import render_federation_html, write_report
+
+        page = render_federation_html(result, version=package_version())
+        write_report(args.out, page)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     """Diff two schedulers' decisions + phase attribution on one scenario."""
     from repro.obs import AuditConfig, first_divergence, phase_delta_table
@@ -690,7 +912,6 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Render the self-contained HTML run report (optionally A/B)."""
-    from repro.core.job import reset_job_ids
     from repro.obs import (
         AuditConfig,
         SLObjective,
@@ -732,9 +953,6 @@ def cmd_report(args: argparse.Namespace) -> int:
     models = []
     results = []
     for name in names:
-        # Fresh ids per run: trace span names embed the process-global
-        # job id, and the report must be byte-identical across reruns.
-        reset_job_ids()
         try:
             scenario = make_scenario(
                 args.scenario, scale=args.scale, seed=args.seed, load=args.load
@@ -1003,6 +1221,7 @@ def cmd_scenarios(_args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": cmd_simulate,
+    "federate": cmd_federate,
     "explain": cmd_explain,
     "report": cmd_report,
     "faults": cmd_faults,

@@ -23,7 +23,13 @@ from repro.core.cost_model import (
 )
 from repro.core.fcfs import FCFSLScheduler, FCFSScheduler, FCFSUScheduler
 from repro.core.fs import FSScheduler
-from repro.core.job import JobType, RenderJob, RenderTask, reset_job_ids
+from repro.core.job import (
+    JobIdAllocator,
+    JobType,
+    RenderJob,
+    RenderTask,
+    reset_job_ids,
+)
 from repro.core.ours import OursScheduler
 from repro.core.registry import SCHEDULER_NAMES, make_scheduler, register_scheduler
 from repro.core.scheduler_base import (
@@ -57,6 +63,7 @@ __all__ = [
     "FCFSScheduler",
     "FCFSUScheduler",
     "FSScheduler",
+    "JobIdAllocator",
     "JobType",
     "RenderJob",
     "RenderTask",

@@ -12,7 +12,6 @@ finishes plus the image-compositing time of the render group.
 from __future__ import annotations
 
 import enum
-import itertools
 import math
 from typing import List, Optional
 
@@ -31,11 +30,65 @@ class JobType(enum.Enum):
     BATCH = "batch"
 
 
-_job_ids = itertools.count()
+#: Id-space stride between allocator namespaces.  Wide enough that no
+#: single run can overflow into the next namespace (2^40 jobs at the
+#: full-scale Scenario 4 rate is centuries of simulated time), while
+#: namespace 0 still yields the plain 0, 1, 2, ... sequence — so
+#: un-namespaced runs are byte-identical to the historical global
+#: counter after a fresh start.
+NAMESPACE_STRIDE = 1 << 40
+
+
+class JobIdAllocator:
+    """Explicit job-id source, replacing the process-global counter.
+
+    Each simulator carries its own allocator, so concurrent or repeated
+    runs in one process no longer share (or need to reset) hidden
+    state.  A federation gives shard ``k`` the allocator
+    ``JobIdAllocator(namespace=k)``: ids from distinct namespaces never
+    collide, which is what makes merged per-shard results joinable on
+    ``job_id``.
+
+    Args:
+        namespace: Shard index; ids start at
+            ``namespace * NAMESPACE_STRIDE``.
+    """
+
+    __slots__ = ("namespace", "_next")
+
+    def __init__(self, namespace: int = 0) -> None:
+        if namespace < 0:
+            raise ValueError(f"namespace must be >= 0, got {namespace}")
+        self.namespace = namespace
+        self._next = namespace * NAMESPACE_STRIDE
+
+    def allocate(self) -> int:
+        """Return the next id in this allocator's namespace."""
+        job_id = self._next
+        self._next += 1
+        return job_id
+
+    @property
+    def allocated(self) -> int:
+        """How many ids this allocator has handed out."""
+        return self._next - self.namespace * NAMESPACE_STRIDE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobIdAllocator(namespace={self.namespace}, "
+            f"allocated={self.allocated})"
+        )
+
+
+#: Fallback allocator for jobs constructed without an explicit id —
+#: direct ``RenderJob(...)`` construction in tests and closed-loop
+#: drivers.  Simulator runs use their own per-service allocator and
+#: never touch this one.
+_default_allocator = JobIdAllocator()
 
 
 def _next_job_id() -> int:
-    return next(_job_ids)
+    return _default_allocator.allocate()
 
 
 class RenderTask:
@@ -139,8 +192,9 @@ class RenderJob:
         user: int = 0,
         action: int = 0,
         sequence: int = 0,
+        job_id: Optional[int] = None,
     ) -> None:
-        self.job_id = _next_job_id()
+        self.job_id = _next_job_id() if job_id is None else job_id
         self.job_type = job_type
         self.dataset = dataset
         self.arrival_time = float(arrival_time)
@@ -223,9 +277,21 @@ class RenderJob:
 
 
 def reset_job_ids() -> None:
-    """Reset the global job-id counter (test isolation helper)."""
-    global _job_ids
-    _job_ids = itertools.count()
+    """Reset the fallback job-id allocator (test isolation helper).
+
+    Only affects jobs constructed without an explicit ``job_id``;
+    simulator runs carry their own :class:`JobIdAllocator` and are
+    unaffected.
+    """
+    global _default_allocator
+    _default_allocator = JobIdAllocator()
 
 
-__all__ = ["JobType", "RenderTask", "RenderJob", "reset_job_ids"]
+__all__ = [
+    "JobType",
+    "RenderTask",
+    "RenderJob",
+    "JobIdAllocator",
+    "NAMESPACE_STRIDE",
+    "reset_job_ids",
+]

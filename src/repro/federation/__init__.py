@@ -1,0 +1,74 @@
+"""Fleet-scale sharded federation: the layer above the simulator.
+
+One head node + 64 render nodes caps out far below "millions of
+users"; this package runs N independent simulator shards behind a
+user router (ROADMAP item 2):
+
+* :class:`FederationConfig` — frozen, picklable run description
+  (shard count, router policy, replication policy, per-shard
+  :class:`~repro.sim.RunConfig`, pool width),
+* :mod:`~repro.federation.router` — consistent-hash and
+  locality-aware user→shard placement,
+* :mod:`~repro.federation.replication` — mirror / demand-partitioned
+  dataset homing (which shard's cache warms which data),
+* :func:`run_federation` — split → simulate (serial or process pool,
+  bit-identical either way) → merge,
+* :class:`FederatedResult` — the deterministic merged report (latency
+  summary, SLO windows, frontend conservation accounting, metric
+  totals, per-shard grid).
+
+Quickstart::
+
+    from repro import FederationConfig, make_scenario, run_federation
+
+    scenario = make_scenario(4, scale=0.05, users=8)
+    merged = run_federation(
+        scenario, "OURS", FederationConfig(shards=8, router="locality")
+    )
+    print(merged.shard_table())
+"""
+
+from repro.federation.config import (
+    FRONTEND_SCOPES,
+    REPLICATION_POLICIES,
+    ROUTER_POLICIES,
+    FederationConfig,
+)
+from repro.federation.federation import build_shards, run_federation
+from repro.federation.replication import (
+    ReplicationPlan,
+    dataset_demand,
+    plan_replication,
+)
+from repro.federation.result import (
+    FederatedResult,
+    merge_frontend_stats,
+    merge_metric_counters,
+)
+from repro.federation.router import (
+    ConsistentHashRouter,
+    LocalityRouter,
+    RoutingTable,
+    make_router,
+    stable_hash,
+)
+
+__all__ = [
+    "FederationConfig",
+    "ROUTER_POLICIES",
+    "REPLICATION_POLICIES",
+    "FRONTEND_SCOPES",
+    "run_federation",
+    "build_shards",
+    "ReplicationPlan",
+    "plan_replication",
+    "dataset_demand",
+    "FederatedResult",
+    "merge_frontend_stats",
+    "merge_metric_counters",
+    "RoutingTable",
+    "ConsistentHashRouter",
+    "LocalityRouter",
+    "make_router",
+    "stable_hash",
+]

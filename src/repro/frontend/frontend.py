@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Set
 
-from repro.core.job import JobType, RenderJob
+from repro.core.job import JobType
 from repro.frontend.admission import AdmissionController
 from repro.frontend.backpressure import BoundedQueue
 from repro.frontend.config import FrontendConfig
@@ -184,14 +184,9 @@ class ServiceFrontend:
 
     def _forward(self, request: Request, dataset: object) -> None:
         """Build the job (at the request's true arrival time) and submit."""
-        job = RenderJob(
-            request.job_type,
-            dataset,  # type: ignore[arg-type]
-            request.time,
-            user=request.user,
-            action=request.action,
-            sequence=request.sequence,
-        )
+        # The service allocates the id: frontend-mediated and direct
+        # submissions draw from the same per-run allocator.
+        job = self.service.build_job(request, dataset, request.time)
         if (
             self.degradation is not None
             and request.job_type is JobType.INTERACTIVE

@@ -6,55 +6,22 @@ runtime metrics registry).  The package now lives at
 :mod:`repro.reporting`; this module keeps old imports working — both
 ``from repro.metrics import X`` and submodule imports such as
 ``import repro.metrics.collectors`` — while emitting a single
-:class:`DeprecationWarning` per process.
+:class:`DeprecationWarning` per process through the
+:mod:`repro._compat` funnel.
 """
 
 from __future__ import annotations
 
 import importlib
 import sys
-import warnings
 
+from repro._compat import import_stacklevel, warn_deprecated
 
-def _import_stacklevel() -> int:
-    """Stack level of the nearest frame outside the import machinery.
-
-    A plain ``stacklevel=2`` attributes this module-body warning to the
-    import machinery when the import came through
-    :func:`importlib.import_module` (its ``importlib/__init__.py`` frame
-    is *not* one of the bootstrap frames :func:`warnings.warn` skips on
-    its own) — misleading in the warning text, and invisible to
-    per-module warning filters (pytest's
-    ``error::DeprecationWarning:tests...`` config never matched it).
-    Walk outward to the first frame that is not import machinery,
-    counting levels exactly as ``warn()`` does: frames CPython's
-    stacklevel walk treats as internal (importlib bootstrap) don't
-    count.
-    """
-    level = 1  # the warn() call in this module's body
-    try:
-        frame = sys._getframe(2)  # the module body's caller
-    except ValueError:  # imported with no caller frame (direct exec)
-        return level + 1
-    while frame is not None:
-        filename = frame.f_code.co_filename
-        if "importlib" in filename and "_bootstrap" in filename:
-            # warn() skips these without counting; mirror that.
-            frame = frame.f_back
-            continue
-        level += 1
-        if "importlib" not in filename and not filename.startswith("<frozen"):
-            break
-        frame = frame.f_back
-    return level
-
-
-warnings.warn(
+warn_deprecated(
     "repro.metrics has been renamed to repro.reporting (it collided with "
     "the repro.obs.metrics runtime registry); update imports — the alias "
     "will be removed in a future release",
-    DeprecationWarning,
-    stacklevel=_import_stacklevel(),
+    stacklevel=import_stacklevel(),
 )
 
 from repro.reporting import *  # noqa: E402,F401,F403

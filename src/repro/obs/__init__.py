@@ -89,6 +89,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import ClusterProfile, NodeProfile
 from repro.obs.report import (
+    render_federation_html,
     render_report_html,
     render_timeline_svg,
     write_report,
@@ -199,5 +200,6 @@ __all__ = [
     "extract_timeline",
     "render_timeline_svg",
     "render_report_html",
+    "render_federation_html",
     "write_report",
 ]

@@ -860,6 +860,88 @@ def render_report_html(
     )
 
 
+def render_federation_html(result, *, version: str = "", title: str = "") -> str:
+    """Render a federated run's per-shard summary grid as HTML.
+
+    ``result`` is a :class:`~repro.federation.FederatedResult`.  Same
+    contract as :func:`render_report_html`: fully self-contained
+    (inline CSS, no scripts), byte-identical for a fixed scenario seed.
+    """
+    summary = result.summary()
+    config = result.config
+    page_title = title or (
+        f"repro federation report · {result.scenario_name} · "
+        f"{result.scheduler_name} · {config.shards} shards"
+    )
+    tiles = [
+        _tile("shards", f"{config.shards}", f"{config.router} router"),
+        _tile("users", f"{len(result.routing.assignments)}", "routed"),
+        _tile("delivered fps", f"{summary.interactive_fps:.2f}", "merged"),
+        _tile(
+            "jobs completed",
+            f"{result.jobs_completed}/{result.jobs_submitted}",
+            "merged",
+        ),
+        _tile("cache hit rate", _pct(result.hit_rate), "merged"),
+        _tile("mean latency", _ms(summary.interactive_latency), "merged"),
+    ]
+    headers = [
+        "shard",
+        "users",
+        "home datasets",
+        "submitted",
+        "completed",
+        "fps",
+        "latency (ms)",
+        "hit %",
+    ]
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(cell)}</td>" for cell in row) + "</tr>"
+        for row in result.shard_rows()
+    )
+    grid = (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{body}</tbody></table>"
+    )
+    sections = [
+        f"<h1>{_esc(page_title)}</h1>",
+        (
+            '<p class="rr-sub">scenario '
+            f"<strong>{_esc(result.scenario_name)}</strong> · "
+            f"{config.shards} shards · router "
+            f"<strong>{_esc(result.routing.policy)}</strong> · replication "
+            f"<strong>{_esc(result.plan.policy)}</strong> · horizon "
+            f"{_secs(result.horizon)} · target "
+            f"{result.target_framerate:.2f} fps</p>"
+        ),
+        '<div class="rr-tiles">' + "".join(tiles) + "</div>",
+        "<h2>Per-shard summary</h2>",
+        f'<div class="rr-card">{grid}</div>',
+    ]
+    frontend = result.frontend
+    if frontend is not None:
+        sections.append("<h2>Fleet overload accounting</h2>")
+        sections.append(
+            f'<div class="rr-card"><p>{_esc(frontend.summary())}</p></div>'
+        )
+    footer_version = f"repro {version} · " if version else ""
+    sections.append(
+        f'<p class="rr-footer">{_esc(footer_version)}deterministic '
+        "federated report: shard-ordered merge of independent simulator "
+        "runs, byte-identical for a fixed scenario seed.</p>"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8"/>\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1"/>\n'
+        f"<title>{_esc(page_title)}</title>\n"
+        f"<style>\n{_css()}</style>\n</head>\n<body>\n"
+        + "\n".join(sections)
+        + "\n</body>\n</html>\n"
+    )
+
+
 def write_report(path: str, content: str) -> None:
     """Write a rendered report (UTF-8, newline-normalized)."""
     with open(path, "w", encoding="utf-8", newline="\n") as fh:
@@ -869,5 +951,6 @@ def write_report(path: str, content: str) -> None:
 __all__ = [
     "render_timeline_svg",
     "render_report_html",
+    "render_federation_html",
     "write_report",
 ]

@@ -17,9 +17,10 @@ internally, so the two spellings are bit-identical.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
+
+from repro._compat import warn_deprecated
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
@@ -83,6 +84,12 @@ class RunConfig:
             each completed job's latency to phases
             (``result.critical_paths``).  ``False`` (default) is
             bit-identical to a run without the audit subsystem.
+        job_namespace: Namespace for this run's
+            :class:`~repro.core.job.JobIdAllocator` — job ids start at
+            ``job_namespace * NAMESPACE_STRIDE``.  A federation gives
+            shard ``k`` namespace ``k`` so merged per-shard ids never
+            collide; the default ``0`` yields the plain ``0, 1, 2, ...``
+            sequence (byte-identical to the historical global counter).
     """
 
     drain: bool = False
@@ -98,6 +105,7 @@ class RunConfig:
     record_assignments: bool = False
     audit: Union[bool, "AuditConfig"] = False
     faults: Optional["FaultPlan"] = None
+    job_namespace: int = 0
 
     def __post_init__(self) -> None:
         if self.node_failures:
@@ -112,11 +120,10 @@ class RunConfig:
                     "pass either faults=FaultPlan(...) or the deprecated "
                     "node_failures=..., not both"
                 )
-            warnings.warn(
+            warn_deprecated(
                 "RunConfig(node_failures=...) is deprecated; use "
                 "faults=FaultPlan.from_node_failures(...) (or a full "
                 "FaultPlan) instead",
-                DeprecationWarning,
                 stacklevel=3,
             )
             object.__setattr__(

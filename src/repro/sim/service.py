@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 from repro.cluster.cluster import Cluster
 from repro.cluster.event_queue import PRIORITY_CYCLE
 from repro.cluster.node import RenderNode
-from repro.core.job import JobType, RenderJob, RenderTask
+from repro.core.job import JobIdAllocator, JobType, RenderJob, RenderTask
 from repro.core.scheduler_base import Scheduler, SchedulerContext, Trigger
 from repro.core.tables import SchedulerTables
 from repro.reporting.collectors import SimulationCollector
@@ -57,6 +57,11 @@ class VisualizationService:
             records a decision entry, and (if a tracer is also active)
             the service emits Chrome flow events linking each job's
             causal chain.  ``None`` (default) costs nothing.
+        job_ids: Optional :class:`~repro.core.job.JobIdAllocator` this
+            service draws job ids from.  Each service gets a fresh
+            namespace-0 allocator by default, so every run's ids start
+            at 0 regardless of process history; a federation passes
+            shard-namespaced allocators so merged ids never collide.
     """
 
     def __init__(
@@ -69,9 +74,11 @@ class VisualizationService:
         tracer=None,
         metrics=None,
         audit=None,
+        job_ids: Optional[JobIdAllocator] = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
+        self.job_ids = job_ids if job_ids is not None else JobIdAllocator()
         self.decomposition = scheduler.make_decomposition(
             cluster.node_count, chunk_max
         )
@@ -237,17 +244,29 @@ class VisualizationService:
 
     # -- submission ----------------------------------------------------------
 
-    def submit_request(self, request: Request, dataset: object) -> None:
-        """Listener-thread path: convert a request to a job and queue it."""
-        job = RenderJob(
+    def build_job(
+        self, request: Request, dataset: object, arrival_time: float
+    ) -> RenderJob:
+        """Convert a request to a job with an id from this service.
+
+        Every trace-driven submission path (direct or through the
+        frontend) builds jobs here, so all of a run's ids come from one
+        allocator — which is what keeps them collision-free across
+        federated shards.
+        """
+        return RenderJob(
             request.job_type,
             dataset,  # type: ignore[arg-type]
-            self._events._now,
+            arrival_time,
             user=request.user,
             action=request.action,
             sequence=request.sequence,
+            job_id=self.job_ids.allocate(),
         )
-        self.submit(job)
+
+    def submit_request(self, request: Request, dataset: object) -> None:
+        """Listener-thread path: convert a request to a job and queue it."""
+        self.submit(self.build_job(request, dataset, self._events._now))
 
     def submit(self, job: RenderJob) -> None:
         """Queue a rendering job according to the scheduler's trigger."""

@@ -21,17 +21,17 @@ from __future__ import annotations
 
 import gc
 import hashlib
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultReport
 
+from repro._compat import warn_deprecated
 from repro.cluster.cluster import Cluster
 from repro.cluster.event_queue import PRIORITY_ARRIVAL, EventQueue
 from repro.core.cost_model import mean
-from repro.core.job import JobType
+from repro.core.job import JobIdAllocator, JobType
 from repro.core.registry import make_scheduler
 from repro.core.scheduler_base import Scheduler
 from repro.reporting.analysis import (
@@ -65,9 +65,10 @@ from repro.workload.scenarios import Scenario
 
 #: One completed task assignment: ``(user, action, sequence, task_index,
 #: dataset, chunk_index, node_id, start_time, finish_time, io_time,
-#: cache_hit)``.  Job ids are deliberately absent — they come from a
-#: process-global counter and differ between runs that are otherwise
-#: identical; ``(user, action, sequence)`` identifies the job instead.
+#: cache_hit)``.  Job ids are deliberately absent — they depend on the
+#: run's id-allocator namespace, so shard-namespaced federated runs
+#: would hash differently from otherwise-identical plain runs;
+#: ``(user, action, sequence)`` identifies the job instead.
 AssignmentRecord = Tuple[
     int, int, int, int, str, int, int, float, float, float, bool
 ]
@@ -295,10 +296,9 @@ def run_simulation(
                 "pass either config=RunConfig(...) or legacy keyword "
                 "arguments, not both"
             )
-        warnings.warn(
+        warn_deprecated(
             "passing run options as keyword arguments to run_simulation() "
             "is deprecated; pass config=RunConfig(...) instead",
-            DeprecationWarning,
             stacklevel=2,
         )
         config = RunConfig(**legacy_kwargs)
@@ -349,6 +349,7 @@ def _run(
         tracer=live_tracer,
         metrics=registry,
         audit=audit_log,
+        job_ids=JobIdAllocator(config.job_namespace),
     )
     if causal is not None:
         # A per-job completion listener, not a per-task cluster listener:

@@ -19,11 +19,11 @@ lambdas and closures are not).
 from __future__ import annotations
 
 import math
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro._compat import warn_deprecated
 from repro.core.scheduler_base import Scheduler
 from repro.reporting.report import sweep_table
 from repro.sim.run_config import RunConfig
@@ -48,10 +48,9 @@ def _resolve_config(
                 f"pass either config=RunConfig(...) or legacy keyword "
                 f"arguments to {caller}(), not both"
             )
-        warnings.warn(
+        warn_deprecated(
             f"passing run options as keyword arguments to {caller}() is "
             f"deprecated; pass config=RunConfig(...) instead",
-            DeprecationWarning,
             stacklevel=3,
         )
         return RunConfig(**run_kwargs)

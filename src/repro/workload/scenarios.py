@@ -29,6 +29,13 @@ the action and batch arrival rates: ``load=2.0`` submits twice the
 Table II demand onto the same cluster.  Over-subscribed variants are
 the overload-management studies' workload (the frontend's admission /
 backpressure / degradation pipeline exists for exactly this regime).
+
+All factories additionally take a ``users`` multiplier for the
+federation tier: ``users=N`` multiplies the user *population* (and with
+it the total demand) N-fold, the way ``load`` multiplies demand per
+user.  A federation of N shards runs ``users=N`` so that after routing
+each shard sees roughly one scenario's worth of Table II load.
+``users=1`` is float-exact identical to the plain factory.
 """
 
 from __future__ import annotations
@@ -135,18 +142,25 @@ def _mixed_trace(
     return merge_traces([interactive, batch], name=name)
 
 
-def scenario_1(*, scale: float = 1.0, seed: int = 1) -> Scenario:
+def scenario_1(*, scale: float = 1.0, seed: int = 1, users: int = 1) -> Scenario:
     """Scenario 1: workload balancing, all data cacheable (Fig. 4).
 
     8 nodes with 2 GB quota each (16 GB total); six 2 GB datasets
     (12 GB total, fully cacheable); six simultaneous persistent user
-    actions at 33.33 fps; no batch jobs; 60 seconds.
+    actions at 33.33 fps; no batch jobs; 60 seconds.  ``users``
+    multiplies the persistent-action count (``users=N`` runs ``6 * N``
+    simultaneous actions over the same suite).
     """
     check_positive("scale", scale)
+    check_positive("users", users)
     duration = 60.0 * scale
     datasets = dataset_suite(6, 2 * GiB)
     trace = persistent_actions(
-        datasets, duration, target_framerate=TARGET_FPS, name="scenario1"
+        datasets,
+        duration,
+        actions=len(datasets) * users,
+        target_framerate=TARGET_FPS,
+        name="scenario1",
     )
     return Scenario(
         name="scenario1",
@@ -160,7 +174,9 @@ def scenario_1(*, scale: float = 1.0, seed: int = 1) -> Scenario:
     )
 
 
-def scenario_2(*, scale: float = 1.0, seed: int = 2, load: float = 1.0) -> Scenario:
+def scenario_2(
+    *, scale: float = 1.0, seed: int = 2, load: float = 1.0, users: int = 1
+) -> Scenario:
     """Scenario 2: data locality under memory pressure (Fig. 5).
 
     Doubles the datasets (12 x 2 GB = 24 GB > 16 GB of memory) and adds
@@ -168,18 +184,20 @@ def scenario_2(*, scale: float = 1.0, seed: int = 2, load: float = 1.0) -> Scena
     Table II totals: 2 251 batch / 21 011 interactive jobs
     → ~175 interactive jobs/s (≈5.3 concurrent actions) and
     ~19 batch jobs/s.  ``load`` multiplies both arrival rates
-    (``load=2.5`` ≈ 2.5x over-subscription).
+    (``load=2.5`` ≈ 2.5x over-subscription); ``users`` multiplies the
+    user population the same way (federation fan-out).
     """
     check_positive("scale", scale)
     check_positive("load", load)
+    check_positive("users", users)
     duration = 120.0 * scale
     datasets = dataset_suite(12, 2 * GiB)
     trace = _mixed_trace(
         datasets,
         duration,
-        action_rate=1.75 * load,  # x 3 s mean duration = 5.25 concurrent actions
+        action_rate=1.75 * load * users,  # x 3 s mean = 5.25 concurrent actions
         mean_action_duration=3.0,
-        batch_rate=0.25 * load,  # x 75 mean frames = 18.75 batch jobs/s
+        batch_rate=0.25 * load * users,  # x 75 mean frames = 18.75 batch jobs/s
         mean_batch_frames=75.0,
         seed=seed,
         name="scenario2",
@@ -201,25 +219,28 @@ def scenario_2(*, scale: float = 1.0, seed: int = 2, load: float = 1.0) -> Scena
     )
 
 
-def scenario_3(*, scale: float = 1.0, seed: int = 3, load: float = 1.0) -> Scenario:
+def scenario_3(
+    *, scale: float = 1.0, seed: int = 3, load: float = 1.0, users: int = 1
+) -> Scenario:
     """Scenario 3: light-load large-scale hybrid environment (Fig. 6).
 
     64 ANL nodes with 8 GB quota (512 GB total); 32 x 8 GB datasets
     (256 GB, fully cacheable); 300 seconds.  Table II totals: 9 844
     batch / 160 633 interactive jobs → ~535 interactive jobs/s (≈16
     concurrent actions) and ~33 batch jobs/s.  ``load`` multiplies both
-    arrival rates.
+    arrival rates; ``users`` multiplies the user population.
     """
     check_positive("scale", scale)
     check_positive("load", load)
+    check_positive("users", users)
     duration = 300.0 * scale
     datasets = dataset_suite(32, 8 * GiB)
     trace = _mixed_trace(
         datasets,
         duration,
-        action_rate=3.2 * load,  # x 5 s mean duration = 16 concurrent actions
+        action_rate=3.2 * load * users,  # x 5 s mean = 16 concurrent actions
         mean_action_duration=5.0,
-        batch_rate=0.44 * load,  # x 75 mean frames = 33 batch jobs/s
+        batch_rate=0.44 * load * users,  # x 75 mean frames = 33 batch jobs/s
         mean_batch_frames=75.0,
         seed=seed,
         name="scenario3",
@@ -235,25 +256,30 @@ def scenario_3(*, scale: float = 1.0, seed: int = 3, load: float = 1.0) -> Scena
     )
 
 
-def scenario_4(*, scale: float = 1.0, seed: int = 4, load: float = 1.0) -> Scenario:
+def scenario_4(
+    *, scale: float = 1.0, seed: int = 4, load: float = 1.0, users: int = 1
+) -> Scenario:
     """Scenario 4: heavy-load environment, 1 TB of data (Fig. 7).
 
     128 x 8 GB datasets (1 TB, double the 512 GB aggregate memory);
     600 seconds.  Table II totals: 35 176 batch / 388 481 interactive
     jobs → ~647 interactive jobs/s (≈19.4 concurrent actions, above the
     sustainable capacity — latencies soar, as the paper notes) and
-    ~59 batch jobs/s.  ``load`` multiplies both arrival rates.
+    ~59 batch jobs/s.  ``load`` multiplies both arrival rates; ``users``
+    multiplies the user population (federation fan-out: hundreds of
+    thousands of users at ``users=100``-scale populations).
     """
     check_positive("scale", scale)
     check_positive("load", load)
+    check_positive("users", users)
     duration = 600.0 * scale
     datasets = dataset_suite(128, 8 * GiB)
     trace = _mixed_trace(
         datasets,
         duration,
-        action_rate=3.9 * load,  # x 5 s mean duration = 19.5 concurrent actions
+        action_rate=3.9 * load * users,  # x 5 s mean = 19.5 concurrent actions
         mean_action_duration=5.0,
-        batch_rate=0.78 * load,  # x 75 mean frames = 58.5 batch jobs/s
+        batch_rate=0.78 * load * users,  # x 75 mean frames = 58.5 batch jobs/s
         mean_batch_frames=75.0,
         seed=seed,
         name="scenario4",
@@ -302,11 +328,14 @@ def make_scenario(
     scale: float = 1.0,
     seed: Optional[int] = None,
     load: float = 1.0,
+    users: int = 1,
 ) -> Scenario:
     """Build Table II scenario ``number`` (1-4).
 
     ``load`` multiplies the mixed scenarios' arrival rates (2-4 only;
     scenario 1's persistent-action workload has no arrival rate).
+    ``users`` multiplies the user population of any scenario
+    (federation fan-out).
     """
     factory = SCENARIO_FACTORIES.get(number)
     if factory is None:
@@ -318,6 +347,8 @@ def make_scenario(
         if number == 1:
             raise ValueError("scenario 1 has no arrival rate; load must be 1.0")
         kwargs["load"] = load
+    if users != 1:
+        kwargs["users"] = users
     return factory(**kwargs)  # type: ignore[arg-type]
 
 

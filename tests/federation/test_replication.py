@@ -1,0 +1,89 @@
+"""Dataset homing across shards: mirror and demand-partitioned plans."""
+
+import pytest
+
+from repro.federation.replication import dataset_demand, plan_replication
+from repro.workload.scenarios import make_scenario
+
+
+def _trace(number=2, scale=0.05, users=2):
+    return make_scenario(number, scale=scale, users=users).trace
+
+
+class TestDatasetDemand:
+    def test_counts_every_request(self):
+        trace = _trace()
+        demand = dataset_demand(trace)
+        assert sum(demand.values()) == len(trace.requests)
+        assert set(demand) == {ds.name for ds in trace.datasets}
+
+
+class TestMirror:
+    def test_every_shard_homes_everything(self):
+        trace = _trace()
+        plan = plan_replication(trace, 3, "mirror")
+        names = tuple(ds.name for ds in trace.datasets)
+        assert plan.home == (names, names, names)
+
+    def test_primary_homes_round_robin(self):
+        trace = _trace()
+        plan = plan_replication(trace, 3, "mirror")
+        for index, ds in enumerate(trace.datasets):
+            assert plan.home_of(ds.name) == index % 3
+
+    def test_replica_bytes_scale_with_shards(self):
+        trace = _trace()
+        one = plan_replication(trace, 1, "mirror").replica_bytes(trace)
+        three = plan_replication(trace, 3, "mirror").replica_bytes(trace)
+        assert three == 3 * one
+
+
+class TestPartition:
+    def test_disjoint_exact_cover(self):
+        trace = _trace()
+        plan = plan_replication(trace, 3, "partition")
+        homed = [name for shard in plan.home for name in shard]
+        assert sorted(homed) == sorted(ds.name for ds in trace.datasets)
+        assert len(homed) == len(set(homed))
+
+    def test_demand_balanced(self):
+        """The greedy LPT pack keeps the max-loaded shard within one
+        largest-dataset demand of the min-loaded shard."""
+        trace = _trace()
+        plan = plan_replication(trace, 2, "partition")
+        demand = dataset_demand(trace)
+        loads = [
+            sum(demand[name] for name in shard) for shard in plan.home
+        ]
+        assert max(loads) - min(loads) <= max(demand.values())
+
+    def test_one_shard_preserves_suite_order(self):
+        """A 1-shard partition is the original dataset list — the
+        prewarm-order identity behind 1-shard bit-exactness."""
+        trace = _trace()
+        plan = plan_replication(trace, 1, "partition")
+        assert plan.home == (tuple(ds.name for ds in trace.datasets),)
+
+    def test_home_lists_keep_suite_order(self):
+        trace = _trace()
+        plan = plan_replication(trace, 3, "partition")
+        suite = [ds.name for ds in trace.datasets]
+        for shard in plan.home:
+            indices = [suite.index(name) for name in shard]
+            assert indices == sorted(indices)
+
+    def test_deterministic(self):
+        trace = _trace()
+        assert plan_replication(trace, 3, "partition") == plan_replication(
+            trace, 3, "partition"
+        )
+
+
+class TestValidation:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            plan_replication(_trace(), 0, "mirror")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="replication"):
+            plan_replication(_trace(), 2, "rackaware")

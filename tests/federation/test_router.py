@@ -1,0 +1,97 @@
+"""User->shard routing: consistent-hash ring and locality placement."""
+
+import pytest
+
+from repro.federation.replication import plan_replication
+from repro.federation.router import (
+    ConsistentHashRouter,
+    LocalityRouter,
+    make_router,
+    stable_hash,
+)
+from repro.workload.scenarios import make_scenario
+
+
+def _trace(number=2, scale=0.05, users=2):
+    return make_scenario(number, scale=scale, users=users).trace
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("user-7") == stable_hash("user-7")
+
+    def test_distinct_keys_differ(self):
+        assert stable_hash("user-7") != stable_hash("user-8")
+
+    def test_64_bit_range(self):
+        value = stable_hash("anything")
+        assert 0 <= value < 1 << 64
+
+
+class TestConsistentHashRouter:
+    def test_route_in_range_and_deterministic(self):
+        router = ConsistentHashRouter(4)
+        again = ConsistentHashRouter(4)
+        for user in range(200):
+            shard = router.route(user)
+            assert 0 <= shard < 4
+            assert shard == again.route(user)
+
+    def test_all_shards_receive_users(self):
+        router = ConsistentHashRouter(4)
+        hit = {router.route(user) for user in range(500)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_ring_growth_is_sticky(self):
+        """Adding a shard must move only a minority of users."""
+        small = ConsistentHashRouter(4)
+        grown = ConsistentHashRouter(5)
+        users = range(1000)
+        moved = sum(1 for u in users if small.route(u) != grown.route(u))
+        # Ideal is ~1/5 of users; allow generous slack, but far below a
+        # modulo-style full reshuffle (~4/5).
+        assert moved < 500
+
+    def test_assign_covers_every_trace_user(self):
+        trace = _trace()
+        plan = plan_replication(trace, 3, "mirror")
+        table = ConsistentHashRouter(3).assign(trace, plan)
+        users = {r.user for r in trace.requests}
+        assert set(table.users_of(0) + table.users_of(1) + table.users_of(2)) == users
+        assert sum(table.counts()) == len(users)
+
+
+class TestLocalityRouter:
+    def test_users_follow_their_dominant_dataset(self):
+        trace = _trace()
+        plan = plan_replication(trace, 2, "partition")
+        table = LocalityRouter(2).assign(trace, plan)
+        home = plan.home_map()
+        shard_of = dict(table.assignments)
+        for user in {r.user for r in trace.requests}:
+            counts = {}
+            for request in trace.requests:
+                if request.user == user:
+                    counts[request.dataset] = counts.get(request.dataset, 0) + 1
+            best = max(counts.values())
+            dominant_homes = {
+                home[ds] for ds, n in counts.items() if n == best
+            }
+            assert shard_of[user] in dominant_homes
+
+    def test_assign_deterministic(self):
+        trace = _trace()
+        plan = plan_replication(trace, 3, "partition")
+        first = LocalityRouter(3).assign(trace, plan)
+        second = LocalityRouter(3).assign(trace, plan)
+        assert first.assignments == second.assignments
+
+
+class TestMakeRouter:
+    def test_known_policies(self):
+        assert isinstance(make_router("hash", 2), ConsistentHashRouter)
+        assert isinstance(make_router("locality", 2), LocalityRouter)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="router"):
+            make_router("roundrobin", 2)

@@ -3,7 +3,6 @@
 import xml.dom.minidom
 
 from repro.core.chunks import dataset_suite
-from repro.core.job import reset_job_ids
 from repro.obs import (
     AuditConfig,
     Tracer,
@@ -30,7 +29,6 @@ def tiny_scenario(duration=2.0, datasets=2, nodes=4, prefix="ds"):
 
 
 def traced_run(scheduler="OURS", **scenario_kwargs):
-    reset_job_ids()
     return run_simulation(
         tiny_scenario(**scenario_kwargs),
         scheduler,

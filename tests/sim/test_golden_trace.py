@@ -8,9 +8,10 @@ trace — who ran what, where, and exactly when, hashed via ``float.hex``
 so the last bit matters — is identical across repeated runs and across
 serial vs. process-pool sweep execution.
 
-Job ids come from a process-global counter and are deliberately absent
-from the trace records (``(user, action, sequence)`` identifies a job),
-so hashes are stable regardless of how many simulations ran before.
+Job ids come from each run's own :class:`~repro.core.JobIdAllocator`
+and are deliberately absent from the trace records
+(``(user, action, sequence)`` identifies a job), so hashes are stable
+regardless of how many simulations ran before.
 """
 
 import pytest

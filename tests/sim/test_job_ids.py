@@ -1,0 +1,70 @@
+"""Job-id allocation: per-run allocators, shard namespaces, no globals.
+
+Job ids used to come from a process-global ``itertools.count``; they
+now come from an explicit :class:`~repro.core.JobIdAllocator` carried
+by each :class:`~repro.sim.VisualizationService`, so every run starts
+at id 0 (reports are byte-identical across reruns with no reset call)
+and federated shards draw from disjoint namespaces.
+"""
+
+import pytest
+
+from repro.core.job import (
+    NAMESPACE_STRIDE,
+    JobIdAllocator,
+    JobType,
+    RenderJob,
+)
+from repro.core.chunks import Dataset
+from repro.sim.run_config import RunConfig
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import make_scenario
+from repro.util.units import GiB
+
+
+class TestJobIdAllocator:
+    def test_namespace_zero_counts_from_zero(self):
+        ids = JobIdAllocator()
+        assert [ids.allocate() for _ in range(3)] == [0, 1, 2]
+        assert ids.allocated == 3
+
+    def test_namespaced_ids_are_disjoint(self):
+        a, b = JobIdAllocator(0), JobIdAllocator(1)
+        ids_a = {a.allocate() for _ in range(100)}
+        ids_b = {b.allocate() for _ in range(100)}
+        assert not ids_a & ids_b
+        assert min(ids_b) == NAMESPACE_STRIDE
+
+    def test_negative_namespace_rejected(self):
+        with pytest.raises(ValueError, match="namespace"):
+            JobIdAllocator(-1)
+
+    def test_explicit_job_id_bypasses_allocation(self):
+        dataset = Dataset("d", 1 * GiB)
+        job = RenderJob(
+            JobType.INTERACTIVE, dataset, 0.0, user=1, job_id=123
+        )
+        assert job.job_id == 123
+
+
+class TestRunsStartAtZero:
+    def test_every_run_counts_from_zero(self):
+        """Two identical runs produce identical job ids — no global
+        counter state leaks between them."""
+        scenario = make_scenario(1, scale=0.05)
+        first = run_simulation(scenario, "OURS", RunConfig())
+        second = run_simulation(scenario, "OURS", RunConfig())
+        assert [r.job_id for r in first.records] == [
+            r.job_id for r in second.records
+        ]
+        assert min(r.job_id for r in first.records) == 0
+
+    def test_job_namespace_shifts_every_id(self):
+        scenario = make_scenario(1, scale=0.05)
+        base = run_simulation(scenario, "OURS", RunConfig())
+        shifted = run_simulation(
+            scenario, "OURS", RunConfig(job_namespace=3)
+        )
+        assert [r.job_id for r in shifted.records] == [
+            r.job_id + 3 * NAMESPACE_STRIDE for r in base.records
+        ]

@@ -367,3 +367,66 @@ class TestReportCommand:
         assert code == 0
         page = out.read_text(encoding="utf-8")
         assert "crash injected" in page
+
+
+class TestFederate:
+    def test_defaults(self):
+        args = build_parser().parse_args(["federate"])
+        assert args.scenario == 4
+        assert args.shards == 2
+        assert args.router == "locality"
+        assert args.replication == "auto"
+        assert args.users is None
+        assert args.workers == 1
+        assert args.frontend_scope == "shard"
+        # Inherited from the shared parents, same spelling as simulate.
+        assert args.scheduler == "OURS"
+        assert args.load == 1.0 and args.drain is False
+        assert args.slo is None and args.metrics is None
+
+    def test_small_run_prints_merged_grid(self, capsys):
+        code = main(
+            [
+                "federate", "--scenario", "2", "--scale", "0.03",
+                "--shards", "2", "--router", "locality",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "federation: 2 shard(s), router=locality" in out
+        assert "merged [locality/partition]:" in out
+        assert "SLO report (merged)" in out
+
+    def test_unknown_scheduler_rejected(self, capsys):
+        assert main(["federate", "--scheduler", "BOGUS"]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_bad_shards_rejected(self, capsys):
+        assert main(["federate", "--shards", "0"]) == 2
+        assert "shards" in capsys.readouterr().err
+
+    def test_html_report_written(self, tmp_path):
+        out = tmp_path / "fed.html"
+        code = main(
+            [
+                "federate", "--scenario", "2", "--scale", "0.03",
+                "--shards", "2", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        page = out.read_text(encoding="utf-8")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "federation report" in page
+        assert "Per-shard summary" in page
+
+    def test_shared_parents_cover_all_sim_verbs(self):
+        """The consolidation invariant: every simulation verb accepts
+        the same core flags with one definition each."""
+        parser = build_parser()
+        for verb in ("simulate", "federate", "explain", "report", "faults"):
+            args = parser.parse_args([verb, "--scenario", "2", "--scale",
+                                      "0.05", "--seed", "7", "--load", "1.5"])
+            assert args.scenario == 2
+            assert args.scale == 0.05
+            assert args.seed == 7
+            assert args.load == 1.5

@@ -93,3 +93,10 @@ class TestExamples:
         assert "I/O-stall fraction" in out
         assert (tmp_path / "scenario1_FCFS.json").exists()
         assert (tmp_path / "scenario1_OURS.json").exists()
+
+    def test_federation(self):
+        out = run_example("federation.py", "--scale", "0.02", "--shards", "2")
+        assert "=== hash router ===" in out
+        assert "=== locality router ===" in out
+        assert "SLO report (merged)" in out
+        assert "locality-minus-hash hit-rate delta" in out
