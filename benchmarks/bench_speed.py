@@ -1,8 +1,9 @@
-"""Simulator speed: wall-clock and events/sec across all scenarios.
+"""Simulator speed: wall-clock, events/sec, and the scaling curve.
 
 The hot-path work (incremental ``ReplicaBucketIndex``, memoized cost
-estimates, inlined completion/dispatch loops) is justified by this
-bench: it runs Table II scenarios 1-4 under every registered scheduler
+estimates, inlined completion/dispatch loops, the struct-of-arrays
+tables backend, batched event insertion) is justified by this bench:
+it runs Table II scenarios 1-4 under every registered scheduler
 and emits both machine-dependent rates (``wall_s``, ``events_per_sec``
 — reported, never gated) and *deterministic* algorithmic counters
 (``events_processed``, ``tasks_executed``, and for OURS ``cycles_run``,
@@ -11,15 +12,25 @@ and emits both machine-dependent rates (``wall_s``, ``events_per_sec``
 silently re-introduces per-cycle backlog re-sorting shows up as a
 ``backlog_sorts_avoided`` collapse even on a fast machine.
 
-The ``reference`` block records the interleaved old/new measurement of
-the optimization pass itself (full-scale Scenario 2 under OURS, six
+The **scaling curve** runs Scenario 2 under OURS at a ladder of
+absolute scales (independent of ``REPRO_BENCH_SCALE``), once per
+tables backend, and records events/s per point.  The deterministic
+leaves of every curve point are gated; the two backends must agree on
+them exactly (asserted here — a curve point is a cheap differential
+test).  ``REPRO_BENCH_CURVE_MAX`` caps the ladder: CI sets ``0.2`` so
+the smoke subset {0.05, 0.2} regenerates and gates, while local full
+runs add the expensive points as warnings-only extras.
+
+The ``reference`` block records the interleaved old/new measurements of
+the optimization passes (full-scale Scenario 2 under OURS, six
 alternating rounds of pre-PR vs. current source on one machine) so the
-achieved speedup is part of the committed record rather than a claim in
-a commit message.
+achieved speedups are part of the committed record rather than claims
+in commit messages.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict
 
@@ -31,7 +42,9 @@ from benchmarks._shared import (
     get_scenario,
 )
 from repro.core.registry import make_scheduler
+from repro.sim.run_config import RunConfig
 from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import make_scenario
 
 #: Best-of-N wall clock per (scenario, scheduler) cell.  Two rounds is
 #: the minimum that still cross-checks counter determinism; the wall
@@ -42,17 +55,53 @@ ROUNDS = 2
 #: backlog counters exist only on that scheduler.
 OURS_COUNTERS = ("cycles_run", "backlog_chunks_sorted", "backlog_sorts_avoided")
 
-#: Interleaved pre-PR vs. post-PR measurement of full-scale Scenario 2
+#: The scaling-curve ladder: absolute Scenario 2 scales (fractions of
+#: the paper's 120 s trace), NOT affected by ``REPRO_BENCH_SCALE``.
+#: Event counts grow roughly linearly with scale, so the ladder spans
+#: ~4.5k to ~900k events.
+CURVE_SCALES = (0.05, 0.2, 1.0, 3.0, 10.0)
+
+#: Tables backends measured per curve point.
+CURVE_BACKENDS = ("python", "numpy")
+
+
+def curve_max() -> float:
+    """Largest curve scale to run (``REPRO_BENCH_CURVE_MAX`` caps it).
+
+    CI sets ``0.2``: the committed baseline carries exactly the
+    {0.05, 0.2} smoke subset, so those points regenerate and gate on
+    every build while local full-ladder runs only add warning-level
+    extras (``check_regressions`` treats fresh-only leaves as
+    warnings).
+    """
+    env = os.environ.get("REPRO_BENCH_CURVE_MAX")
+    return float(env) if env else max(CURVE_SCALES)
+
+
+#: Interleaved pre-PR vs. post-PR measurements of full-scale Scenario 2
 #: under OURS (six alternating subprocess rounds each, same machine, to
-#: cancel thermal/load noise).  Static record of the optimization pass;
-#: identical in baseline and fresh results, so it never gates.
+#: cancel thermal/load noise).  Static record of the optimization
+#: passes; identical in baseline and fresh results, so it never gates.
 SPEEDUP_REFERENCE = {
     "scenario2_ours_full_scale": {
         "pre_pr_wall_s_avg": 2.170,
         "post_pr_wall_s_avg": 1.077,
         "speedup_avg": 2.01,
         "speedup_best_of_best": 2.07,
-    }
+    },
+    # The SoA-tables / batched-event-queue pass.  The event core was
+    # already within ~2x of the Python floor after the pass above, so
+    # the remaining wins (C-level namedtuple allocation, batched
+    # assignment, pre-bound table hooks, drain-to-timestamp run loop)
+    # land in the few-percent range at the paper's p=8; the SoA
+    # backend's value at this size is differential testing and the
+    # vectorized exclusion path, with headroom at large p.
+    "scenario2_ours_full_scale_soa_pass": {
+        "pre_pr_wall_s_avg": 0.904,
+        "post_pr_wall_s_avg": 0.820,
+        "speedup_avg": 1.10,
+        "speedup_best_of_best": 1.05,
+    },
 }
 
 
@@ -92,6 +141,48 @@ def _measure(number: int, scheduler_name: str) -> Dict[str, float]:
     return best
 
 
+def _measure_curve_point(scale: float) -> Dict[str, object]:
+    """One scaling-curve point: Scenario 2 under OURS, both backends.
+
+    Returns the deterministic counters (gated; asserted identical
+    across backends — every curve run doubles as a backend differential
+    test) plus per-backend wall-clock rates (reported, never gated).
+    """
+    scenario = get_scenario(2, scale)
+    point: Dict[str, object] = {"scale": scale}
+    deterministic: Dict[str, int] = {}
+    for backend in CURVE_BACKENDS:
+        config = RunConfig(tables_backend=backend)
+        best_wall = None
+        for _ in range(ROUNDS):
+            scheduler = make_scheduler("OURS")
+            start = time.perf_counter()
+            result = run_simulation(scenario, scheduler, config=config)
+            wall = time.perf_counter() - start
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+            sample = {
+                "events_processed": result.events_processed,
+                "tasks_executed": result.tasks_executed,
+            }
+            for counter in OURS_COUNTERS:
+                sample[counter] = getattr(scheduler, counter)
+            if deterministic:
+                assert sample == deterministic, (
+                    f"curve point scale={scale}: backend {backend!r} "
+                    f"diverged from the reference counters: "
+                    f"{sample} != {deterministic}"
+                )
+            else:
+                deterministic = sample
+        point[backend] = {
+            "wall_s": best_wall,
+            "events_per_sec": deterministic["events_processed"] / best_wall,
+        }
+    point.update(deterministic)
+    return point
+
+
 def test_simulator_speed(benchmark):
     """Measure and persist per-scenario, per-scheduler speed numbers."""
 
@@ -105,12 +196,24 @@ def test_simulator_speed(benchmark):
 
     cells = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
+    cap = curve_max()
+    curve = {
+        str(scale): _measure_curve_point(scale)
+        for scale in CURVE_SCALES
+        if scale <= cap + 1e-9
+    }
+
     payload = {
         "bench": "speed",
         "scale": SCENARIO_SCALES[1],
         "scales": {str(n): s for n, s in sorted(SCENARIO_SCALES.items())},
         "rounds": ROUNDS,
         "scenarios": cells,
+        "curve": curve,
+        # Named under the skipped ``scales*`` prefix: metadata, not a
+        # gated number (CI caps at 0.2, local runs default to the full
+        # ladder).
+        "scales_curve_max": cap,
         "reference": SPEEDUP_REFERENCE,
     }
     out = emit_json("speed", payload)
@@ -134,15 +237,31 @@ def test_simulator_speed(benchmark):
                 f"{cell['events_processed']:>9,} "
                 f"{cell['tasks_executed']:>7,}  {extras}"
             )
-    ref = SPEEDUP_REFERENCE["scenario2_ours_full_scale"]
     lines.append("")
     lines.append(
-        "reference (interleaved pre/post measurement, full-scale "
-        f"scenario 2, OURS): {ref['pre_pr_wall_s_avg']:.3f} s -> "
-        f"{ref['post_pr_wall_s_avg']:.3f} s  "
-        f"({ref['speedup_avg']:.2f}x avg, "
-        f"{ref['speedup_best_of_best']:.2f}x best-of-best)"
+        f"scaling curve — scenario 2, OURS, both backends "
+        f"(curve max {cap})"
     )
+    lines.append(
+        f"{'scale':>7} {'events':>9} {'tasks':>8} "
+        f"{'python ev/s':>13} {'numpy ev/s':>13}"
+    )
+    for key, point in curve.items():
+        lines.append(
+            f"{key:>7} {point['events_processed']:>9,} "
+            f"{point['tasks_executed']:>8,} "
+            f"{point['python']['events_per_sec']:>13,.0f} "
+            f"{point['numpy']['events_per_sec']:>13,.0f}"
+        )
+    lines.append("")
+    for name, ref in SPEEDUP_REFERENCE.items():
+        lines.append(
+            f"reference {name} (interleaved pre/post, full-scale "
+            f"scenario 2, OURS): {ref['pre_pr_wall_s_avg']:.3f} s -> "
+            f"{ref['post_pr_wall_s_avg']:.3f} s  "
+            f"({ref['speedup_avg']:.2f}x avg, "
+            f"{ref['speedup_best_of_best']:.2f}x best-of-best)"
+        )
     lines.append(f"machine-readable: {out}")
     emit_report("speed", "\n".join(lines))
 
@@ -157,3 +276,15 @@ def test_simulator_speed(benchmark):
         assert (
             ours["backlog_sorts_avoided"] <= ours["backlog_chunks_sorted"]
         )
+
+    # Curve sanity: at least the smoke subset ran, every point did real
+    # work, and event counts grow strictly with scale.
+    assert len(curve) >= 2, "curve must cover at least {0.05, 0.2}"
+    previous = 0
+    for scale in sorted(float(k) for k in curve):
+        point = curve[str(scale)]
+        assert point["events_processed"] > previous, (
+            f"curve point {scale}: events did not grow "
+            f"({point['events_processed']} <= {previous})"
+        )
+        previous = point["events_processed"]

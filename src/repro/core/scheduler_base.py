@@ -51,6 +51,13 @@ class Assignment(NamedTuple):
     node: int
 
 
+#: Direct tuple allocation for Assignment instances: the generated
+#: namedtuple ``__new__`` is a Python-level frame per call, and assign()
+#: runs once per placed task.  ``tuple.__new__(Assignment, ...)`` builds
+#: the identical object C-level.
+_assignment_new = tuple.__new__
+
+
 class SchedulerContext:
     """Everything a policy may consult when placing tasks.
 
@@ -80,6 +87,7 @@ class SchedulerContext:
         "metrics",
         "audit",
         "_audit_record",
+        "_tables_record",
         "_assignments",
         "_events",
         "_node_count",
@@ -104,6 +112,9 @@ class SchedulerContext:
         # Pre-bound audit hook (or None): assign() pays one load and one
         # identity check on the unaudited path.
         self._audit_record = audit.record_assignment if audit is not None else None
+        # Pre-bound table hook: assign() runs once per placed task and
+        # the tables object is fixed for the context's lifetime.
+        self._tables_record = tables.record_assignment
         self._assignments: List[Assignment] = []
         # Hot-path caches: the event queue (clock reads) and the node
         # count (fixed for a cluster's lifetime; failed nodes keep their
@@ -149,8 +160,37 @@ class SchedulerContext:
             # Audited before the tables absorb the assignment: the
             # candidate snapshot must show the state the policy scored.
             audit_record(task, node, self.tables, now, reason)
-        self.tables.record_assignment(task, node, now)
-        self._assignments.append(Assignment(task, node))
+        self._tables_record(task, node, now)
+        self._assignments.append(_assignment_new(Assignment, (task, node)))
+
+    def assign_all(
+        self,
+        tasks: Sequence[RenderTask],
+        node: int,
+        reason: Optional[str] = None,
+    ) -> None:
+        """Place every task in ``tasks`` on ``node`` (batched :meth:`assign`).
+
+        Bit-identical to calling :meth:`assign` per task in order — the
+        tables absorb the same per-task updates in the same sequence —
+        but the bounds check, clock read, and audit probe are hoisted
+        out of the loop.  OURS places whole interactive chunks this way.
+        """
+        if not 0 <= node < self._node_count:
+            raise ValueError(f"node {node} out of range")
+        now = self._events._now
+        audit_record = self._audit_record
+        record = self._tables_record
+        append = self._assignments.append
+        if audit_record is not None:
+            for task in tasks:
+                audit_record(task, node, self.tables, now, reason)
+                record(task, node, now)
+                append(_assignment_new(Assignment, (task, node)))
+        else:
+            for task in tasks:
+                record(task, node, now)
+                append(_assignment_new(Assignment, (task, node)))
 
     def take_assignments(self) -> List[Assignment]:
         """Return and clear the assignments accumulated via :meth:`assign`."""

@@ -54,6 +54,13 @@ class JobRecord(NamedTuple):
         return self.task_count - self.cache_hits
 
 
+#: Direct tuple allocation for JobRecord rows: the generated namedtuple
+#: ``__new__`` is a Python-level frame per call, and one row is built per
+#: completed job.  ``tuple.__new__(JobRecord, ...)`` builds the identical
+#: object C-level (fields passed positionally, in declaration order).
+_job_record_new = tuple.__new__
+
+
 @dataclass
 class SchedulingCostStats:
     """Wall-clock accounting of the scheduling procedure (Table III)."""
@@ -135,20 +142,23 @@ class SimulationCollector:
         self.tasks_hit += hits
         self.tasks_missed += job.task_count - hits
         self.records.append(
-            JobRecord(
-                job_id=job.job_id,
-                job_type=job.job_type,
-                dataset=job.dataset.name,
-                user=job.user,
-                action=job.action,
-                sequence=job.sequence,
-                arrival=job.arrival_time,
-                start=job.start_time(),
-                finish=job.finish_time,  # type: ignore[arg-type]
-                task_count=job.task_count,
-                cache_hits=hits,
-                io_seconds=io_total,
-                group_size=len(job.group_nodes()),
+            _job_record_new(
+                JobRecord,
+                (
+                    job.job_id,
+                    job.job_type,
+                    job.dataset.name,
+                    job.user,
+                    job.action,
+                    job.sequence,
+                    job.arrival_time,
+                    job.start_time(),
+                    job.finish_time,
+                    job.task_count,
+                    hits,
+                    io_total,
+                    len(job.group_nodes()),
+                ),
             )
         )
 

@@ -90,6 +90,12 @@ class RunConfig:
             shard ``k`` namespace ``k`` so merged per-shard ids never
             collide; the default ``0`` yields the plain ``0, 1, 2, ...``
             sequence (byte-identical to the historical global counter).
+        tables_backend: Storage layout of the head node's scheduling
+            tables: ``"python"`` (dict/list, the reference path) or
+            ``"numpy"`` (struct-of-arrays with vectorized placement
+            queries).  The two are bit-identical — every golden trace
+            hash is unchanged across backends (pinned by the backend
+            differential tests); pick by profile, not by semantics.
     """
 
     drain: bool = False
@@ -106,8 +112,14 @@ class RunConfig:
     audit: Union[bool, "AuditConfig"] = False
     faults: Optional["FaultPlan"] = None
     job_namespace: int = 0
+    tables_backend: str = "python"
 
     def __post_init__(self) -> None:
+        if self.tables_backend not in ("python", "numpy"):
+            raise ValueError(
+                f"unknown tables_backend {self.tables_backend!r}: "
+                "use 'python' or 'numpy'"
+            )
         if self.node_failures:
             # Deprecation shim: fold the legacy pairs into an equivalent
             # vanilla FaultPlan.  The injector schedules those crashes

@@ -1,6 +1,8 @@
 """Tests for the discrete-event core."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.event_queue import (
     PRIORITY_ARRIVAL,
@@ -183,3 +185,164 @@ class TestBudgetedRunClock:
         q.schedule(1.0, lambda: None)
         q.run(until=10.0, max_events=5)
         assert q.now == 10.0  # queue drained: horizon advance is correct
+
+
+class TestNonFiniteRejection:
+    """Regression tests: non-finite times must be rejected at schedule
+    time.  NaN is the dangerous one — ``time < self._now`` is False for
+    NaN, so a NaN timestamp sailed past the old past-time guard and then
+    poisoned the heap (every comparison against NaN is False, breaking
+    the heap invariant silently)."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_schedule_rejects_non_finite_time(self, bad):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(bad, lambda: None)
+        assert len(q) == 0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_schedule_after_rejects_non_finite_delay(self, bad):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule_after(bad, lambda: None)
+        assert len(q) == 0
+
+    def test_schedule_many_rejects_non_finite_and_is_atomic(self):
+        q = EventQueue()
+        q.schedule(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            q.schedule_many(
+                [(1.0, lambda: None, ()), (float("nan"), lambda: None, ())]
+            )
+        # Validation happens before any insertion: the good event of the
+        # bad batch must not have landed.
+        assert len(q) == 1
+
+    def test_schedule_many_rejects_past_time(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule_many([(0.5, lambda: None, ())])
+
+    def test_past_time_message_unchanged(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError, match="before now"):
+            q.schedule(0.5, lambda: None)
+
+
+class TestScheduleMany:
+    def test_batch_matches_sequential_schedule(self):
+        a, b = EventQueue(), EventQueue()
+        events = [(2.0, "x"), (1.0, "y"), (2.0, "z"), (3.0, "w")]
+        fired_a, fired_b = [], []
+        for t, name in events:
+            a.schedule(t, fired_a.append, name, priority=PRIORITY_ARRIVAL)
+        b.schedule_many(
+            ((t, fired_b.append, (name,)) for t, name in events),
+            priority=PRIORITY_ARRIVAL,
+        )
+        a.run()
+        b.run()
+        assert fired_a == fired_b == ["y", "x", "z", "w"]
+
+    def test_returns_count(self):
+        q = EventQueue()
+        assert q.schedule_many((float(i), lambda: None, ()) for i in range(5)) == 5
+        assert len(q) == 5
+
+    def test_empty_batch(self):
+        q = EventQueue()
+        assert q.schedule_many([]) == 0
+        assert len(q) == 0
+
+    def test_batch_interleaves_with_existing_events(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.5, fired.append, "old")
+        q.schedule_many([(1.0, fired.append, ("new-a",)), (2.0, fired.append, ("new-b",))])
+        q.run()
+        assert fired == ["new-a", "old", "new-b"]
+
+    @given(
+        times=st.lists(
+            st.floats(0.0, 1000.0, allow_nan=False, allow_infinity=False),
+            max_size=80,
+        ),
+        split=st.integers(0, 80),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_ordering_equivalence(self, times, split):
+        """Bulk heapify and per-event heappush fire identically.
+
+        Events are totally ordered by ``(time, priority, seq)`` with a
+        unique seq, so the heap's internal layout never affects pop
+        order — ``schedule_many`` (extend + heapify) must be
+        execution-order-equivalent to a loop of ``schedule`` calls,
+        including FIFO ties, regardless of how the batch splits against
+        pre-existing events.
+        """
+        split = min(split, len(times))
+        sequential, batched = EventQueue(), EventQueue()
+        fired_seq, fired_bat = [], []
+        for i, t in enumerate(times):
+            sequential.schedule(t, fired_seq.append, (t, i))
+        for i, t in enumerate(times[:split]):
+            batched.schedule(t, fired_bat.append, (t, i))
+        batched.schedule_many(
+            (t, fired_bat.append, ((t, split + i),))
+            for i, t in enumerate(times[split:])
+        )
+        sequential.run()
+        batched.run()
+        assert fired_seq == fired_bat
+        assert sequential.now == batched.now
+        assert sequential.processed == batched.processed
+
+    @given(
+        times=st.lists(
+            st.sampled_from([0.0, 1.0, 1.5, 2.0]), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_fifo_ties_preserved(self, times):
+        """Heavy tie load: same-time events keep submission order."""
+        sequential, batched = EventQueue(), EventQueue()
+        fired_seq, fired_bat = [], []
+        for i, t in enumerate(times):
+            sequential.schedule(t, fired_seq.append, i)
+        batched.schedule_many(
+            (t, fired_bat.append, (i,)) for i, t in enumerate(times)
+        )
+        sequential.run()
+        batched.run()
+        assert fired_seq == fired_bat
+
+
+class TestDrainToTimestamp:
+    def test_until_drain_executes_in_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule_many((float(i), fired.append, (i,)) for i in range(6))
+        executed = q.run(until=3.5)
+        assert executed == 4
+        assert fired == [0, 1, 2, 3]
+        assert q.now == 3.5
+        assert len(q) == 2
+
+    def test_until_drain_honors_events_scheduled_mid_drain(self):
+        q = EventQueue()
+        fired = []
+
+        def spawn():
+            fired.append("spawn")
+            q.schedule_after(0.25, fired.append, "child")
+
+        q.schedule(1.0, spawn)
+        q.schedule(2.0, fired.append, "late")
+        q.run(until=1.5)
+        assert fired == ["spawn", "child"]
+        assert q.now == 1.5

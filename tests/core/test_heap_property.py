@@ -1,9 +1,14 @@
-"""Model-based property tests for the availability heap."""
+"""Model-based property tests for the availability views."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.tables import NodeAvailabilityHeap
+from repro.core.tables import (
+    ArgminAvailability,
+    MinScanAvailability,
+    NodeAvailabilityHeap,
+)
 
 
 @given(
@@ -50,3 +55,71 @@ def test_min_excluding_matches_linear_scan(n, ops, excluded_bits):
         assert available[result] == min(available[k] for k in remaining)
     # Non-destructive: global min still correct afterwards.
     assert available[heap.min_node()] == min(available)
+
+
+class TestHeapCompaction:
+    """Regression tests: lazy deletion must not grow the heap unboundedly.
+
+    Before compaction, every ``update`` pushed a fresh entry and left the
+    stale one in place — a long run accumulated one dead tuple per table
+    write, degrading ``min_node`` toward O(n log n) and leaking memory.
+    The heap now rebuilds whenever stale entries would outnumber live
+    ones, pinning its footprint below ``2p`` entries forever.
+    """
+
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_heap_size_pinned_below_two_p(self, p):
+        available = [0.0] * p
+        heap = NodeAvailabilityHeap(available)
+        for i in range(50 * p):
+            node = i % p
+            available[node] = float(i)
+            heap.update(node)
+            assert len(heap) < 2 * p, (
+                f"heap grew to {len(heap)} entries after {i + 1} updates "
+                f"(p={p}): compaction never ran"
+            )
+
+    def test_min_node_correct_across_many_compactions(self):
+        p = 8
+        available = [0.0] * p
+        heap = NodeAvailabilityHeap(available)
+        for i in range(400):
+            node = (i * 5) % p
+            available[node] = float((i * 7919) % 100)
+            heap.update(node)
+            best = heap.min_node()
+            assert available[best] == min(available)
+            # First-minimum tie order, same as the scan view.
+            assert best == available.index(min(available))
+
+
+@given(
+    n=st.integers(1, 12),
+    ops=st.lists(
+        st.tuples(st.integers(0, 11), st.floats(0.0, 100.0)), max_size=100
+    ),
+    excluded_bits=st.integers(0, 4094),
+)
+@settings(max_examples=150, deadline=None)
+def test_all_views_agree(n, ops, excluded_bits):
+    """The three availability views are interchangeable bit-for-bit."""
+    import numpy as np
+
+    available = [0.0] * n
+    arr = np.zeros(n, dtype=np.float64)
+    scan = MinScanAvailability(available)
+    heap = NodeAvailabilityHeap(available)
+    argmin = ArgminAvailability(arr)
+    for node, value in ops:
+        node %= n
+        available[node] = value
+        arr[node] = value
+        heap.update(node)
+        assert scan.min_node() == heap.min_node() == argmin.min_node()
+    excluded = {k for k in range(n) if excluded_bits & (1 << k)}
+    assert (
+        scan.min_node_excluding(excluded)
+        == heap.min_node_excluding(excluded)
+        == argmin.min_node_excluding(excluded)
+    )

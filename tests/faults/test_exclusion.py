@@ -1,0 +1,82 @@
+"""The all-excluded fault path of ``min_node_excluding``.
+
+During a fault storm (every node crashed or quarantined at once) the
+recovery layer probes for a min-available node with the entire cluster
+excluded.  The views must answer ``None`` — and answer it in
+O(len(excluded)) membership checks, without scanning the availability
+table at all: the probe runs inside the detection loop, and a full-width
+scan per probe turned storms quadratic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tables import (
+    ArgminAvailability,
+    MinScanAvailability,
+    NodeAvailabilityHeap,
+)
+
+
+class CountingList(list):
+    """Availability table that counts element reads."""
+
+    def __init__(self, values):
+        super().__init__(values)
+        self.reads = 0
+
+    def __getitem__(self, index):
+        self.reads += 1
+        return super().__getitem__(index)
+
+
+def make_views(available):
+    arr = np.asarray(list(available), dtype=np.float64)
+    return [
+        MinScanAvailability(available),
+        NodeAvailabilityHeap(available),
+        ArgminAvailability(arr),
+    ]
+
+
+class TestAllExcluded:
+    @pytest.mark.parametrize("p", [1, 4, 64])
+    def test_every_view_returns_none(self, p):
+        available = [float(k) for k in range(p)]
+        for view in make_views(available):
+            assert view.min_node_excluding(set(range(p))) is None, view
+
+    def test_superset_exclusion_returns_none(self):
+        """Excluded sets may contain ids beyond the cluster (stale
+        federation entries); they must not mask the all-excluded case."""
+        available = [0.0, 1.0, 2.0]
+        excluded = {0, 1, 2, 7, 99}
+        for view in make_views(available):
+            assert view.min_node_excluding(excluded) is None, view
+
+    def test_all_excluded_never_reads_the_table(self):
+        """O(len(excluded)): the decision is membership checks only."""
+        p = 64
+        available = CountingList(float(k) for k in range(p))
+        scan = MinScanAvailability(available)
+        heap = NodeAvailabilityHeap(available)
+        available.reads = 0  # heap construction reads are irrelevant
+        excluded = set(range(p))
+        assert scan.min_node_excluding(excluded) is None
+        assert heap.min_node_excluding(excluded) is None
+        assert available.reads == 0
+
+    def test_one_survivor_is_found(self):
+        p = 16
+        available = [float(k) for k in range(p)]
+        excluded = set(range(p)) - {11}
+        for view in make_views(available):
+            assert view.min_node_excluding(excluded) == 11, view
+
+    def test_all_infinite_prefers_first_non_excluded(self):
+        """Every candidate crashed (available = +inf): the probe still
+        names a slot, in the same (time, node) order the heap uses."""
+        inf = float("inf")
+        available = [inf, inf, inf, inf]
+        for view in make_views(available):
+            assert view.min_node_excluding({0, 2}) == 1, view

@@ -1,0 +1,62 @@
+"""Backend differential: the numpy SoA tables are bit-identical.
+
+The struct-of-arrays fast path (``RunConfig(tables_backend="numpy")``)
+re-implements the head-node tables — Available, cache residency,
+Estimate — over dense numpy arrays with vectorized min-node selection.
+That rewrite is only admissible because it is *bit-identical* to the
+dict/list reference path: ``np.float64`` subclasses ``float`` and every
+per-task update stays scalar IEEE-754 arithmetic, so only the
+*selection* step is vectorized (``argmin`` shares ``min``'s
+first-minimal tie order).
+
+These tests pin the invariant exhaustively: every scenario x every
+registered scheduler, the complete per-task assignment trace (hashed
+via ``float.hex``, so the last bit matters) is identical across the
+two backends.
+"""
+
+import pytest
+
+from repro.core.registry import SCHEDULER_NAMES
+from repro.sim.run_config import RunConfig
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import make_scenario
+
+#: Per-scenario smoke scales: large enough that every scheduler places
+#: work through all its phases (scenario 1 completes no tasks below
+#: 0.1), small enough for the tier-1 suite.
+SCENARIO_SCALES = [(1, 0.1), (2, 0.1), (3, 0.02), (4, 0.01)]
+
+
+def _trace_hash(number: int, scale: float, scheduler: str, backend: str) -> str:
+    scenario = make_scenario(number, scale=scale)
+    result = run_simulation(
+        scenario,
+        scheduler,
+        RunConfig(record_assignments=True, tables_backend=backend),
+    )
+    assert result.assignment_trace, "trace must not be empty"
+    return result.assignment_trace_hash()
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULER_NAMES))
+    @pytest.mark.parametrize(
+        "number,scale", SCENARIO_SCALES, ids=lambda v: str(v)
+    )
+    def test_backends_hash_identically(self, number, scale, scheduler):
+        python_hash = _trace_hash(number, scale, scheduler, "python")
+        numpy_hash = _trace_hash(number, scale, scheduler, "numpy")
+        assert python_hash == numpy_hash, (
+            f"scenario {number} scale {scale} {scheduler}: numpy backend "
+            "diverged from the python reference"
+        )
+
+
+class TestBackendConfig:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="tables_backend"):
+            RunConfig(tables_backend="fortran")
+
+    def test_default_backend_is_python(self):
+        assert RunConfig().tables_backend == "python"
