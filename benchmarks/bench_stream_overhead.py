@@ -1,0 +1,192 @@
+"""Streaming overhead + online-anomaly regression leaves.
+
+The telemetry stream must be a pure observer: streamed runs stay
+bit-identical to unstreamed ones and cost at most 10 % of wall clock.
+This bench measures the event-processing rate with and without a
+stream attached (interleaved, best of N, CPU-time rates like
+``bench_tracer_overhead.py``), asserts the identity and the bound, and
+then pins the *deterministic* anomaly-detection leaves: the seeded
+fault storm localized online at >= 3/4 with zero false positives, and
+a fault-free run raising no alarm at all.  Everything lands in
+``benchmarks/results/BENCH_stream.json`` for the regression gate.
+
+The anomaly section runs at a fixed storm scale (0.1) regardless of
+``REPRO_BENCH_SCALE``: below that the first crash collapses the whole
+cluster before the wipe/storage events land and there is physically no
+signal window to detect.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from benchmarks._shared import bench_scale, emit_json, emit_report
+from repro.faults import FaultPlan
+from repro.obs.anomaly import score_anomalies
+from repro.obs.stream import StreamConfig
+from repro.sim.run_config import RunConfig
+from repro.sim.simulator import run_simulation
+from repro.workload.scenarios import scenario_1
+
+# Overhead ratios need enough events to be signal rather than timing
+# noise, so smoke-scale overrides (CI's REPRO_BENCH_SCALE=0.05) are
+# floored; larger overrides still apply.
+SCALE = max(bench_scale(0.25), 0.25)
+ROUNDS = 5
+
+#: Fixed scale for the anomaly leaves — the smallest at which every
+#: storm fault has a signal window (see module docstring).
+STORM_SCALE = 0.1
+STORM_SEED = 11
+
+
+def _measure_once(tmp_dir, streamed: bool) -> Dict[str, float]:
+    """Events/sec (CPU time) for one streamed or unstreamed run."""
+    scenario = scenario_1(scale=SCALE)
+    stream: Optional[StreamConfig] = None
+    if streamed:
+        stream = StreamConfig(path=tmp_dir / "overhead.ndjson")
+    cpu_start = time.process_time()
+    start = time.perf_counter()
+    result = run_simulation(
+        scenario,
+        "OURS",
+        config=RunConfig(stream=stream, record_assignments=True),
+    )
+    wall = time.perf_counter() - start
+    cpu = time.process_time() - cpu_start
+    sample = {
+        "events": float(result.events_processed),
+        "wall_s": wall,
+        # CPU-time rates: the ratio below compares one config against
+        # the other, and CPU time is immune to co-tenant load stealing
+        # cycles mid-block (wall_s stays for the human report only).
+        "cpu_s": cpu,
+        "events_per_sec": result.events_processed / cpu,
+        "trace_hash": result.assignment_trace_hash(),
+    }
+    if streamed:
+        sample["snapshots"] = float(result.stream.snapshots)
+        sample["anomaly_count"] = float(len(result.stream.anomalies))
+    return sample
+
+
+def test_stream_overhead(benchmark, tmp_path):
+    """Measure streaming cost, pin identity and the anomaly leaves."""
+
+    def run_all():
+        # Interleave the two configs round-robin (best of N each) so
+        # machine-load drift hits both roughly equally instead of
+        # skewing whichever block ran last.
+        best: Dict[str, Dict[str, float]] = {}
+        for _ in range(ROUNDS):
+            for name, streamed in (("unstreamed", False), ("streamed", True)):
+                sample = _measure_once(tmp_path, streamed)
+                if (
+                    name not in best
+                    or sample["events_per_sec"]
+                    > best[name]["events_per_sec"]
+                ):
+                    best[name] = sample
+        return best
+
+    rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    ratio = (
+        rates["streamed"]["events_per_sec"]
+        / rates["unstreamed"]["events_per_sec"]
+    )
+    bit_identical = (
+        rates["streamed"]["trace_hash"] == rates["unstreamed"]["trace_hash"]
+    )
+
+    # --- deterministic anomaly leaves (fixed storm scale) -------------
+    scenario = scenario_1(scale=STORM_SCALE)
+    plan = FaultPlan.storm(
+        STORM_SEED,
+        node_count=scenario.system.node_count,
+        duration=scenario.trace.duration,
+        heal=True,
+    )
+    storm = run_simulation(
+        scenario,
+        "OURS",
+        config=RunConfig(
+            drain=True,
+            faults=plan,
+            stream=StreamConfig(path=tmp_path / "storm.ndjson"),
+        ),
+    )
+    grade = score_anomalies(storm.stream.anomalies, plan)
+
+    quiet = run_simulation(
+        scenario,
+        "OURS",
+        config=RunConfig(stream=StreamConfig(path=tmp_path / "quiet.ndjson")),
+    )
+
+    payload = {
+        "bench": "stream_overhead",
+        "scenario": "scenario1",
+        "scale": SCALE,
+        "scheduler": "OURS",
+        "rounds": ROUNDS,
+        "results": {
+            name: {k: v for k, v in r.items() if k != "trace_hash"}
+            for name, r in rates.items()
+        },
+        # Wall-clock derived: never gated (SKIP_KEYS); the hard bound
+        # is the assert below.
+        "streamed_relative_rate": ratio,
+        "bit_identical": bit_identical,
+        "storm": {
+            "storm_scale": STORM_SCALE,
+            "seed": STORM_SEED,
+            "total": grade["total"],
+            "localized": grade["localized"],
+            "false_positives": grade["false_positives"],
+            "recall": grade["recall"],
+            "anomaly_count": float(len(storm.stream.anomalies)),
+        },
+        "quiet": {
+            "snapshots": float(quiet.stream.snapshots),
+            "anomaly_count": float(len(quiet.stream.anomalies)),
+        },
+    }
+    out = emit_json("stream", payload)
+
+    lines = [
+        f"stream overhead — scenario 1, OURS, best of {ROUNDS} "
+        f"(scale {SCALE})",
+        "",
+    ]
+    for name, r in rates.items():
+        lines.append(
+            f"{name:>10}: {r['events_per_sec']:>12,.0f} events/s "
+            f"({r['events']:,.0f} events, {r['wall_s'] * 1e3:.1f} ms)"
+        )
+    lines.append("")
+    lines.append(f"streamed relative rate: {ratio:.3f} (bound: >= 0.90)")
+    lines.append(f"bit-identical with streaming: {bit_identical}")
+    lines.append(
+        f"storm (scale {STORM_SCALE}, seed {STORM_SEED}): "
+        f"{grade['localized']}/{grade['total']} faults localized online, "
+        f"{grade['false_positives']} false positives"
+    )
+    lines.append(
+        f"fault-free: {len(quiet.stream.anomalies)} anomalies over "
+        f"{quiet.stream.snapshots} snapshots"
+    )
+    lines.append(f"machine-readable: {out}")
+    emit_report("stream_overhead", "\n".join(lines))
+
+    # The acceptance bars, asserted here rather than gated: streaming
+    # costs at most 10% of the event rate, never perturbs the run, and
+    # the online detectors localize the storm with zero false alarms.
+    assert ratio >= 0.90
+    assert bit_identical
+    assert rates["streamed"]["snapshots"] > 0
+    assert grade["total"] == 4
+    assert grade["localized"] >= 3
+    assert grade["false_positives"] == 0
+    assert len(quiet.stream.anomalies) == 0

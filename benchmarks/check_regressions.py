@@ -68,6 +68,7 @@ SKIP_KEYS = {
     "full_tracer_relative_rate",
     "metrics_registry_relative_rate",
     "audit_relative_rate",
+    "streamed_relative_rate",
     # Per-stage wall clocks from bench_report_overhead — their hard
     # bound lives as an assert inside the bench itself.
     "simulate_wall_s",
@@ -103,6 +104,10 @@ TOLERANCES: Dict[str, Tuple[float, float]] = {
     "recall": (0.0, 1e-9),
     "false_positives": (0.0, 0.0),
     "verdicts": (0.0, 0.0),
+    # Stream leaves (bench_stream_overhead): snapshot grid and anomaly
+    # stream are virtual-time deterministic — zero drift.
+    "snapshots": (0.0, 0.0),
+    "anomaly_count": (0.0, 0.0),
     # Report content pins (bench_report_overhead): the trace and the
     # renderer are virtual-time deterministic, so the model's counts
     # and the rendered byte sizes must not move at all.

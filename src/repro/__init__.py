@@ -16,7 +16,8 @@ services, with:
 * workload generators reproducing the four Table II scenarios,
 * analysis/reporting for every table and figure of the evaluation,
 * a structured observability layer (virtual-time spans/counters, Chrome
-  trace-event export, per-node io/render/composite/idle profiles), and
+  trace-event export, per-node io/render/composite/idle profiles, live
+  NDJSON telemetry streaming with online anomaly detection), and
 * an overload-management frontend (admission control, backpressure,
   SLO-driven graceful degradation) for demand beyond cluster capacity,
 * a fault-injection + self-healing subsystem (deterministic fault
@@ -130,15 +131,22 @@ from repro.frontend import (
 )
 from repro.reporting import SchedulerSummary, SimulationCollector, comparison_table
 from repro.obs import (
+    AnomalyConfig,
+    AnomalyRecord,
     AuditConfig,
     AuditLog,
     ClusterProfile,
     CriticalPathAnalysis,
     NodeProfile,
     NullTracer,
+    StreamConfig,
+    StreamReport,
     Tracer,
     first_divergence,
+    follow_stream,
     phase_delta_table,
+    read_stream,
+    score_anomalies,
     write_chrome_trace,
 )
 from repro.sim import (
@@ -164,7 +172,7 @@ from repro.workload import (
     scenario_4,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 
 def simulate(scenario=1, scheduler="OURS", *, config=None, scale=1.0,
@@ -280,6 +288,13 @@ __all__ = [
     "CriticalPathAnalysis",
     "first_divergence",
     "phase_delta_table",
+    "StreamConfig",
+    "StreamReport",
+    "AnomalyConfig",
+    "AnomalyRecord",
+    "follow_stream",
+    "read_stream",
+    "score_anomalies",
     "RunConfig",
     "SimulationResult",
     "SystemConfig",

@@ -14,6 +14,9 @@ Subcommands:
   stragglers, cache wipes, storage degradation), print the detection /
   recovery report, and localize the faults from the audit evidence
   (root-cause analysis scored against the ground-truth plan).
+* ``watch`` — tail a live telemetry stream file (written by
+  ``--stream``, possibly by a still-running simulation) as a terminal
+  status table with progress, anomalies, and stall diagnostics.
 * ``render`` — sort-last render a synthetic dataset to a PPM image with
   the real ray caster.
 * ``animate`` — render an orbit animation of a dataset (PPM frames).
@@ -25,6 +28,8 @@ Examples::
     repro simulate --scenario 1 --schedulers OURS,FCFS --scale 0.5
     repro simulate --scenario 2 --load 2.5 \
         --admission sessions=8 --queue-limit 64:shed-oldest --degrade
+    repro simulate --scenario 1 --stream run.ndjson --stall-timeout 30
+    repro watch run.ndjson
     repro federate --scenario 4 --shards 8 --router locality
     repro explain --scenario 2 --schedulers OURS,FCFS --scale 0.1
     repro faults --scenario 1 --scale 0.5 --plan "crash@10:node=3,revive=20"
@@ -238,6 +243,62 @@ def _audit_parent(*, help_text: str) -> argparse.ArgumentParser:
     return parent
 
 
+def _stream_parent() -> argparse.ArgumentParser:
+    """--stream PATH / --stall-timeout: the live telemetry bus."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--stream",
+        metavar="PATH",
+        default=None,
+        help=(
+            "stream live telemetry (schema-versioned NDJSON snapshots "
+            "on the sampler grid, wall-clock progress/ETA checkpoints, "
+            "online anomaly records) to PATH during the run; tail it "
+            "with 'repro watch PATH'.  With several runs, the run name "
+            "is inserted before the file extension"
+        ),
+    )
+    parent.add_argument(
+        "--stall-timeout",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock seconds without a single event draining before "
+            "the stream's watchdog thread dumps a stall diagnostic "
+            "record (requires --stream; default: watchdog off)"
+        ),
+    )
+    return parent
+
+
+def _stream_config(args: argparse.Namespace, *, run_name: Optional[str] = None):
+    """Build the StreamConfig requested by ``--stream``.
+
+    Returns ``None`` when streaming is off; ``run_name`` is inserted
+    before the file extension (the multi-run naming idiom shared with
+    ``--audit`` / ``--trace`` / ``--metrics``).
+    """
+    if not args.stream:
+        return None
+    from repro.obs import StreamConfig
+
+    path = Path(args.stream)
+    if run_name is not None:
+        path = path.with_name(
+            f"{path.stem}.{run_name}{path.suffix or '.ndjson'}"
+        )
+    return StreamConfig(path=path, stall_timeout=args.stall_timeout)
+
+
+def _check_stream_flags(args: argparse.Namespace) -> bool:
+    """Validate the stream flag combination; prints and returns False on error."""
+    if args.stall_timeout is not None and not args.stream:
+        print("--stall-timeout requires --stream", file=sys.stderr)
+        return False
+    return True
+
+
 _SLO_SPEC_HELP = (
     "evaluate a service-level objective and print the violation "
     "report; SPEC is fps=TARGET, latency=SECONDS, or "
@@ -283,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "the file extension"
                 )
             ),
+            _stream_parent(),
         ],
     )
     sim.add_argument(
@@ -316,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
             _overload_parent(),
             _metrics_parent(),
             _slo_parent(help_text=_SLO_SPEC_HELP),
+            _stream_parent(),
         ],
     )
     fed.add_argument(
@@ -392,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
                 ),
             ),
             _drain_parent(),
+            _stream_parent(),
         ],
     )
 
@@ -426,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "markers are drawn on the timeline"
                 )
             ),
+            _stream_parent(),
         ],
     )
     rep.add_argument(
@@ -477,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
             _audit_parent(
                 help_text="also stream the decision audit log (JSONL) to PATH"
             ),
+            _stream_parent(),
         ],
     )
     flt.add_argument(
@@ -515,6 +581,37 @@ def build_parser() -> argparse.ArgumentParser:
             "write the full machine-readable report (plan, detections, "
             "recovery actions, SLO compliance, RCA verdicts + score) "
             "as JSON to PATH"
+        ),
+    )
+
+    wat = sub.add_parser(
+        "watch",
+        help="tail a live telemetry stream as a terminal status table",
+    )
+    wat.add_argument(
+        "path",
+        metavar="STREAM",
+        help="NDJSON stream file written by --stream (may still be growing)",
+    )
+    wat.add_argument(
+        "--once",
+        action="store_true",
+        help="print the records present now and exit instead of tailing",
+    )
+    wat.add_argument(
+        "--poll",
+        type=float,
+        default=0.25,
+        help="seconds between file polls while tailing (default 0.25)",
+    )
+    wat.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "give up after this many wall seconds without a new record; "
+            "the tail always exits as soon as the closing summary "
+            "record appears (default 30)"
         ),
     )
 
@@ -634,6 +731,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if not _check_stream_flags(args):
+        return 2
     try:
         scenario = make_scenario(
             args.scenario, scale=args.scale, seed=args.seed, load=args.load
@@ -674,6 +773,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                     metrics=bool(args.metrics),
                     frontend=frontend,
                     audit=audit_cfg,
+                    stream=_stream_config(
+                        args, run_name=name if len(names) > 1 else None
+                    ),
                 ),
             )
         )
@@ -717,10 +819,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"{result.jobs_completed}/{result.jobs_submitted} jobs, "
             f"utilization {result.mean_node_utilization:.1%}"
         )
+        print(
+            f"    {result.events_processed:,} events in "
+            f"{result.wall_seconds:.2f}s wall "
+            f"({result.events_per_sec:,.0f} events/s)"
+        )
         if result.frontend is not None:
             print(f"    {result.frontend.summary()}")
         if result.audit is not None:
             print(f"    audit: {result.audit.summary()}")
+        if result.stream is not None:
+            s = result.stream
+            print(
+                f"    stream: {s.snapshots} snapshots, "
+                f"{len(s.anomalies)} anomalies, {s.stalls} stalls "
+                f"-> {s.path}"
+            )
         if args.per_action:
             for action, fps in sorted(result.delivered_framerates().items()):
                 print(f"    action {action:>6}: {fps:7.2f} fps")
@@ -759,6 +873,8 @@ def cmd_federate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if not _check_stream_flags(args):
+        return 2
     users = args.users if args.users is not None else args.shards
     try:
         config = FederationConfig(
@@ -766,7 +882,10 @@ def cmd_federate(args: argparse.Namespace) -> int:
             router=args.router,
             replication=args.replication,
             run=RunConfig(
-                drain=args.drain, metrics=bool(args.metrics), frontend=frontend
+                drain=args.drain,
+                metrics=bool(args.metrics),
+                frontend=frontend,
+                stream=_stream_config(args),
             ),
             workers=args.workers,
             frontend_scope=args.frontend_scope,
@@ -799,6 +918,26 @@ def cmd_federate(args: argparse.Namespace) -> int:
         print(f"    {merged_frontend.summary()}")
     print()
     print(slo_table(result.evaluate_slos(objectives), title="SLO report (merged)"))
+    if args.stream:
+        for stream_report in result.stream_reports():
+            print(
+                f"stream written to {stream_report.path} "
+                f"({stream_report.snapshots} snapshots, "
+                f"{len(stream_report.anomalies)} anomalies, "
+                f"{stream_report.stalls} stalls)"
+            )
+        merged_anomalies = result.merged_anomalies()
+        if merged_anomalies:
+            from collections import Counter as _Counter
+
+            kinds = _Counter(a.kind for a in merged_anomalies)
+            mix = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(kinds.items())
+            )
+            print(
+                f"merged anomalies across shards: "
+                f"{len(merged_anomalies)} ({mix})"
+            )
     if args.metrics:
         base = Path(args.metrics)
         for index, shard_result in enumerate(result.shard_results):
@@ -847,11 +986,23 @@ def cmd_explain(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if not _check_stream_flags(args):
+        return 2
     print(scenario.summary())
     # The divergence diff needs the full decision stream, not a ring
     # window — run with unbounded capacity.
-    config = RunConfig(drain=args.drain, audit=AuditConfig(capacity=None))
-    results = [run_simulation(scenario, name, config=config) for name in names]
+    results = [
+        run_simulation(
+            scenario,
+            name,
+            config=RunConfig(
+                drain=args.drain,
+                audit=AuditConfig(capacity=None),
+                stream=_stream_config(args, run_name=name),
+            ),
+        )
+        for name in names
+    ]
     for result in results:
         audit = result.audit
         reasons = ", ".join(
@@ -941,6 +1092,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.bins < 1:
         print(f"--bins must be >= 1, got {args.bins}", file=sys.stderr)
         return 2
+    if not _check_stream_flags(args):
+        return 2
     plan = None
     if args.plan is not None:
         from repro.faults import FaultPlan
@@ -968,6 +1121,9 @@ def cmd_report(args: argparse.Namespace) -> int:
                 tracer=Tracer(),
                 audit=AuditConfig(capacity=None),
                 faults=plan,
+                stream=_stream_config(
+                    args, run_name=name if len(names) > 1 else None
+                ),
             )
             result = run_simulation(scenario, name, config=config)
         except ValueError as exc:
@@ -989,6 +1145,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     )
     write_report(args.out, page)
     print(f"wrote {args.out}")
+    for result in results:
+        if result.stream is not None:
+            print(f"stream written to {result.stream.path}")
     if args.svg is not None:
         div_time = divergence.a.time if divergence is not None else None
         for model in models:
@@ -1023,6 +1182,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         return 2
     if args.plan is not None and args.storm is not None:
         print("pass either --plan or --storm, not both", file=sys.stderr)
+        return 2
+    if not _check_stream_flags(args):
         return 2
     try:
         scenario = make_scenario(
@@ -1063,7 +1224,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
         capacity=None,
         jsonl_path=Path(args.audit) if args.audit else None,
     )
-    config = RunConfig(drain=True, audit=audit_cfg, faults=plan)
+    config = RunConfig(
+        drain=True,
+        audit=audit_cfg,
+        faults=plan,
+        stream=_stream_config(args),
+    )
     try:
         result = run_simulation(scenario, name, config=config)
     except ValueError as exc:
@@ -1117,6 +1283,29 @@ def cmd_faults(args: argparse.Namespace) -> int:
         f"(recall {grade['recall']:.0%}, "
         f"{grade['false_positives']} false positives)"
     )
+    anomaly_grade = None
+    if result.stream is not None:
+        from repro.obs import score_anomalies
+
+        stream_report = result.stream
+        print()
+        print(
+            f"online anomaly detection "
+            f"({stream_report.snapshots} snapshots streamed):"
+        )
+        if not stream_report.anomalies:
+            print("    no anomalies flagged")
+        for record in stream_report.anomalies:
+            print(f"    {record.describe()}")
+        anomaly_grade = score_anomalies(stream_report.anomalies, plan)
+        print(
+            f"    score vs ground truth: "
+            f"{anomaly_grade['localized']}/{anomaly_grade['total']} "
+            f"events localized online "
+            f"(recall {anomaly_grade['recall']:.0%}, "
+            f"{anomaly_grade['false_positives']} false positives)"
+        )
+        print(f"stream written to {stream_report.path}")
     if args.audit:
         print(f"audit log written to {args.audit}")
     if args.report:
@@ -1137,11 +1326,132 @@ def cmd_faults(args: argparse.Namespace) -> int:
             "rca": rca_report.to_dict(),
             "score": grade,
         }
+        if result.stream is not None:
+            payload["anomalies"] = [
+                record.to_dict() for record in result.stream.anomalies
+            ]
+            payload["anomaly_score"] = anomaly_grade
         path = Path(args.report)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"report written to {path}")
     return 0
+
+
+_WATCH_HEADER = (
+    f"{'t':>9} {'prog':>5} {'queue':>5} {'outst':>5} {'infl':>5} "
+    f"{'done':>7} {'fps':>7} {'p95 ms':>7} {'hit%':>5} {'burn':>6}"
+)
+
+
+def _watch_row(snapshot: dict, horizon: Optional[float]) -> str:
+    """One status-table row for a ``snapshot`` stream record."""
+    progress = ""
+    if horizon:
+        progress = f"{min(snapshot['t'] / horizon, 1.0):4.0%}"
+    return (
+        f"{snapshot['t']:9.2f} {progress:>5} {snapshot['queue']:5d} "
+        f"{snapshot['outstanding']:5d} {snapshot['inflight']:5d} "
+        f"{snapshot['completed']:7d} {snapshot['fps']:7.1f} "
+        f"{snapshot['latency_p95'] * 1e3:7.1f} "
+        f"{snapshot['hit_rate'] * 100:5.1f} {snapshot['burn']:6.2f}"
+    )
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Tail a telemetry stream file into a live terminal status table."""
+    from repro.obs import follow_stream, iter_jsonl
+
+    if args.poll <= 0:
+        print(f"--poll must be > 0, got {args.poll:g}", file=sys.stderr)
+        return 2
+    if args.idle_timeout <= 0:
+        print(
+            f"--idle-timeout must be > 0, got {args.idle_timeout:g}",
+            file=sys.stderr,
+        )
+        return 2
+    path = Path(args.path)
+    if args.once:
+        if not path.exists():
+            print(f"no stream file at {path}", file=sys.stderr)
+            return 2
+        records = iter_jsonl(path)
+    else:
+        records = follow_stream(
+            path, poll=args.poll, idle_timeout=args.idle_timeout
+        )
+    horizon: Optional[float] = None
+    rows = 0
+    finished = False
+    for record in records:
+        kind = record.get("type")
+        if kind == "run":
+            horizon = record.get("horizon")
+            horizon_text = (
+                "drain" if horizon is None else f"{horizon:g}s"
+            )
+            print(
+                f"stream: scenario {record.get('scenario')} / "
+                f"{record.get('scheduler')} — horizon {horizon_text}, "
+                f"grid {record.get('interval'):g}s "
+                f"(schema {record.get('schema')}, "
+                f"shard ns {record.get('shard')})"
+            )
+        elif kind == "fault":
+            until = record.get("until")
+            window = f" until t={until:g}s" if until is not None else ""
+            print(
+                f"fault planned: {record['kind']} on node "
+                f"{record['node']} at t={record['time']:g}s{window}"
+            )
+        elif kind == "snapshot":
+            if rows % 20 == 0:
+                print(_WATCH_HEADER)
+            rows += 1
+            print(_watch_row(record, horizon))
+        elif kind == "wall":
+            eta = record.get("eta_s")
+            eta_text = f", ETA {eta:.0f}s" if eta is not None else ""
+            print(
+                f"wall {record['wall_s']:.1f}s: "
+                f"{record['events']:,} events "
+                f"({record['events_per_sec']:,.0f}/s){eta_text}"
+            )
+        elif kind == "anomaly":
+            print(
+                f"!! {record['kind']} at t={record['time']:.3f}s "
+                f"({record['detector']}, score {record['score']:.1f}, "
+                f"value {record['value']:.4g} "
+                f"vs baseline {record['baseline']:.4g})"
+            )
+        elif kind == "stall":
+            print(
+                f"** stall: no events for "
+                f"{record['stalled_wall_s']:.1f}s wall at sim "
+                f"t={record['sim_time']:.2f}s — queue_len="
+                f"{record['queue_len']}, next_event="
+                f"{record['next_event_time']}, outstanding="
+                f"{record['outstanding']}, inflight={record['inflight']}"
+            )
+        elif kind == "summary":
+            finished = True
+            print(
+                f"run complete: {record['snapshots']} snapshots, "
+                f"{record['anomalies']} anomalies, "
+                f"{record['stalls']} stalls, "
+                f"{record['events']:,} events in "
+                f"{record['wall_s']:.2f}s wall "
+                f"(sim t={record['sim_time']:.2f}s)"
+            )
+    if finished or args.once:
+        return 0
+    print(
+        f"stream at {path} went quiet without a summary record "
+        f"(idle for {args.idle_timeout:g}s)",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def cmd_render(args: argparse.Namespace) -> int:
@@ -1225,6 +1535,7 @@ _COMMANDS = {
     "explain": cmd_explain,
     "report": cmd_report,
     "faults": cmd_faults,
+    "watch": cmd_watch,
     "render": cmd_render,
     "animate": cmd_animate,
     "schedulers": cmd_schedulers,

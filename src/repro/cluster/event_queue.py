@@ -183,6 +183,7 @@ class EventQueue:
         until: Optional[float] = None,
         *,
         max_events: Optional[int] = None,
+        live_count: bool = False,
     ) -> int:
         """Run events until the queue drains, ``until`` passes, or a budget hits.
 
@@ -194,6 +195,12 @@ class EventQueue:
                 the last executed event, so a resumed ``run`` (or ``step``)
                 can never move time backwards.
             max_events: Optional safety budget on the number of events.
+            live_count: Settle :attr:`processed` on every iteration
+                instead of once per call, so observers that read the
+                counter *mid-run* (telemetry-stream ticks, the stall
+                watchdog thread) see exact values.  Costs one slot
+                write per event; leave off when nothing reads the
+                counter mid-run.
 
         Returns:
             The number of events executed by this call.
@@ -202,11 +209,35 @@ class EventQueue:
         pop = heapq.heappop
         executed = 0
         until_t = _INF if until is None else until
-        # ``_processed`` is batched: callbacks observe ``now`` (written
-        # every iteration — they depend on it) but nothing reads the
-        # processed counter mid-run, so it is settled once per call, in
-        # a ``finally`` so a raising callback still counts its
-        # predecessors.
+        if live_count:
+            # Live path: ``_processed`` is exact at every callback (and
+            # for other threads), like ``step``.  The general bounded
+            # loop serves all argument combinations — a caller paying a
+            # per-event write is past micro-specialization anyway.
+            budget = _INF if max_events is None else max_events
+            while heap and executed < budget:
+                item = heap[0]
+                t = item[0]
+                if t > until_t:
+                    break
+                pop(heap)
+                self._now = t
+                executed += 1
+                self._processed += 1
+                item[3](*item[4])
+            if (
+                until is not None
+                and self._now < until
+                and (not heap or heap[0][0] > until)
+            ):
+                self._now = until
+            return executed
+        # ``_processed`` is batched on this path: callbacks observe
+        # ``now`` (written every iteration — they depend on it) but
+        # nothing reads the processed counter mid-run, so it is settled
+        # once per call, in a ``finally`` so a raising callback still
+        # counts its predecessors.  Mid-run readers must pass
+        # ``live_count=True`` instead.
         try:
             if max_events is None:
                 if until is None:

@@ -120,6 +120,14 @@ def build_shards(
             frontend=_scoped_frontend(
                 config.run.frontend, config.frontend_scope, config.shards
             ),
+            # One stream file per shard: worker processes never share a
+            # write handle, and FederatedResult merges the per-shard
+            # anomaly records deterministically afterwards.
+            stream=(
+                config.run.stream.for_shard(k)
+                if config.run.stream is not None and config.shards > 1
+                else config.run.stream
+            ),
         )
         pairs.append((shard_scenario, shard_config))
     return plan, routing, pairs

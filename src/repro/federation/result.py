@@ -218,6 +218,26 @@ class FederatedResult:
         """Counter/gauge totals across shard registries."""
         return merge_metric_counters(self.shard_results)
 
+    def stream_reports(self) -> List:
+        """Per-shard :class:`~repro.obs.stream.StreamReport`\\ s, in
+        shard order (empty when the run did not stream)."""
+        return [
+            r.stream for r in self.shard_results if r.stream is not None
+        ]
+
+    def merged_anomalies(self) -> List:
+        """All shards' online anomaly records, deterministically merged.
+
+        Sorted by (time, shard, vocabulary order) — a pure function of
+        the shard results, so serial and process-pool federated runs
+        agree byte for byte.
+        """
+        from repro.obs.anomaly import merge_anomalies
+
+        return merge_anomalies(
+            [r.stream.anomalies for r in self.shard_results if r.stream]
+        )
+
     def evaluate_slos(self, objectives) -> List:
         """Merged :class:`~repro.obs.slo.SLOReport` per objective.
 

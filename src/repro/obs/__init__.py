@@ -1,6 +1,6 @@
 """repro.obs — structured tracing, metrics, SLOs & decision audit.
 
-The subsystem has eight pieces:
+The subsystem has ten pieces:
 
 * :mod:`repro.obs.tracer` — a lightweight virtual-time tracer (nested
   spans, instant events, counter samples) plus a zero-cost
@@ -23,7 +23,14 @@ The subsystem has eight pieces:
 * :mod:`repro.obs.causal` — the causal task graph: per-job critical
   paths with latency attributed to scheduling / queueing / io / render /
   composite phases, plus the two-run divergence diff behind the
-  ``repro explain`` CLI verb.
+  ``repro explain`` CLI verb;
+* :mod:`repro.obs.stream` — the live telemetry bus: schema-versioned
+  NDJSON snapshots on the absolute sampler grid *while the run
+  executes*, wall-clock progress/ETA checkpoints, and a stall watchdog
+  (the ``--stream`` flag and the ``repro watch`` verb);
+* :mod:`repro.obs.anomaly` — online anomaly detection over the
+  streamed snapshots (EWMA z-scores, CUSUM rate-of-change) with a
+  closed alarm vocabulary, scored against injected fault ground truth.
 
 Typical use::
 
@@ -43,6 +50,18 @@ Typical use::
     print(f"violation time: {report.total_violation_time:.2f}s")
 """
 
+from repro.obs.anomaly import (
+    ANOMALY_KINDS,
+    FAULT_SIGNATURES,
+    AnomalyConfig,
+    AnomalyRecord,
+    CusumDetector,
+    EwmaDetector,
+    OnlineAnomalyDetector,
+    detect_from_snapshots,
+    merge_anomalies,
+    score_anomalies,
+)
 from repro.obs.audit import (
     REASON_CACHE_HIT,
     REASON_CODES,
@@ -54,6 +73,7 @@ from repro.obs.audit import (
     AuditLog,
     CandidateState,
     DecisionRecord,
+    read_audit_jsonl,
     snapshot_candidates,
 )
 from repro.obs.causal import (
@@ -100,6 +120,17 @@ from repro.obs.slo import (
     SLOReport,
     ViolationWindow,
     slo_table,
+)
+from repro.obs.stream import (
+    STREAM_SCHEMA,
+    StallWatchdog,
+    StreamConfig,
+    StreamReport,
+    TelemetryStream,
+    default_stream_interval,
+    follow_stream,
+    iter_jsonl,
+    read_stream,
 )
 from repro.obs.tracer import (
     CAT_CACHE,
@@ -175,6 +206,7 @@ __all__ = [
     "AuditLog",
     "CandidateState",
     "DecisionRecord",
+    "read_audit_jsonl",
     "snapshot_candidates",
     "REASON_CACHE_HIT",
     "REASON_MIN_ESTIMATE",
@@ -198,6 +230,25 @@ __all__ = [
     "Window",
     "PathOverlay",
     "extract_timeline",
+    "STREAM_SCHEMA",
+    "StreamConfig",
+    "StreamReport",
+    "TelemetryStream",
+    "StallWatchdog",
+    "default_stream_interval",
+    "follow_stream",
+    "iter_jsonl",
+    "read_stream",
+    "ANOMALY_KINDS",
+    "FAULT_SIGNATURES",
+    "AnomalyConfig",
+    "AnomalyRecord",
+    "EwmaDetector",
+    "CusumDetector",
+    "OnlineAnomalyDetector",
+    "detect_from_snapshots",
+    "merge_anomalies",
+    "score_anomalies",
     "render_timeline_svg",
     "render_report_html",
     "render_federation_html",

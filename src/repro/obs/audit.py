@@ -58,6 +58,7 @@ from typing import (
     Deque,
     Dict,
     Iterator,
+    List,
     NamedTuple,
     Optional,
     Tuple,
@@ -379,6 +380,10 @@ class AuditLog:
             record = self._record_from_entry(entry)
             self._ring_append(record)
             self._stream.write(json.dumps(record.to_dict()) + "\n")
+            # Flush per record: a mid-run crash loses at most the line
+            # being written, and a tailing reader always sees complete
+            # records (plus at most one torn trailing line).
+            self._stream.flush()
 
     def _bind_tables(self, tables) -> None:
         """Resolve per-decision table accessors once per tables object.
@@ -567,6 +572,7 @@ class AuditLog:
         totals[record.reason] = totals.get(record.reason, 0) + 1
         if self._stream is not None:
             self._stream.write(json.dumps(record.to_dict()) + "\n")
+            self._stream.flush()  # crash-safe: complete records only
 
     # -- inspection --------------------------------------------------------
 
@@ -673,6 +679,20 @@ class AuditLog:
         self._ring_append = self._ring.append
 
 
+def read_audit_jsonl(path) -> List[Dict[str, Any]]:
+    """Parsed records of an ``--audit-jsonl`` file, tolerating a torn tail.
+
+    The writer flushes per record, so a mid-run crash (or a reader
+    racing a live run) leaves at most one partial trailing line — this
+    reader skips it instead of raising, via the same
+    :func:`repro.obs.stream.iter_jsonl` discipline the telemetry stream
+    uses.
+    """
+    from repro.obs.stream import iter_jsonl
+
+    return list(iter_jsonl(path))
+
+
 __all__ = [
     "REASON_CACHE_HIT",
     "REASON_MIN_ESTIMATE",
@@ -688,5 +708,6 @@ __all__ = [
     "CandidateState",
     "DecisionRecord",
     "AuditLog",
+    "read_audit_jsonl",
     "snapshot_candidates",
 ]

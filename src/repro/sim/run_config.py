@@ -27,6 +27,7 @@ if TYPE_CHECKING:
     from repro.frontend.config import FrontendConfig
     from repro.obs.audit import AuditConfig
     from repro.obs.metrics import MetricsRegistry
+    from repro.obs.stream import StreamConfig
     from repro.obs.tracer import Tracer
 
 
@@ -84,6 +85,14 @@ class RunConfig:
             each completed job's latency to phases
             (``result.critical_paths``).  ``False`` (default) is
             bit-identical to a run without the audit subsystem.
+        stream: Optional :class:`~repro.obs.stream.StreamConfig` — the
+            live-telemetry bus.  When set, the run emits schema-versioned
+            NDJSON snapshot/anomaly records to ``stream.path`` *while it
+            executes* (tail with ``repro watch``), runs the online
+            anomaly detectors, and attaches a
+            :class:`~repro.obs.stream.StreamReport` as
+            ``result.stream``.  ``None`` (default) is bit-identical to a
+            run without the subsystem.
         job_namespace: Namespace for this run's
             :class:`~repro.core.job.JobIdAllocator` — job ids start at
             ``job_namespace * NAMESPACE_STRIDE``.  A federation gives
@@ -111,6 +120,7 @@ class RunConfig:
     record_assignments: bool = False
     audit: Union[bool, "AuditConfig"] = False
     faults: Optional["FaultPlan"] = None
+    stream: Optional["StreamConfig"] = None
     job_namespace: int = 0
     tables_backend: str = "python"
 

@@ -512,6 +512,16 @@ class VisualizationService:
         """Jobs submitted but not yet completed (queued, deferred, running)."""
         return self.jobs_submitted - self.jobs_completed
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs waiting in the head-node queue (not yet scheduled)."""
+        return len(self._pending)
+
+    @property
+    def tasks_inflight(self) -> int:
+        """Tasks dispatched to rendering nodes and not yet finished."""
+        return self._tasks_inflight
+
     def has_work(self) -> bool:
         """True while any job is queued, deferred, or in flight."""
         return (

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import gc
 import hashlib
+import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultReport
+    from repro.obs.stream import StreamReport
 
 from repro._compat import warn_deprecated
 from repro.cluster.cluster import Cluster
@@ -120,6 +122,16 @@ class SimulationResult:
     audit: Optional["AuditLog"] = None
     critical_paths: Optional["CriticalPathAnalysis"] = None
     fault_report: Optional["FaultReport"] = None
+    #: Wall-clock seconds spent inside the event loop (including drain).
+    wall_seconds: float = 0.0
+    stream: Optional["StreamReport"] = None
+
+    @property
+    def events_per_sec(self) -> float:
+        """Event-loop throughput: events processed per wall second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
 
     def assignment_trace_hash(self) -> str:
         """Digest of the recorded assignment trace.
@@ -455,6 +467,34 @@ def _run(
         )
         fault_runtime.arm()
 
+    stream = None
+    if config.stream is not None:
+        # Lazy import like the fault subsystem: stream-off runs never
+        # touch the module.  The stream's grid ticks are pure observers
+        # on the event queue, so streamed runs stay bit-identical to
+        # unstreamed ones (pinned by the golden-trace tests).
+        import dataclasses as _dc
+
+        from repro.obs.stream import TelemetryStream, default_stream_interval
+
+        stream_cfg = config.stream
+        if stream_cfg.interval is None:
+            stream_cfg = _dc.replace(
+                stream_cfg,
+                interval=default_stream_interval(scenario.trace.duration),
+            )
+        stream = TelemetryStream(
+            stream_cfg,
+            scenario=scenario.name,
+            scheduler=scheduler.name,
+            horizon=None if drain else scenario.trace.duration,
+            target_framerate=scenario.target_framerate,
+            job_namespace=config.job_namespace,
+        )
+        if fault_runtime is not None:
+            stream.note_injections(fault_runtime.report.injections)
+        stream.attach(service)
+
     submit = (
         frontend.submit_request if frontend is not None else service.submit_request
     )
@@ -484,8 +524,12 @@ def _run(
     # collector is paused for the loop (restored even on error).
     gc_was_enabled = gc.isenabled()
     gc.disable()
+    wall_t0 = _time.perf_counter()
     try:
-        events.run(until=horizon)
+        # Streamed runs count ``processed`` live so grid ticks and the
+        # stall watchdog read exact event counts mid-run; unstreamed
+        # runs keep the batched fast path.
+        events.run(until=horizon, live_count=stream is not None)
         drained = not has_pending()
         if drain and not drained:
             limit = (
@@ -502,9 +546,15 @@ def _run(
                 events.step()
             drained = not has_pending()
     finally:
+        wall_seconds = _time.perf_counter() - wall_t0
         if gc_was_enabled:
             gc.enable()
 
+    stream_report = None
+    if stream is not None:
+        # Stop the watchdog, write the summary record, and drop the file
+        # handle so the result stays picklable across sweep workers.
+        stream_report = stream.close()
     if audit_log is not None:
         # Flush and drop the JSONL stream handle so the log (and the
         # result carrying it) stays picklable across sweep workers.
@@ -544,6 +594,8 @@ def _run(
         fault_report=(
             fault_runtime.finalize() if fault_runtime is not None else None
         ),
+        wall_seconds=wall_seconds,
+        stream=stream_report,
     )
 
 

@@ -430,3 +430,159 @@ class TestFederate:
             assert args.scale == 0.05
             assert args.seed == 7
             assert args.load == 1.5
+
+
+class TestStreamFlag:
+    def test_stream_parent_covers_all_sim_verbs(self):
+        parser = build_parser()
+        for verb in ("simulate", "federate", "explain", "report", "faults"):
+            args = parser.parse_args(
+                [verb, "--stream", "s.ndjson", "--stall-timeout", "30"]
+            )
+            assert args.stream == "s.ndjson"
+            assert args.stall_timeout == 30.0
+
+    def test_stall_timeout_requires_stream(self, capsys):
+        assert main(["simulate", "--stall-timeout", "5"]) == 2
+        assert "--stall-timeout requires --stream" in capsys.readouterr().err
+
+    def test_simulate_streams_and_prints_throughput(self, tmp_path, capsys):
+        stream = tmp_path / "run.ndjson"
+        code = main(
+            [
+                "simulate",
+                "--scenario", "1",
+                "--scale", "0.1",
+                "--stream", str(stream),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events/s)" in out  # the throughput footer
+        assert "stream:" in out and "snapshots" in out
+        from repro.obs import read_stream
+
+        records = read_stream(stream)
+        assert records[0]["type"] == "run"
+        assert records[-1]["type"] == "summary"
+
+    def test_multi_scheduler_stream_names(self, tmp_path):
+        stream = tmp_path / "cmp.ndjson"
+        code = main(
+            [
+                "simulate",
+                "--scenario", "1",
+                "--scale", "0.1",
+                "--schedulers", "OURS,FCFS",
+                "--stream", str(stream),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "cmp.OURS.ndjson").exists()
+        assert (tmp_path / "cmp.FCFS.ndjson").exists()
+
+    def test_faults_stream_prints_online_score(self, tmp_path, capsys):
+        stream = tmp_path / "storm.ndjson"
+        code = main(
+            [
+                "faults",
+                "--scenario", "1",
+                "--scale", "0.1",
+                "--storm", "11",
+                "--stream", str(stream),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "online anomaly detection" in out
+        assert "events localized online" in out
+        assert stream.exists()
+
+    def test_federate_stream_per_shard(self, tmp_path, capsys):
+        stream = tmp_path / "fed.ndjson"
+        code = main(
+            [
+                "federate",
+                "--scenario", "4",
+                "--scale", "0.02",
+                "--shards", "2",
+                "--stream", str(stream),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fed.shard0.ndjson" in out
+        assert (tmp_path / "fed.shard0.ndjson").exists()
+        assert (tmp_path / "fed.shard1.ndjson").exists()
+
+
+class TestWatchCommand:
+    def _make_stream(self, tmp_path):
+        stream = tmp_path / "run.ndjson"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--scenario", "1",
+                    "--scale", "0.1",
+                    "--stream", str(stream),
+                ]
+            )
+            == 0
+        )
+        return stream
+
+    def test_watch_once(self, tmp_path, capsys):
+        stream = self._make_stream(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", str(stream), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "stream: scenario scenario1" in out
+        assert "queue" in out  # status-table header
+        assert "run complete:" in out
+
+    def test_watch_follow_exits_on_summary(self, tmp_path, capsys):
+        stream = self._make_stream(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", str(stream), "--poll", "0.01"]) == 0
+        assert "run complete:" in capsys.readouterr().out
+
+    def test_watch_once_missing_file(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nope.ndjson"), "--once"]) == 2
+        assert "no stream file" in capsys.readouterr().err
+
+    def test_watch_times_out_without_summary(self, tmp_path, capsys):
+        dead = tmp_path / "dead.ndjson"
+        dead.write_text('{"type": "run", "schema": 1, "scenario": "s", '
+                        '"scheduler": "OURS", "horizon": 6.0, '
+                        '"interval": 0.1, "shard": 0}\n')
+        code = main(
+            ["watch", str(dead), "--poll", "0.02", "--idle-timeout", "0.2"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "went quiet" in captured.err
+
+    def test_watch_rejects_bad_poll(self, capsys):
+        assert main(["watch", "x.ndjson", "--poll", "0"]) == 2
+        assert "--poll" in capsys.readouterr().err
+
+    def test_watch_shows_faults_and_anomalies(self, tmp_path, capsys):
+        stream = tmp_path / "storm.ndjson"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--scenario", "1",
+                    "--scale", "0.1",
+                    "--storm", "11",
+                    "--stream", str(stream),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["watch", str(stream), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "fault planned: crash" in out
+        assert "!!" in out  # at least one anomaly line

@@ -100,3 +100,24 @@ class TestExamples:
         assert "=== locality router ===" in out
         assert "SLO report (merged)" in out
         assert "locality-minus-hash hit-rate delta" in out
+
+    def test_live_watch(self, tmp_path):
+        stream = tmp_path / "run.ndjson"
+        out = run_example(
+            "live_watch.py", "--scale", "0.1", "--out", str(stream),
+        )
+        assert "streamed 64 snapshots" in out
+        assert "events/s" in out
+        assert "replaying scenario1" in out
+        assert "summary: 64 snapshots, 0 anomalies, 0 stalls" in out
+        assert stream.exists()
+
+    def test_live_watch_storm(self, tmp_path):
+        out = run_example(
+            "live_watch.py", "--scale", "0.1", "--storm",
+            "--out", str(tmp_path / "storm.ndjson"),
+        )
+        assert "fault: crash" in out
+        assert "!!" in out
+        assert "faults localized" in out
+        assert "0 false positives" in out
